@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: canonical experiment
+ * protocols (how each paper workload is launched), trace collection
+ * and training-set construction.
+ */
+
+#ifndef TDP_BENCH_BENCH_UTIL_HH
+#define TDP_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/estimator.hh"
+#include "core/trainer.hh"
+#include "core/validator.hh"
+#include "measure/trace.hh"
+#include "platform/server.hh"
+
+namespace tdp {
+namespace bench {
+
+/** Default master seed for all experiments (reproducible runs). */
+constexpr uint64_t defaultSeed = 0x5eed2007;
+
+/** How a workload is launched for an experiment. */
+struct RunSpec
+{
+    /** Workload profile name. */
+    std::string workload;
+
+    /** Number of thread instances ("idle" uses zero). */
+    int instances = 8;
+
+    /** First launch time (s). */
+    Seconds firstStart = 1.0;
+
+    /** Stagger between launches (s). */
+    Seconds stagger = 0.0;
+
+    /** Total simulated duration (s). */
+    Seconds duration = 180.0;
+
+    /** Samples before this time are dropped (init transients). */
+    Seconds skip = 30.0;
+
+    /** Master seed. */
+    uint64_t seed = defaultSeed;
+};
+
+/** The paper's characterisation run (Table 1/2): all threads at once. */
+RunSpec characterizationRun(const std::string &workload);
+
+/** The paper's training run: staggered starts for high variation. */
+RunSpec trainingRun(const std::string &workload);
+
+/** Execute a run and return the aligned trace (post-skip). */
+SampleTrace runTrace(const RunSpec &spec);
+
+/** Execute a run and return both the server (for inspection) and trace. */
+SampleTrace runTrace(const RunSpec &spec, std::unique_ptr<Server> &out);
+
+/**
+ * Build the paper's trained estimator: CPU model trained on staggered
+ * gcc, memory on staggered mcf, disk and I/O on DiskLoad, chipset
+ * constant on idle.
+ */
+SystemPowerEstimator trainPaperEstimator(uint64_t seed = defaultSeed);
+
+/** Idle disk power used as the DC offset in disk error reporting. */
+constexpr double diskIdleDcWatts = 21.6;
+
+/**
+ * Validate the trained estimator on the named workloads (paper
+ * characterisation protocol) and print a Table 3/4 style error table,
+ * appending the per-group average row. Returns the results.
+ */
+std::vector<ValidationResult> printErrorTable(
+    const SystemPowerEstimator &estimator,
+    const std::vector<std::string> &workloads,
+    const std::string &average_label, uint64_t seed = defaultSeed);
+
+} // namespace bench
+} // namespace tdp
+
+#endif // TDP_BENCH_BENCH_UTIL_HH

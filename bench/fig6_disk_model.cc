@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: the disk power model (Equation 4,
+ * interrupts + DMA) on the synthetic disk workload. The paper reports
+ * 1.75% average error computed after subtracting the 21.6 W idle (DC)
+ * disk power.
+ */
+
+#include <cstdio>
+
+#include "core/model.hh"
+#include "stats/metrics.hh"
+
+#include "common/bench_util.hh"
+
+int
+main()
+{
+    using namespace tdp;
+    using namespace tdp::bench;
+
+    std::printf("Figure 6: Disk Power Model (DMA+Interrupt) - "
+                "synthetic disk workload\n"
+                "(paper: 1.75%% average error on the DC-subtracted "
+                "dynamic power)\n\n");
+
+    DiskPowerModel model;
+    model.train(runTrace(trainingRun("diskload")));
+    std::printf("%s\n\n", model.describe().c_str());
+
+    RunSpec spec = characterizationRun("diskload");
+    spec.duration = 190.0;
+    spec.skip = 0.0;
+    const SampleTrace trace = runTrace(spec);
+
+    std::printf("%8s  %10s  %10s\n", "seconds", "measured", "modeled");
+    std::vector<double> modeled, measured;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const double est =
+            model.estimate(EventVector::fromSample(trace[i]));
+        modeled.push_back(est);
+        measured.push_back(trace[i].measured(Rail::Disk));
+        if (i % 4 == 0) {
+            std::printf("%8.0f  %10.3f  %10.3f\n", trace[i].time,
+                        measured.back(), modeled.back());
+        }
+    }
+
+    std::printf("\nraw average error:           %.3f%%\n",
+                averageError(modeled, measured) * 100.0);
+    std::printf("DC-subtracted average error: %.2f%% (paper: 1.75%%, "
+                "DC = %.1f W)\n",
+                averageErrorAboveDc(modeled, measured,
+                                    diskIdleDcWatts) *
+                    100.0,
+                diskIdleDcWatts);
+
+    // The all-samples DC-subtracted number is dominated by near-idle
+    // samples whose dynamic power is within the sensor noise floor;
+    // restricting to samples with >= 0.3 W of dynamic activity gives
+    // the tracking quality the paper's figure shows.
+    std::vector<double> m_act, g_act;
+    for (size_t i = 0; i < measured.size(); ++i) {
+        if (measured[i] - diskIdleDcWatts >= 0.3) {
+            m_act.push_back(modeled[i]);
+            g_act.push_back(measured[i]);
+        }
+    }
+    if (!m_act.empty()) {
+        std::printf("DC-subtracted error, active samples only "
+                    "(>=0.3 W dynamic): %.2f%% over %zu samples\n",
+                    averageErrorAboveDc(m_act, g_act, diskIdleDcWatts) *
+                        100.0,
+                    m_act.size());
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces paper Table 2: standard deviation of subsystem power
+ * (Watts) across the one-second samples of each workload run. The
+ * orderings the paper highlights - SPECjbb's GC-driven CPU swing being
+ * the largest, art/mgrid being nearly flat - are the properties to
+ * check.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/running_stats.hh"
+#include "common/table.hh"
+#include "workloads/suite.hh"
+
+#include "common/bench_util.hh"
+
+int
+main()
+{
+    using namespace tdp;
+    using namespace tdp::bench;
+
+    std::printf("Table 2: Subsystem Power Standard Deviation (Watts)\n"
+                "(paper highlights: SPECjbb CPU 26.2 is the largest; "
+                "idle/art/mgrid nearly flat)\n\n");
+
+    TableWriter table(
+        {"workload", "CPU", "Chipset", "Memory", "I/O", "Disk"});
+    for (const std::string &name : paperWorkloadOrder()) {
+        const SampleTrace trace = runTrace(characterizationRun(name));
+        RunningStats rails[numRails];
+        for (const AlignedSample &s : trace.samples())
+            for (int r = 0; r < numRails; ++r)
+                rails[r].add(s.measured(static_cast<Rail>(r)));
+        table.addRow({name,
+                      TableWriter::num(rails[0].stddev(), 3),
+                      TableWriter::num(rails[1].stddev(), 3),
+                      TableWriter::num(rails[2].stddev(), 3),
+                      TableWriter::num(rails[3].stddev(), 3),
+                      TableWriter::num(rails[4].stddev(), 3)});
+    }
+    table.render(std::cout);
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reproduces paper Table 3: average model error (Equation 6) of the
+ * five subsystem models on the integer/commercial workloads - idle,
+ * gcc, mcf, vortex, dbt-2, SPECjbb and DiskLoad - plus the group
+ * average. Training follows section 3.2.2: each model is fit on a
+ * single high-variation trace (CPU <- gcc, memory <- mcf, disk/IO <-
+ * DiskLoad, chipset constant), then validated on everything.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.hh"
+
+int
+main()
+{
+    using namespace tdp;
+    using namespace tdp::bench;
+
+    std::printf("Table 3: Integer Average Model Error "
+                "(paper: CPU 7.06%%, chipset 6.18%%, memory 6.22%%, "
+                "I/O 1.16%%, disk 0.19%%)\n\n");
+
+    const SystemPowerEstimator estimator = trainPaperEstimator();
+    std::cout << estimator.describe() << '\n';
+
+    printErrorTable(estimator,
+                    {"idle", "gcc", "mcf", "vortex", "dbt2", "specjbb",
+                     "diskload"},
+                    "Integer Average");
+    return 0;
+}

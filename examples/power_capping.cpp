@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Power capping: the data-center use case the paper motivates
+ * (section 1: "keeping the center within temperature and power
+ * limits"). A governor watches the counter-based power estimate -
+ * never the real sensors - and applies DVFS to the CPU packages when
+ * the estimated total exceeds a budget, releasing it when there is
+ * headroom.
+ */
+
+#include <cstdio>
+
+#include "core/trainer.hh"
+#include "platform/server.hh"
+
+using namespace tdp;
+
+namespace {
+
+SampleTrace
+record(const std::string &workload, int instances, Seconds stagger,
+       Seconds duration, uint64_t seed)
+{
+    Server server(seed);
+    if (instances > 0)
+        server.runner().launchStaggered(workload, instances, 1.0,
+                                        stagger);
+    server.run(duration);
+    return server.rig().collect();
+}
+
+SystemPowerEstimator
+trainEstimator()
+{
+    SystemPowerEstimator estimator =
+        SystemPowerEstimator::makePaperModelSet();
+    ModelTrainer trainer;
+    trainer.setTrainingTrace(Rail::Cpu,
+                             record("gcc", 8, 30.0, 280.0, 1));
+    trainer.setTrainingTrace(Rail::Memory,
+                             record("mcf", 8, 30.0, 280.0, 2));
+    const SampleTrace diskload = record("diskload", 8, 5.0, 160.0, 3);
+    trainer.setTrainingTrace(Rail::Disk, diskload);
+    trainer.setTrainingTrace(Rail::Io, diskload);
+    trainer.setTrainingTrace(Rail::Chipset,
+                             record("idle", 0, 0.0, 60.0, 4));
+    trainer.train(estimator);
+    return estimator;
+}
+
+/** Simple hysteresis governor over the frequency ladder. */
+class CapGovernor
+{
+  public:
+    CapGovernor(Server &server, const SystemPowerEstimator &estimator,
+                Watts budget)
+        : server_(server), estimator_(estimator), budget_(budget)
+    {
+    }
+
+    /** Consume the newest sample and adjust the P-state. */
+    void
+    step(const AlignedSample &sample)
+    {
+        PowerBreakdown bd =
+            estimator_.estimate(EventVector::fromSample(sample));
+        // The paper's models assume the nominal frequency (the 2007
+        // machine ran no DVFS). The governor knows the P-state it
+        // commanded, so it rescales the CPU-rail estimate by the
+        // classic s*v^2 factor - the DVFS-awareness extension.
+        const double s =
+            server_.cpus().core(0).clock().scale();
+        const double v = 0.75 + 0.25 * s;
+        const size_t cpu = static_cast<size_t>(Rail::Cpu);
+        const double idle = 4.0 * 9.25;
+        bd.watts[cpu] = idle * v * v +
+                        (bd.watts[cpu] - idle) * s * v * v;
+        lastEstimate_ = bd.total();
+        if (lastEstimate_ > budget_ && level_ < maxLevel) {
+            ++level_;
+        } else if (lastEstimate_ < budget_ - hysteresis && level_ > 0) {
+            --level_;
+        }
+        const Hertz target = 2.8e9 * (1.0 - 0.15 * level_);
+        for (int i = 0; i < server_.cpus().coreCount(); ++i)
+            server_.cpus().core(i).clock().setFrequency(target);
+    }
+
+    Watts lastEstimate() const { return lastEstimate_; }
+    int level() const { return level_; }
+
+  private:
+    static constexpr int maxLevel = 4;
+    static constexpr Watts hysteresis = 12.0;
+
+    Server &server_;
+    const SystemPowerEstimator &estimator_;
+    Watts budget_;
+    Watts lastEstimate_ = 0.0;
+    int level_ = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    const Watts budget = 250.0;
+    std::printf("Counter-driven power capping at %.0f W "
+                "(vortex x8, estimate-in-the-loop DVFS)\n\n",
+                budget);
+
+    const SystemPowerEstimator estimator = trainEstimator();
+
+    Server server(7);
+    server.runner().launchStaggered("vortex", 8, 1.0, 5.0);
+    CapGovernor governor(server, estimator, budget);
+
+    std::printf("%8s  %10s  %10s  %8s  %9s\n", "seconds", "estimate",
+                "true", "P-state", "freq");
+    size_t consumed = 0;
+    double exceed_seconds = 0.0;
+    double total_seconds = 0.0;
+    for (int step = 0; step < 90; ++step) {
+        server.run(1.0);
+        const SampleTrace &trace = server.rig().collect();
+        while (consumed < trace.size()) {
+            const AlignedSample &s = trace[consumed++];
+            governor.step(s);
+            double true_total = 0.0;
+            for (int r = 0; r < numRails; ++r)
+                true_total += s.measured(static_cast<Rail>(r));
+            total_seconds += 1.0;
+            if (true_total > budget + 5.0)
+                exceed_seconds += 1.0;
+            if (consumed % 10 == 0) {
+                std::printf("%8.0f  %10.1f  %10.1f  %8d  %8.2fG\n",
+                            s.time, governor.lastEstimate(),
+                            true_total, governor.level(),
+                            server.cpus().core(0).clock().frequency() /
+                                1e9);
+            }
+        }
+    }
+
+    std::printf("\nseconds with true power > budget+5W: %.0f of %.0f "
+                "(%.1f%%)\n",
+                exceed_seconds, total_seconds,
+                100.0 * exceed_seconds / total_seconds);
+    std::printf("The governor held an over-budget workload near the "
+                "cap using only\ncounter-derived estimates - the "
+                "paper's 'no additional power sensing\nhardware' "
+                "deployment.\n");
+    return 0;
+}

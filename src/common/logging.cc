@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Implementation of the status and error reporting helpers.
+ */
+
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace tdp {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+std::string
+vformatString(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+formatString(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vformatString(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformatString(fmt, args);
+    va_end(args);
+    if (globalLevel >= LogLevel::Error)
+        emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformatString(fmt, args);
+    va_end(args);
+    if (globalLevel >= LogLevel::Error)
+        emit("panic", msg);
+    throw PanicError(msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Warn)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("warn", vformatString(fmt, args));
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Info)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("info", vformatString(fmt, args));
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("debug", vformatString(fmt, args));
+    va_end(args);
+}
+
+} // namespace tdp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 discipline: panic() for internal invariant violations
+ * (bugs in this library), fatal() for unrecoverable user/configuration
+ * errors, warn()/inform() for non-fatal status. All of them accept
+ * printf-style format strings.
+ */
+
+#ifndef TDP_COMMON_LOGGING_HH
+#define TDP_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace tdp {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { Silent, Error, Warn, Info, Debug };
+
+/**
+ * Set the global verbosity threshold. Messages below the threshold are
+ * suppressed. Defaults to Warn so libraries stay quiet in tests.
+ */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+/**
+ * Exception thrown by fatal(). Carries the formatted message so callers
+ * (tests, long-running tools) can recover from configuration errors
+ * instead of losing the process.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Exception thrown by panic(). Indicates a bug in the library itself:
+ * an invariant that should hold regardless of user input was violated.
+ */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Format a printf-style message into a std::string. */
+std::string vformatString(const char *fmt, va_list args);
+
+/** Format a printf-style message into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable condition caused by bad configuration or
+ * arguments and throw FatalError.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a violated internal invariant (a bug) and throw PanicError.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report developer-facing detail, visible only at Debug level. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace tdp
+
+#endif // TDP_COMMON_LOGGING_HH

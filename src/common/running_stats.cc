@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Implementation of the streaming statistics accumulators.
+ */
+
+#include "common/running_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tdp {
+
+RunningStats::RunningStats()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningCovariance::add(double x, double y)
+{
+    ++n_;
+    const double n = static_cast<double>(n_);
+    const double dx = x - meanX_;
+    const double dy = y - meanY_;
+    meanX_ += dx / n;
+    meanY_ += dy / n;
+    m2x_ += dx * (x - meanX_);
+    m2y_ += dy * (y - meanY_);
+    cxy_ += dx * (y - meanY_);
+}
+
+double
+RunningCovariance::covariance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return cxy_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningCovariance::correlation() const
+{
+    if (n_ < 2)
+        return 0.0;
+    const double denom = std::sqrt(m2x_) * std::sqrt(m2y_);
+    if (denom <= 0.0)
+        return 0.0;
+    return cxy_ / denom;
+}
+
+} // namespace tdp

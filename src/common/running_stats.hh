@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Streaming statistics accumulators.
+ */
+
+#ifndef TDP_COMMON_RUNNING_STATS_HH
+#define TDP_COMMON_RUNNING_STATS_HH
+
+#include <cstdint>
+
+namespace tdp {
+
+/**
+ * Single-pass mean / variance / extrema accumulator using Welford's
+ * algorithm, numerically stable for long traces.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Merge another accumulator (parallel-combine). */
+    void merge(const RunningStats &other);
+
+    /** Discard all observations. */
+    void reset();
+
+    /** Number of observations folded in. */
+    uint64_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest observation; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_;
+    double max_;
+
+  public:
+    RunningStats();
+};
+
+/**
+ * Streaming covariance / correlation between two paired series.
+ */
+class RunningCovariance
+{
+  public:
+    /** Fold one (x, y) pair into the accumulator. */
+    void add(double x, double y);
+
+    /** Number of pairs folded in. */
+    uint64_t count() const { return n_; }
+
+    /** Unbiased sample covariance; 0 with fewer than two pairs. */
+    double covariance() const;
+
+    /** Pearson correlation coefficient; 0 when degenerate. */
+    double correlation() const;
+
+    /** Mean of the x series. */
+    double meanX() const { return meanX_; }
+
+    /** Mean of the y series. */
+    double meanY() const { return meanY_; }
+
+  private:
+    uint64_t n_ = 0;
+    double meanX_ = 0.0;
+    double meanY_ = 0.0;
+    double m2x_ = 0.0;
+    double m2y_ = 0.0;
+    double cxy_ = 0.0;
+};
+
+} // namespace tdp
+
+#endif // TDP_COMMON_RUNNING_STATS_HH

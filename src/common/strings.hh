@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small string utilities shared across the project.
+ */
+
+#ifndef TDP_COMMON_STRINGS_HH
+#define TDP_COMMON_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace tdp {
+
+/** Split a string on a delimiter character; keeps empty fields. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** Lowercase an ASCII string. */
+std::string toLower(const std::string &s);
+
+/** Join a list of strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** True if s begins with prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+} // namespace tdp
+
+#endif // TDP_COMMON_STRINGS_HH

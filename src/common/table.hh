@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-width console tables and CSV emission.
+ *
+ * The bench binaries reproduce the paper's tables; TableWriter renders
+ * them aligned for the console and CsvWriter emits machine-readable
+ * copies next to them.
+ */
+
+#ifndef TDP_COMMON_TABLE_HH
+#define TDP_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tdp {
+
+/**
+ * Collects rows of string cells and renders them with aligned columns.
+ */
+class TableWriter
+{
+  public:
+    /** Construct with column headers. */
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double cell with the given precision. */
+    static std::string num(double value, int precision = 3);
+
+    /** Convenience: format a percentage cell, e.g. "9.65%". */
+    static std::string pct(double fraction, int precision = 2);
+
+    /** Render the aligned table to a stream. */
+    void render(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Minimal CSV writer; quotes cells containing separators or quotes.
+ */
+class CsvWriter
+{
+  public:
+    /** Construct over an output stream the caller keeps alive. */
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Write one row of cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ostream &os_;
+};
+
+} // namespace tdp
+
+#endif // TDP_COMMON_TABLE_HH

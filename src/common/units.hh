@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Simulation units and time conversions.
+ *
+ * Simulated wall-clock time is kept in integer ticks (1 tick = 1
+ * microsecond) so event ordering is exact; physical quantities (power,
+ * frequency) are doubles with named aliases for readability. Strong
+ * typedefs are deliberately avoided for scalar physics values - the
+ * codebase converts between them constantly and the alias + naming
+ * convention carries the unit information.
+ */
+
+#ifndef TDP_COMMON_UNITS_HH
+#define TDP_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace tdp {
+
+/** Simulated time in ticks; 1 tick = 1 microsecond. */
+using Tick = uint64_t;
+
+/** Ticks per simulated second. */
+constexpr Tick ticksPerSecond = 1'000'000;
+
+/** Ticks per simulated millisecond. */
+constexpr Tick ticksPerMs = 1'000;
+
+/** Power in Watts. */
+using Watts = double;
+
+/** Frequency in Hertz. */
+using Hertz = double;
+
+/** Time in (fractional) seconds. */
+using Seconds = double;
+
+/** Processor clock cycles (fractional: quanta hold averages). */
+using Cycles = double;
+
+/** Convert seconds to the nearest tick count. */
+constexpr Tick
+secondsToTicks(Seconds s)
+{
+    return static_cast<Tick>(s * static_cast<double>(ticksPerSecond) + 0.5);
+}
+
+/** Convert ticks to fractional seconds. */
+constexpr Seconds
+ticksToSeconds(Tick t)
+{
+    return static_cast<Seconds>(t) / static_cast<double>(ticksPerSecond);
+}
+
+/** Number of CPU cycles elapsed over a tick span at a clock frequency. */
+constexpr Cycles
+ticksToCycles(Tick span, Hertz clock)
+{
+    return ticksToSeconds(span) * clock;
+}
+
+} // namespace tdp
+
+#endif // TDP_COMMON_UNITS_HH

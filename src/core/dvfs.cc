@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of the DVFS-aware CPU model.
+ */
+
+#include "core/dvfs.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+DvfsAwareCpuModel::DvfsAwareCpuModel(std::unique_ptr<CpuPowerModel> base)
+    : DvfsAwareCpuModel(std::move(base), Params())
+{
+}
+
+DvfsAwareCpuModel::DvfsAwareCpuModel(
+    std::unique_ptr<CpuPowerModel> base, Params params)
+    : base_(std::move(base)), params_(params)
+{
+    if (!base_)
+        fatal("DvfsAwareCpuModel: null base model");
+}
+
+void
+DvfsAwareCpuModel::setFrequencyScale(double scale)
+{
+    scale_ = std::clamp(scale, 0.1, 1.0);
+}
+
+Watts
+DvfsAwareCpuModel::estimate(const EventVector &events) const
+{
+    const Watts nominal = base_->estimate(events);
+    const double v = params_.voltageIntercept +
+                     params_.voltageSlope * scale_;
+    const double v2 = v * v;
+    const double idle =
+        params_.idleWattsPerCpu * static_cast<double>(events.cpu.size());
+    // Static share scales with V^2; the dynamic remainder with f*V^2.
+    return idle * v2 + std::max(0.0, nominal - idle) * scale_ * v2;
+}
+
+void
+DvfsAwareCpuModel::train(const SampleTrace &trace)
+{
+    // Training data is assumed captured at nominal frequency, per the
+    // paper's methodology.
+    base_->train(trace);
+}
+
+std::string
+DvfsAwareCpuModel::describe() const
+{
+    return formatString("%s  [DVFS: x(s*v^2), v = %.2f + %.2f*s, "
+                        "s = %.2f]",
+                        base_->describe().c_str(),
+                        params_.voltageIntercept, params_.voltageSlope,
+                        scale_);
+}
+
+std::vector<double>
+DvfsAwareCpuModel::coefficients() const
+{
+    return base_->coefficients();
+}
+
+void
+DvfsAwareCpuModel::setCoefficients(const std::vector<double> &coeffs)
+{
+    base_->setCoefficients(coeffs);
+}
+
+} // namespace tdp

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Implementation of the system power estimator.
+ */
+
+#include "core/estimator.hh"
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+Watts
+PowerBreakdown::total() const
+{
+    Watts acc = 0.0;
+    for (Watts w : watts)
+        acc += w;
+    return acc;
+}
+
+SystemPowerEstimator
+SystemPowerEstimator::makePaperModelSet()
+{
+    SystemPowerEstimator est;
+    est.setModel(std::make_unique<CpuPowerModel>());
+    est.setModel(makeMemoryBusModel());
+    est.setModel(std::make_unique<DiskPowerModel>());
+    est.setModel(makeIoInterruptModel());
+    est.setModel(std::make_unique<ChipsetPowerModel>());
+    return est;
+}
+
+void
+SystemPowerEstimator::setModel(std::unique_ptr<SubsystemModel> model)
+{
+    if (!model)
+        fatal("SystemPowerEstimator: null model");
+    models_[static_cast<size_t>(model->rail())] = std::move(model);
+}
+
+SubsystemModel &
+SystemPowerEstimator::model(Rail rail)
+{
+    auto &m = models_[static_cast<size_t>(rail)];
+    if (!m)
+        fatal("SystemPowerEstimator: no model for rail %s",
+              railName(rail));
+    return *m;
+}
+
+const SubsystemModel &
+SystemPowerEstimator::model(Rail rail) const
+{
+    const auto &m = models_[static_cast<size_t>(rail)];
+    if (!m)
+        fatal("SystemPowerEstimator: no model for rail %s",
+              railName(rail));
+    return *m;
+}
+
+bool
+SystemPowerEstimator::ready() const
+{
+    for (const auto &m : models_)
+        if (!m || !m->trained())
+            return false;
+    return true;
+}
+
+void
+SystemPowerEstimator::trainAll(const SampleTrace &trace)
+{
+    for (auto &m : models_)
+        if (m)
+            m->train(trace);
+}
+
+PowerBreakdown
+SystemPowerEstimator::estimate(const EventVector &events) const
+{
+    PowerBreakdown out;
+    for (int r = 0; r < numRails; ++r) {
+        const auto &m = models_[static_cast<size_t>(r)];
+        if (!m)
+            fatal("SystemPowerEstimator: no model for rail %s",
+                  railName(static_cast<Rail>(r)));
+        out.watts[static_cast<size_t>(r)] = m->estimate(events);
+    }
+    return out;
+}
+
+std::vector<PowerBreakdown>
+SystemPowerEstimator::estimateTrace(const SampleTrace &trace) const
+{
+    std::vector<PowerBreakdown> out;
+    out.reserve(trace.size());
+    for (const AlignedSample &sample : trace.samples())
+        out.push_back(estimate(EventVector::fromSample(sample)));
+    return out;
+}
+
+std::vector<double>
+SystemPowerEstimator::modeledColumn(const SampleTrace &trace,
+                                    Rail rail) const
+{
+    std::vector<double> out;
+    out.reserve(trace.size());
+    const SubsystemModel &m = model(rail);
+    for (const AlignedSample &sample : trace.samples())
+        out.push_back(m.estimate(EventVector::fromSample(sample)));
+    return out;
+}
+
+std::string
+SystemPowerEstimator::describe() const
+{
+    std::string text;
+    for (const auto &m : models_) {
+        if (m && m->trained()) {
+            text += m->describe();
+            text += '\n';
+        }
+    }
+    return text;
+}
+
+} // namespace tdp

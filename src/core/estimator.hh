@@ -1,0 +1,87 @@
+/**
+ * @file
+ * System power estimator: the runtime artifact the paper enables -
+ * five trained subsystem models fed by one per-second counter sample,
+ * no power sensing hardware required.
+ */
+
+#ifndef TDP_CORE_ESTIMATOR_HH
+#define TDP_CORE_ESTIMATOR_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.hh"
+
+namespace tdp {
+
+/** One estimate: per-subsystem and total power. */
+struct PowerBreakdown
+{
+    /** Per-rail estimated power (W). */
+    std::array<Watts, numRails> watts{};
+
+    /** Power of one rail. */
+    Watts
+    rail(Rail r) const
+    {
+        return watts[static_cast<size_t>(r)];
+    }
+
+    /** Total system power (W). */
+    Watts total() const;
+};
+
+/**
+ * Holds one model per subsystem and evaluates them together. The
+ * default configuration is the paper's final model set: CPU fetch
+ * model, memory bus-transaction model, disk interrupt+DMA model, I/O
+ * interrupt model and the chipset constant.
+ */
+class SystemPowerEstimator
+{
+  public:
+    /** Build with the paper's final model set (untrained). */
+    static SystemPowerEstimator makePaperModelSet();
+
+    /** Build empty; add models with setModel(). */
+    SystemPowerEstimator() = default;
+
+    /** Install (or replace) the model for its rail. */
+    void setModel(std::unique_ptr<SubsystemModel> model);
+
+    /** The model for one rail; fatal() if absent. */
+    SubsystemModel &model(Rail rail);
+
+    /** The model for one rail; fatal() if absent. */
+    const SubsystemModel &model(Rail rail) const;
+
+    /** True when all five rails have trained models. */
+    bool ready() const;
+
+    /** Train every installed model on one shared training trace. */
+    void trainAll(const SampleTrace &trace);
+
+    /** Estimate all subsystems for one sample. */
+    PowerBreakdown estimate(const EventVector &events) const;
+
+    /** Estimate across a whole trace. */
+    std::vector<PowerBreakdown> estimateTrace(
+        const SampleTrace &trace) const;
+
+    /** Modeled power column for one rail over a trace. */
+    std::vector<double> modeledColumn(const SampleTrace &trace,
+                                      Rail rail) const;
+
+    /** Describe all models (fitted equations). */
+    std::string describe() const;
+
+  private:
+    std::array<std::unique_ptr<SubsystemModel>, numRails> models_;
+};
+
+} // namespace tdp
+
+#endif // TDP_CORE_ESTIMATOR_HH

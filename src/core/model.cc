@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Implementation of the subsystem power models.
+ */
+
+#include "core/model.hh"
+
+#include "common/logging.hh"
+#include "stats/regression.hh"
+
+namespace tdp {
+
+namespace {
+
+/**
+ * Shared training helper: build regressor columns and fit by OLS.
+ *
+ * Follows the paper's model-format discipline (section 3.3.1): the
+ * quadratic form is used when the data supports it; when the squared
+ * columns are (numerically) collinear with the linear ones - e.g. a
+ * bursty two-valued interrupt rate - the fit falls back to the linear
+ * form and reports zero quadratic coefficients. The returned
+ * coefficient vector is always laid out [x0, x0^2, x1, x1^2, ...]
+ * when with_squares is set.
+ */
+FitResult
+fitColumns(const SampleTrace &trace, Rail rail,
+           const std::vector<double CpuEventRates::*> &fields,
+           bool with_squares)
+{
+    if (trace.empty())
+        fatal("model training requires a non-empty trace");
+
+    std::vector<std::vector<double>> linear_cols(fields.size());
+    std::vector<std::vector<double>> square_cols(fields.size());
+    std::vector<double> y;
+    for (const AlignedSample &sample : trace.samples()) {
+        const EventVector ev = EventVector::fromSample(sample);
+        for (size_t f = 0; f < fields.size(); ++f) {
+            linear_cols[f].push_back(ev.total(fields[f]));
+            if (with_squares)
+                square_cols[f].push_back(ev.totalSquared(fields[f]));
+        }
+        y.push_back(sample.measured(rail));
+    }
+
+    if (with_squares) {
+        std::vector<std::vector<double>> columns;
+        for (size_t f = 0; f < fields.size(); ++f) {
+            columns.push_back(linear_cols[f]);
+            columns.push_back(square_cols[f]);
+        }
+        try {
+            return fitOls(columns, y);
+        } catch (const FatalError &) {
+            warn("quadratic fit for %s rank-deficient; "
+                 "falling back to linear form",
+                 railName(rail));
+        }
+    }
+
+    FitResult fit = fitOls(linear_cols, y);
+    if (with_squares) {
+        // Re-expand to the quadratic layout with zero square terms.
+        std::vector<double> expanded(fields.size() * 2, 0.0);
+        for (size_t f = 0; f < fields.size(); ++f)
+            expanded[f * 2] = fit.coefficients[f];
+        fit.coefficients = std::move(expanded);
+    }
+    return fit;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- CPU
+
+CpuPowerModel::CpuPowerModel() = default;
+
+Watts
+CpuPowerModel::estimate(const EventVector &events) const
+{
+    if (!trained_)
+        panic("CpuPowerModel::estimate before training");
+    return intercept_ +
+           activeCoef_ * events.total(&CpuEventRates::percentActive) +
+           uopCoef_ * events.total(&CpuEventRates::uopsPerCycle);
+}
+
+Watts
+CpuPowerModel::estimateCpu(const EventVector &events, int cpu) const
+{
+    if (!trained_)
+        panic("CpuPowerModel::estimateCpu before training");
+    if (cpu < 0 || cpu >= static_cast<int>(events.cpu.size()))
+        panic("CpuPowerModel: cpu %d out of %zu", cpu, events.cpu.size());
+    const CpuEventRates &rates = events.cpu[static_cast<size_t>(cpu)];
+    return intercept_ / static_cast<double>(events.cpu.size()) +
+           activeCoef_ * rates.percentActive +
+           uopCoef_ * rates.uopsPerCycle;
+}
+
+void
+CpuPowerModel::train(const SampleTrace &trace)
+{
+    const FitResult fit = fitColumns(
+        trace, Rail::Cpu,
+        {&CpuEventRates::percentActive, &CpuEventRates::uopsPerCycle},
+        false);
+    intercept_ = fit.intercept;
+    activeCoef_ = fit.coefficients[0];
+    uopCoef_ = fit.coefficients[1];
+    trained_ = true;
+}
+
+std::string
+CpuPowerModel::describe() const
+{
+    return formatString(
+        "P_cpu = %.3f + sum_i [%.3f * active_i + %.3f * uops_i]",
+        intercept_, activeCoef_, uopCoef_);
+}
+
+std::vector<double>
+CpuPowerModel::coefficients() const
+{
+    return {intercept_, activeCoef_, uopCoef_};
+}
+
+void
+CpuPowerModel::setCoefficients(const std::vector<double> &coeffs)
+{
+    if (coeffs.size() != 3)
+        fatal("CpuPowerModel: expected 3 coefficients, got %zu",
+              coeffs.size());
+    intercept_ = coeffs[0];
+    activeCoef_ = coeffs[1];
+    uopCoef_ = coeffs[2];
+    trained_ = true;
+}
+
+// ---------------------------------------------- quadratic single-event
+
+QuadraticEventModel::QuadraticEventModel(std::string name, Rail rail,
+                                         double CpuEventRates::*field)
+    : name_(std::move(name)), rail_(rail), field_(field)
+{
+}
+
+Watts
+QuadraticEventModel::estimate(const EventVector &events) const
+{
+    if (!trained_)
+        panic("%s::estimate before training", name_.c_str());
+    return intercept_ + linear_ * events.total(field_) +
+           quadratic_ * events.totalSquared(field_);
+}
+
+void
+QuadraticEventModel::train(const SampleTrace &trace)
+{
+    const FitResult fit = fitColumns(trace, rail_, {field_}, true);
+    intercept_ = fit.intercept;
+    linear_ = fit.coefficients[0];
+    quadratic_ = fit.coefficients[1];
+    trained_ = true;
+}
+
+std::string
+QuadraticEventModel::describe() const
+{
+    return formatString(
+        "P_%s = %.4f + sum_i [%.6g * x_i + %.6g * x_i^2]  (%s)",
+        railName(rail_), intercept_, linear_, quadratic_,
+        name_.c_str());
+}
+
+std::vector<double>
+QuadraticEventModel::coefficients() const
+{
+    return {intercept_, linear_, quadratic_};
+}
+
+void
+QuadraticEventModel::setCoefficients(const std::vector<double> &coeffs)
+{
+    if (coeffs.size() != 3)
+        fatal("%s: expected 3 coefficients, got %zu", name_.c_str(),
+              coeffs.size());
+    intercept_ = coeffs[0];
+    linear_ = coeffs[1];
+    quadratic_ = coeffs[2];
+    trained_ = true;
+}
+
+std::unique_ptr<QuadraticEventModel>
+makeMemoryL3Model()
+{
+    return std::make_unique<QuadraticEventModel>(
+        "memory-l3miss", Rail::Memory,
+        &CpuEventRates::l3MissesPerCycle);
+}
+
+std::unique_ptr<QuadraticEventModel>
+makeMemoryBusModel()
+{
+    return std::make_unique<QuadraticEventModel>(
+        "memory-bus", Rail::Memory, &CpuEventRates::busTxPerMcycle);
+}
+
+std::unique_ptr<QuadraticEventModel>
+makeIoInterruptModel()
+{
+    return std::make_unique<QuadraticEventModel>(
+        "io-interrupt", Rail::Io,
+        &CpuEventRates::deviceInterruptsPerCycle);
+}
+
+// --------------------------------------------------------------- disk
+
+DiskPowerModel::DiskPowerModel() = default;
+
+Watts
+DiskPowerModel::estimate(const EventVector &events) const
+{
+    if (!trained_)
+        panic("DiskPowerModel::estimate before training");
+    const auto irq = &CpuEventRates::diskInterruptsPerCycle;
+    const auto dma = &CpuEventRates::dmaPerCycle;
+    return intercept_ + irqLinear_ * events.total(irq) +
+           irqQuadratic_ * events.totalSquared(irq) +
+           dmaLinear_ * events.total(dma) +
+           dmaQuadratic_ * events.totalSquared(dma);
+}
+
+void
+DiskPowerModel::train(const SampleTrace &trace)
+{
+    const FitResult fit =
+        fitColumns(trace, Rail::Disk,
+                   {&CpuEventRates::diskInterruptsPerCycle,
+                    &CpuEventRates::dmaPerCycle},
+                   true);
+    intercept_ = fit.intercept;
+    irqLinear_ = fit.coefficients[0];
+    irqQuadratic_ = fit.coefficients[1];
+    dmaLinear_ = fit.coefficients[2];
+    dmaQuadratic_ = fit.coefficients[3];
+    trained_ = true;
+}
+
+std::string
+DiskPowerModel::describe() const
+{
+    return formatString(
+        "P_disk = %.4f + sum_i [%.6g * irq_i + %.6g * irq_i^2 + "
+        "%.6g * dma_i + %.6g * dma_i^2]",
+        intercept_, irqLinear_, irqQuadratic_, dmaLinear_,
+        dmaQuadratic_);
+}
+
+std::vector<double>
+DiskPowerModel::coefficients() const
+{
+    return {intercept_, irqLinear_, irqQuadratic_, dmaLinear_,
+            dmaQuadratic_};
+}
+
+void
+DiskPowerModel::setCoefficients(const std::vector<double> &coeffs)
+{
+    if (coeffs.size() != 5)
+        fatal("DiskPowerModel: expected 5 coefficients, got %zu",
+              coeffs.size());
+    intercept_ = coeffs[0];
+    irqLinear_ = coeffs[1];
+    irqQuadratic_ = coeffs[2];
+    dmaLinear_ = coeffs[3];
+    dmaQuadratic_ = coeffs[4];
+    trained_ = true;
+}
+
+// ------------------------------------------------------------ chipset
+
+ChipsetPowerModel::ChipsetPowerModel() = default;
+
+Watts
+ChipsetPowerModel::estimate(const EventVector & /* events */) const
+{
+    if (!trained_)
+        panic("ChipsetPowerModel::estimate before training");
+    return constant_;
+}
+
+void
+ChipsetPowerModel::train(const SampleTrace &trace)
+{
+    if (trace.empty())
+        fatal("ChipsetPowerModel: empty training trace");
+    double acc = 0.0;
+    for (const AlignedSample &sample : trace.samples())
+        acc += sample.measured(Rail::Chipset);
+    constant_ = acc / static_cast<double>(trace.size());
+    trained_ = true;
+}
+
+std::string
+ChipsetPowerModel::describe() const
+{
+    return formatString("P_chipset = %.3f (constant)", constant_);
+}
+
+std::vector<double>
+ChipsetPowerModel::coefficients() const
+{
+    return {constant_};
+}
+
+void
+ChipsetPowerModel::setCoefficients(const std::vector<double> &coeffs)
+{
+    if (coeffs.size() != 1)
+        fatal("ChipsetPowerModel: expected 1 coefficient, got %zu",
+              coeffs.size());
+    constant_ = coeffs[0];
+    trained_ = true;
+}
+
+} // namespace tdp

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The paper's subsystem power models (Equations 1-5).
+ *
+ * Every model maps the per-CPU event rates of one sample to the power
+ * of one subsystem, summing a per-CPU linear or quadratic form across
+ * the processors (the paper's NumCPUs sigma). Coefficients come from
+ * regression against measured power (ModelTrainer) or can be set
+ * explicitly.
+ */
+
+#ifndef TDP_CORE_MODEL_HH
+#define TDP_CORE_MODEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/events.hh"
+#include "measure/rail.hh"
+#include "measure/trace.hh"
+
+namespace tdp {
+
+/** Abstract subsystem power model. */
+class SubsystemModel
+{
+  public:
+    virtual ~SubsystemModel() = default;
+
+    /** Which rail this model estimates. */
+    virtual Rail rail() const = 0;
+
+    /** Short name, e.g. "cpu-fetch" or "memory-bus". */
+    virtual const std::string &name() const = 0;
+
+    /** Estimate the subsystem power for one sample (W). */
+    virtual Watts estimate(const EventVector &events) const = 0;
+
+    /** Fit coefficients from an aligned training trace. */
+    virtual void train(const SampleTrace &trace) = 0;
+
+    /** True once coefficients are available. */
+    virtual bool trained() const = 0;
+
+    /** Human-readable equation with fitted coefficients. */
+    virtual std::string describe() const = 0;
+
+    /** Flat coefficient list (intercept first), for serialisation. */
+    virtual std::vector<double> coefficients() const = 0;
+
+    /** Restore from a flat coefficient list. */
+    virtual void setCoefficients(const std::vector<double> &coeffs) = 0;
+};
+
+/**
+ * Equation 1: per-CPU linear model
+ *   sum_i  idle + activeCoef * percentActive_i + uopCoef * uops_i .
+ * The idle (per-CPU) constant folds into the fitted intercept.
+ */
+class CpuPowerModel : public SubsystemModel
+{
+  public:
+    CpuPowerModel();
+
+    Rail rail() const override { return Rail::Cpu; }
+    const std::string &name() const override { return name_; }
+    Watts estimate(const EventVector &events) const override;
+    void train(const SampleTrace &trace) override;
+    bool trained() const override { return trained_; }
+    std::string describe() const override;
+    std::vector<double> coefficients() const override;
+    void setCoefficients(const std::vector<double> &coeffs) override;
+
+    /**
+     * Per-CPU power attribution: the per-package share of the model's
+     * estimate, the capability the paper highlights for billing in
+     * shared/virtualised servers (section 4.2.1).
+     */
+    Watts estimateCpu(const EventVector &events, int cpu) const;
+
+  private:
+    std::string name_ = "cpu-fetch";
+    double intercept_ = 0.0;
+    double activeCoef_ = 0.0;
+    double uopCoef_ = 0.0;
+    bool trained_ = false;
+};
+
+/**
+ * A per-CPU quadratic in one event rate:
+ *   intercept + sum_i (a * x_i + b * x_i^2)
+ * covering Equations 2 (L3 misses), 3 (bus transactions) and 5
+ * (interrupts), which differ only in the chosen rate.
+ */
+class QuadraticEventModel : public SubsystemModel
+{
+  public:
+    /**
+     * @param name model name.
+     * @param rail estimated rail.
+     * @param field event-rate selector.
+     */
+    QuadraticEventModel(std::string name, Rail rail,
+                        double CpuEventRates::*field);
+
+    Rail rail() const override { return rail_; }
+    const std::string &name() const override { return name_; }
+    Watts estimate(const EventVector &events) const override;
+    void train(const SampleTrace &trace) override;
+    bool trained() const override { return trained_; }
+    std::string describe() const override;
+    std::vector<double> coefficients() const override;
+    void setCoefficients(const std::vector<double> &coeffs) override;
+
+  private:
+    std::string name_;
+    Rail rail_;
+    double CpuEventRates::*field_;
+    double intercept_ = 0.0;
+    double linear_ = 0.0;
+    double quadratic_ = 0.0;
+    bool trained_ = false;
+};
+
+/** Equation 2: memory power from L3 load misses per cycle. */
+std::unique_ptr<QuadraticEventModel> makeMemoryL3Model();
+
+/** Equation 3: memory power from bus transactions per Mcycle. */
+std::unique_ptr<QuadraticEventModel> makeMemoryBusModel();
+
+/** Equation 5: I/O power from device interrupts per cycle. */
+std::unique_ptr<QuadraticEventModel> makeIoInterruptModel();
+
+/**
+ * Equation 4: disk power from per-CPU quadratics in disk-controller
+ * interrupts per cycle and DMA accesses per cycle.
+ */
+class DiskPowerModel : public SubsystemModel
+{
+  public:
+    DiskPowerModel();
+
+    Rail rail() const override { return Rail::Disk; }
+    const std::string &name() const override { return name_; }
+    Watts estimate(const EventVector &events) const override;
+    void train(const SampleTrace &trace) override;
+    bool trained() const override { return trained_; }
+    std::string describe() const override;
+    std::vector<double> coefficients() const override;
+    void setCoefficients(const std::vector<double> &coeffs) override;
+
+  private:
+    std::string name_ = "disk-irq-dma";
+    double intercept_ = 0.0;
+    double irqLinear_ = 0.0;
+    double irqQuadratic_ = 0.0;
+    double dmaLinear_ = 0.0;
+    double dmaQuadratic_ = 0.0;
+    bool trained_ = false;
+};
+
+/** The paper's chipset model: a fitted constant (section 4.2.5). */
+class ChipsetPowerModel : public SubsystemModel
+{
+  public:
+    ChipsetPowerModel();
+
+    Rail rail() const override { return Rail::Chipset; }
+    const std::string &name() const override { return name_; }
+    Watts estimate(const EventVector &events) const override;
+    void train(const SampleTrace &trace) override;
+    bool trained() const override { return trained_; }
+    std::string describe() const override;
+    std::vector<double> coefficients() const override;
+    void setCoefficients(const std::vector<double> &coeffs) override;
+
+  private:
+    std::string name_ = "chipset-const";
+    double constant_ = 0.0;
+    bool trained_ = false;
+};
+
+} // namespace tdp
+
+#endif // TDP_CORE_MODEL_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Implementation of the event selector.
+ */
+
+#include "core/selector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/metrics.hh"
+
+namespace tdp {
+
+namespace {
+
+struct MetricDef
+{
+    const char *name;
+    double CpuEventRates::*field;
+};
+
+const MetricDef metricDefs[] = {
+    {"percent_active", &CpuEventRates::percentActive},
+    {"uops_per_cycle", &CpuEventRates::uopsPerCycle},
+    {"l3_misses_per_cycle", &CpuEventRates::l3MissesPerCycle},
+    {"tlb_misses_per_cycle", &CpuEventRates::tlbMissesPerCycle},
+    {"bus_tx_per_mcycle", &CpuEventRates::busTxPerMcycle},
+    {"dma_per_cycle", &CpuEventRates::dmaPerCycle},
+    {"uncacheable_per_cycle", &CpuEventRates::uncacheablePerCycle},
+    {"interrupts_per_cycle", &CpuEventRates::interruptsPerCycle},
+    {"prefetch_per_mcycle", &CpuEventRates::prefetchPerMcycle},
+    {"disk_interrupts_per_cycle",
+     &CpuEventRates::diskInterruptsPerCycle},
+    {"device_interrupts_per_cycle",
+     &CpuEventRates::deviceInterruptsPerCycle},
+};
+
+} // namespace
+
+std::vector<std::string>
+EventSelector::metricNames()
+{
+    std::vector<std::string> names;
+    for (const MetricDef &def : metricDefs)
+        names.push_back(def.name);
+    return names;
+}
+
+std::vector<double>
+EventSelector::metricColumn(const SampleTrace &trace,
+                            const std::string &metric)
+{
+    for (const MetricDef &def : metricDefs) {
+        if (metric == def.name) {
+            std::vector<double> out;
+            out.reserve(trace.size());
+            for (const AlignedSample &s : trace.samples())
+                out.push_back(
+                    EventVector::fromSample(s).total(def.field));
+            return out;
+        }
+    }
+    fatal("EventSelector: unknown metric '%s'", metric.c_str());
+}
+
+std::vector<EventCorrelation>
+EventSelector::rank(const SampleTrace &trace, Rail rail)
+{
+    if (trace.size() < 3)
+        fatal("EventSelector: trace too short (%zu samples)",
+              trace.size());
+    const std::vector<double> power = trace.measuredColumn(rail);
+
+    std::vector<EventCorrelation> out;
+    for (const MetricDef &def : metricDefs) {
+        std::vector<double> column;
+        column.reserve(trace.size());
+        for (const AlignedSample &s : trace.samples())
+            column.push_back(EventVector::fromSample(s).total(def.field));
+        out.push_back(
+            EventCorrelation{def.name, pearson(column, power)});
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const EventCorrelation &a,
+                        const EventCorrelation &b) {
+                         return std::fabs(a.correlation) >
+                                std::fabs(b.correlation);
+                     });
+    return out;
+}
+
+} // namespace tdp

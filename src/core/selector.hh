@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Event selection: ranks candidate performance events by their
+ * correlation with a rail's measured power, automating the first step
+ * of the paper's selection process (section 3.3: initial selection by
+ * subsystem understanding, final selection by error comparison).
+ */
+
+#ifndef TDP_CORE_SELECTOR_HH
+#define TDP_CORE_SELECTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "core/events.hh"
+#include "measure/trace.hh"
+
+namespace tdp {
+
+/** One candidate event's correlation with a rail. */
+struct EventCorrelation
+{
+    /** Metric name ("uops_per_cycle", ...). */
+    std::string metric;
+
+    /** Pearson correlation with the measured rail power. */
+    double correlation = 0.0;
+};
+
+/** Ranks candidate event rates against a rail's measured power. */
+class EventSelector
+{
+  public:
+    /**
+     * Compute correlations of every candidate metric (summed across
+     * CPUs) against the measured power of the rail, sorted by
+     * descending absolute correlation.
+     */
+    static std::vector<EventCorrelation> rank(const SampleTrace &trace,
+                                              Rail rail);
+
+    /** All candidate metric names, in a fixed order. */
+    static std::vector<std::string> metricNames();
+
+    /** Extract one candidate metric column (summed across CPUs). */
+    static std::vector<double> metricColumn(const SampleTrace &trace,
+                                            const std::string &metric);
+};
+
+} // namespace tdp
+
+#endif // TDP_CORE_SELECTOR_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Implementation of model serialisation.
+ */
+
+#include "core/serialize.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace tdp {
+
+void
+saveModels(const SystemPowerEstimator &estimator, std::ostream &os)
+{
+    for (int r = 0; r < numRails; ++r) {
+        const Rail rail = static_cast<Rail>(r);
+        const SubsystemModel &m = estimator.model(rail);
+        if (!m.trained())
+            fatal("saveModels: model for %s not trained",
+                  railName(rail));
+        os << "model " << r << ' ' << m.name();
+        for (double c : m.coefficients())
+            os << ' ' << formatString("%.17g", c);
+        os << '\n';
+    }
+}
+
+void
+loadModels(SystemPowerEstimator &estimator, std::istream &is)
+{
+    std::string line;
+    int loaded = 0;
+    while (std::getline(is, line)) {
+        line = trim(line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string keyword, name;
+        int rail_index = -1;
+        if (!(fields >> keyword >> rail_index >> name) ||
+            keyword != "model") {
+            fatal("loadModels: malformed line '%s'", line.c_str());
+        }
+        if (rail_index < 0 || rail_index >= numRails)
+            fatal("loadModels: bad rail index %d", rail_index);
+
+        std::vector<double> coeffs;
+        double value;
+        while (fields >> value)
+            coeffs.push_back(value);
+
+        SubsystemModel &m =
+            estimator.model(static_cast<Rail>(rail_index));
+        if (m.name() != name) {
+            fatal("loadModels: rail %s has model '%s', file says '%s'",
+                  railName(static_cast<Rail>(rail_index)),
+                  m.name().c_str(), name.c_str());
+        }
+        m.setCoefficients(coeffs);
+        ++loaded;
+    }
+    if (loaded != numRails)
+        fatal("loadModels: expected %d models, found %d", numRails,
+              loaded);
+}
+
+std::string
+saveModelsToString(const SystemPowerEstimator &estimator)
+{
+    std::ostringstream os;
+    saveModels(estimator, os);
+    return os.str();
+}
+
+void
+loadModelsFromString(SystemPowerEstimator &estimator,
+                     const std::string &text)
+{
+    std::istringstream is(text);
+    loadModels(estimator, is);
+}
+
+} // namespace tdp

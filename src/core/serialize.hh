@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Model serialisation: save trained coefficients to a small text
+ * format and restore them, so a model trained once on an instrumented
+ * machine can run forever on uninstrumented ones - the deployment
+ * story the paper argues for.
+ */
+
+#ifndef TDP_CORE_SERIALIZE_HH
+#define TDP_CORE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/estimator.hh"
+
+namespace tdp {
+
+/**
+ * Write all trained models of the estimator as
+ * `model <rail> <name> <coeff...>` lines.
+ */
+void saveModels(const SystemPowerEstimator &estimator, std::ostream &os);
+
+/**
+ * Restore coefficients into an estimator that already has the same
+ * model types installed. fatal() on malformed input or a rail/name
+ * mismatch.
+ */
+void loadModels(SystemPowerEstimator &estimator, std::istream &is);
+
+/** Round-trip helpers using strings. */
+std::string saveModelsToString(const SystemPowerEstimator &estimator);
+
+/** Restore from a string produced by saveModelsToString. */
+void loadModelsFromString(SystemPowerEstimator &estimator,
+                          const std::string &text);
+
+} // namespace tdp
+
+#endif // TDP_CORE_SERIALIZE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Implementation of the model trainer.
+ */
+
+#include "core/trainer.hh"
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+void
+ModelTrainer::setTrainingTrace(Rail rail, const SampleTrace &trace)
+{
+    if (trace.empty())
+        fatal("ModelTrainer: empty training trace for %s",
+              railName(rail));
+    traces_[static_cast<int>(rail)] = trace;
+}
+
+bool
+ModelTrainer::complete() const
+{
+    for (int r = 0; r < numRails; ++r)
+        if (traces_.find(r) == traces_.end())
+            return false;
+    return true;
+}
+
+const SampleTrace &
+ModelTrainer::trainingTrace(Rail rail) const
+{
+    auto it = traces_.find(static_cast<int>(rail));
+    if (it == traces_.end())
+        fatal("ModelTrainer: no training trace for %s", railName(rail));
+    return it->second;
+}
+
+void
+ModelTrainer::train(SystemPowerEstimator &estimator) const
+{
+    for (int r = 0; r < numRails; ++r) {
+        const Rail rail = static_cast<Rail>(r);
+        auto it = traces_.find(r);
+        if (it == traces_.end())
+            fatal("ModelTrainer: no training trace for %s",
+                  railName(rail));
+        estimator.model(rail).train(it->second);
+    }
+}
+
+} // namespace tdp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Model trainer implementing the paper's training discipline
+ * (section 3.2.2): each subsystem model is fit on a single workload
+ * trace that exercises that subsystem with high utilisation and high
+ * variation, then validated on the whole suite.
+ */
+
+#ifndef TDP_CORE_TRAINER_HH
+#define TDP_CORE_TRAINER_HH
+
+#include <map>
+#include <string>
+
+#include "core/estimator.hh"
+#include "measure/trace.hh"
+
+namespace tdp {
+
+/** Trains an estimator from per-rail training traces. */
+class ModelTrainer
+{
+  public:
+    /**
+     * Register the training trace for a rail. The paper's choices:
+     * CPU <- staggered gcc, memory <- staggered mcf, disk and I/O <-
+     * the synthetic DiskLoad, chipset <- any (constant fit).
+     */
+    void setTrainingTrace(Rail rail, const SampleTrace &trace);
+
+    /** True when every rail has a registered trace. */
+    bool complete() const;
+
+    /** Train all models of the estimator on their rails' traces. */
+    void train(SystemPowerEstimator &estimator) const;
+
+    /** The registered trace for one rail; fatal() when missing. */
+    const SampleTrace &trainingTrace(Rail rail) const;
+
+  private:
+    std::map<int, SampleTrace> traces_;
+};
+
+} // namespace tdp
+
+#endif // TDP_CORE_TRAINER_HH

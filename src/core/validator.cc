@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Implementation of the validator.
+ */
+
+#include "core/validator.hh"
+
+#include "common/logging.hh"
+#include "stats/metrics.hh"
+
+namespace tdp {
+
+Validator::Validator(const SystemPowerEstimator &estimator,
+                     double disk_dc_offset)
+    : estimator_(estimator), diskDcOffset_(disk_dc_offset)
+{
+}
+
+ValidationResult
+Validator::validate(const std::string &workload,
+                    const SampleTrace &trace) const
+{
+    if (trace.empty())
+        fatal("Validator: empty trace for workload '%s'",
+              workload.c_str());
+
+    ValidationResult result;
+    result.workload = workload;
+    for (int r = 0; r < numRails; ++r) {
+        const Rail rail = static_cast<Rail>(r);
+        const std::vector<double> modeled =
+            estimator_.modeledColumn(trace, rail);
+        const std::vector<double> measured = trace.measuredColumn(rail);
+        double err;
+        if (rail == Rail::Disk && diskDcOffset_ > 0.0) {
+            err = averageErrorAboveDc(modeled, measured, diskDcOffset_);
+        } else {
+            err = averageError(modeled, measured);
+        }
+        result.averageError[static_cast<size_t>(r)] = err;
+    }
+    return result;
+}
+
+std::vector<ValidationResult>
+Validator::validateAll(
+    const std::vector<std::pair<std::string, SampleTrace>> &traces) const
+{
+    std::vector<ValidationResult> out;
+    out.reserve(traces.size());
+    for (const auto &[name, trace] : traces)
+        out.push_back(validate(name, trace));
+    return out;
+}
+
+ValidationResult
+Validator::average(const std::vector<ValidationResult> &results,
+                   const std::string &label)
+{
+    ValidationResult avg;
+    avg.workload = label;
+    if (results.empty())
+        return avg;
+    for (const ValidationResult &r : results)
+        for (int i = 0; i < numRails; ++i)
+            avg.averageError[static_cast<size_t>(i)] +=
+                r.averageError[static_cast<size_t>(i)];
+    for (int i = 0; i < numRails; ++i)
+        avg.averageError[static_cast<size_t>(i)] /=
+            static_cast<double>(results.size());
+    return avg;
+}
+
+} // namespace tdp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Implementation of the performance counters.
+ */
+
+#include "cpu/perf_counters.hh"
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+const char *
+perfEventName(PerfEvent event)
+{
+    switch (event) {
+      case PerfEvent::Cycles:
+        return "cycles";
+      case PerfEvent::HaltedCycles:
+        return "halted_cycles";
+      case PerfEvent::FetchedUops:
+        return "fetched_uops";
+      case PerfEvent::L3LoadMisses:
+        return "l3_load_misses";
+      case PerfEvent::TlbMisses:
+        return "tlb_misses";
+      case PerfEvent::DmaOtherAccesses:
+        return "dma_other_accesses";
+      case PerfEvent::BusTransactions:
+        return "bus_transactions";
+      case PerfEvent::PrefetchTransactions:
+        return "prefetch_transactions";
+      case PerfEvent::UncacheableAccesses:
+        return "uncacheable_accesses";
+      case PerfEvent::InterruptsServiced:
+        return "interrupts_serviced";
+      default:
+        return "unknown";
+    }
+}
+
+CounterSnapshot &
+CounterSnapshot::operator+=(const CounterSnapshot &other)
+{
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    return *this;
+}
+
+void
+PerfCounters::increment(PerfEvent event, double amount)
+{
+    if (amount < 0.0)
+        panic("PerfCounters: negative increment %g on %s", amount,
+              perfEventName(event));
+    current_[static_cast<size_t>(event)] += amount;
+    lifetime_[static_cast<size_t>(event)] += amount;
+}
+
+double
+PerfCounters::count(PerfEvent event) const
+{
+    return current_[static_cast<size_t>(event)];
+}
+
+double
+PerfCounters::lifetime(PerfEvent event) const
+{
+    return lifetime_[static_cast<size_t>(event)];
+}
+
+CounterSnapshot
+PerfCounters::readAndClear()
+{
+    CounterSnapshot snap;
+    snap.counts = current_;
+    current_.fill(0.0);
+    return snap;
+}
+
+CounterSnapshot
+PerfCounters::peek() const
+{
+    CounterSnapshot snap;
+    snap.counts = current_;
+    return snap;
+}
+
+} // namespace tdp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Implementation of the disk controller.
+ */
+
+#include "disk/disk_controller.hh"
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+DiskController::DiskController(System &system, const std::string &name,
+                               IoChipComplex &chips, DmaEngine &dma,
+                               InterruptController &irq_controller,
+                               const Params &params)
+    : SimObject(system, name), params_(params), chips_(chips), dma_(dma),
+      irqController_(irq_controller),
+      vector_(irq_controller.registerVector(name))
+{
+    if (params_.diskCount <= 0)
+        fatal("DiskController: diskCount must be positive");
+    for (int i = 0; i < params_.diskCount; ++i) {
+        disks_.push_back(std::make_unique<ScsiDisk>(
+            system, name + ".disk" + std::to_string(i), params_.disk));
+        disks_.back()->setCompletionHandler(
+            [this](const DiskRequest &req) { onDiskComplete(req); });
+    }
+}
+
+uint64_t
+DiskController::submit(bool is_write, double bytes, double position,
+                       Callback cb)
+{
+    if (bytes <= 0.0)
+        panic("DiskController: request size must be positive, got %g",
+              bytes);
+    DiskRequest req;
+    req.isWrite = is_write;
+    req.bytes = bytes;
+    req.position = position;
+    req.tag = nextTag_++;
+
+    if (cb)
+        callbacks_.emplace(req.tag, std::move(cb));
+
+    // Driver rings the doorbell and reads status over MMIO: these are
+    // the uncacheable accesses the CPUs later execute.
+    pendingMmio_ += params_.mmioPerRequest;
+
+    disks_[static_cast<size_t>(rrDisk_)]->submit(req);
+    rrDisk_ = (rrDisk_ + 1) % params_.diskCount;
+    return req.tag;
+}
+
+void
+DiskController::onDiskComplete(const DiskRequest &request)
+{
+    ++completed_;
+
+    // The payload crosses the PCI-X link and is DMAed to/from memory.
+    chips_.addLinkActivity(request.bytes,
+                           request.bytes / params_.dmaChunkBytes);
+    dma_.submit(request.bytes, params_.dmaChunkBytes);
+
+    // One completion interrupt per request.
+    irqController_.raise(vector_, 1.0);
+
+    auto it = callbacks_.find(request.tag);
+    if (it != callbacks_.end()) {
+        Callback cb = std::move(it->second);
+        callbacks_.erase(it);
+        cb(request.tag);
+    }
+}
+
+Watts
+DiskController::lastPower() const
+{
+    Watts total = 0.0;
+    for (const auto &disk : disks_)
+        total += disk->lastPower();
+    return total;
+}
+
+Watts
+DiskController::idlePower() const
+{
+    Watts total = 0.0;
+    for (const auto &disk : disks_)
+        total += disk->idlePower();
+    return total;
+}
+
+double
+DiskController::drainPendingMmio()
+{
+    const double mmio = pendingMmio_;
+    pendingMmio_ = 0.0;
+    return mmio;
+}
+
+} // namespace tdp

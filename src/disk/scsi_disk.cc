@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Implementation of the SCSI disk service and power model.
+ */
+
+#include "disk/scsi_disk.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+ScsiDisk::ScsiDisk(System &system, const std::string &name,
+                   const Params &params)
+    : SimObject(system, name), params_(params), rng_(system.makeRng(name))
+{
+    if (params_.transferBytesPerSec <= 0.0)
+        fatal("ScsiDisk: transfer rate must be positive");
+    system.addTicked(this, TickPhase::Device);
+}
+
+void
+ScsiDisk::submit(const DiskRequest &request)
+{
+    if (request.bytes < 0.0)
+        panic("ScsiDisk: negative request size %g", request.bytes);
+    queue_.push_back(request);
+}
+
+void
+ScsiDisk::setCompletionHandler(CompletionHandler handler)
+{
+    onComplete_ = std::move(handler);
+}
+
+void
+ScsiDisk::startNext()
+{
+    const DiskRequest &req = queue_.front();
+    const double distance = std::fabs(req.position - headPosition_);
+    if (distance <= params_.sequentialThreshold) {
+        seekRemaining_ = 0.0;
+        // Sequential continuation: heads are settled on track, no
+        // rotational repositioning either.
+        rotateRemaining_ = 0.0;
+    } else {
+        // Classic sqrt seek-time curve between track-to-track and
+        // full-stroke times, plus uniform rotational latency.
+        seekRemaining_ =
+            params_.minSeekTime +
+            (params_.maxSeekTime - params_.minSeekTime) *
+                std::sqrt(distance);
+        rotateRemaining_ =
+            rng_.uniform() * params_.rotationPeriod;
+    }
+    transferRemaining_ = req.bytes / params_.transferBytesPerSec;
+    headPosition_ = req.position;
+    busy_ = true;
+}
+
+void
+ScsiDisk::tickUpdate(Tick /* now */, Tick quantum)
+{
+    const double dt = ticksToSeconds(quantum);
+    double remaining = dt;
+    double seek_time = 0.0;
+    double transfer_time = 0.0;
+
+    while (remaining > 1e-12) {
+        if (!busy_) {
+            if (queue_.empty())
+                break;
+            startNext();
+        }
+        if (seekRemaining_ > 0.0) {
+            const double step = std::min(seekRemaining_, remaining);
+            seekRemaining_ -= step;
+            seek_time += step;
+            remaining -= step;
+            continue;
+        }
+        if (rotateRemaining_ > 0.0) {
+            const double step = std::min(rotateRemaining_, remaining);
+            rotateRemaining_ -= step;
+            remaining -= step;
+            continue;
+        }
+        if (transferRemaining_ > 0.0) {
+            const double step = std::min(transferRemaining_, remaining);
+            transferRemaining_ -= step;
+            transfer_time += step;
+            remaining -= step;
+            if (transferRemaining_ > 1e-12)
+                continue;
+        }
+        // Request complete.
+        busy_ = false;
+        DiskRequest done = queue_.front();
+        queue_.pop_front();
+        ++completedRequests_;
+        lifetimeBytes_ += done.bytes;
+        if (onComplete_)
+            onComplete_(done);
+    }
+
+    lastSeekFraction_ = seek_time / dt;
+    lastTransferFraction_ = transfer_time / dt;
+    lastPower_ = params_.rotationPower + params_.electronicsPower +
+                 params_.seekPower * lastSeekFraction_ +
+                 params_.transferPower * lastTransferFraction_;
+}
+
+} // namespace tdp

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Implementation of the interrupt controller.
+ */
+
+#include "io/interrupt_controller.hh"
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+InterruptController::InterruptController(System &system,
+                                         const std::string &name,
+                                         int cpu_count)
+    : SimObject(system, name), cpuCount_(cpu_count)
+{
+    if (cpu_count <= 0)
+        fatal("InterruptController: cpu_count must be positive");
+    pendingPerCpu_.assign(static_cast<size_t>(cpu_count), 0.0);
+    system.addTicked(this, TickPhase::Memory);
+}
+
+void
+InterruptController::tickUpdate(Tick /* now */, Tick /* quantum */)
+{
+    endQuantum();
+}
+
+IrqVector
+InterruptController::registerVector(const std::string &device_name)
+{
+    vectors_.push_back(VectorState{device_name, 0.0});
+    return static_cast<IrqVector>(vectors_.size() - 1);
+}
+
+void
+InterruptController::checkVector(IrqVector vector) const
+{
+    if (vector < 0 || vector >= vectorCount())
+        panic("InterruptController: unknown vector %d", vector);
+}
+
+void
+InterruptController::raise(IrqVector vector, double count, int target_cpu)
+{
+    checkVector(vector);
+    if (count < 0.0)
+        panic("InterruptController: negative count %g", count);
+    if (count == 0.0)
+        return;
+    vectors_[static_cast<size_t>(vector)].lifetime += count;
+    if (target_cpu >= 0) {
+        if (target_cpu >= cpuCount_)
+            panic("InterruptController: cpu %d out of %d", target_cpu,
+                  cpuCount_);
+        pendingPerCpu_[static_cast<size_t>(target_cpu)] += count;
+        return;
+    }
+    // Balanced round-robin: spread evenly, with the remainder rotating
+    // so long-run delivery is fair for sub-CPU-count bursts.
+    deviceLifetime_ += count;
+    const double share = count / static_cast<double>(cpuCount_);
+    for (double &p : pendingPerCpu_)
+        p += share;
+    rrNext_ = (rrNext_ + 1) % cpuCount_;
+}
+
+double
+InterruptController::pendingForCpu(int cpu) const
+{
+    if (cpu < 0 || cpu >= cpuCount_)
+        panic("InterruptController: cpu %d out of %d", cpu, cpuCount_);
+    return pendingPerCpu_[static_cast<size_t>(cpu)];
+}
+
+void
+InterruptController::endQuantum()
+{
+    for (double &p : pendingPerCpu_)
+        p = 0.0;
+}
+
+double
+InterruptController::lifetimeCount(IrqVector vector) const
+{
+    checkVector(vector);
+    return vectors_[static_cast<size_t>(vector)].lifetime;
+}
+
+double
+InterruptController::lifetimeTotal() const
+{
+    double total = 0.0;
+    for (const VectorState &v : vectors_)
+        total += v.lifetime;
+    return total;
+}
+
+const std::string &
+InterruptController::vectorDevice(IrqVector vector) const
+{
+    checkVector(vector);
+    return vectors_[static_cast<size_t>(vector)].device;
+}
+
+double
+InterruptController::pendingTotal() const
+{
+    double total = 0.0;
+    for (double p : pendingPerCpu_)
+        total += p;
+    return total;
+}
+
+} // namespace tdp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Interrupt controller with per-vector source accounting.
+ *
+ * Devices raise interrupts tagged with a vector; the controller
+ * distributes them across CPUs (timer vectors are CPU-local, device
+ * vectors round-robin). Per-vector lifetime counts mirror what Linux
+ * exposes in /proc/interrupts, which is where the paper reads its
+ * interrupt-source information from.
+ */
+
+#ifndef TDP_IO_INTERRUPT_CONTROLLER_HH
+#define TDP_IO_INTERRUPT_CONTROLLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+
+/** Identifier of an interrupt vector. */
+using IrqVector = int;
+
+/**
+ * Routes device and timer interrupts to CPUs and keeps the per-vector
+ * accounting the OS (and thus the sampler) reads. Per-quantum pending
+ * deliveries are cleared automatically in the Memory phase, after the
+ * CPUs (Cpu phase) have consumed them.
+ */
+class InterruptController : public SimObject, public Ticked
+{
+  public:
+    /**
+     * @param cpu_count number of logical interrupt targets (physical
+     *        CPUs in the paper's machine).
+     */
+    InterruptController(System &system, const std::string &name,
+                        int cpu_count);
+
+    /**
+     * Register a vector with a device name; returns the vector id.
+     * Vector ids are dense and stable in registration order.
+     */
+    IrqVector registerVector(const std::string &device_name);
+
+    /**
+     * Raise interrupts on a vector during the current quantum.
+     *
+     * @param vector registered vector id.
+     * @param count number of interrupts (fractional counts allowed:
+     *        they are expected rates within one quantum).
+     * @param target_cpu CPU to deliver to, or -1 for round-robin
+     *        balancing across all CPUs.
+     */
+    void raise(IrqVector vector, double count, int target_cpu = -1);
+
+    /**
+     * Interrupts delivered to a CPU so far in the current quantum;
+     * cleared when the quantum ends. CPUs read this in their phase.
+     */
+    double pendingForCpu(int cpu) const;
+
+    /** Clear per-quantum delivery state (also run each Memory phase). */
+    void endQuantum();
+
+    void tickUpdate(Tick now, Tick quantum) override;
+
+    /** Lifetime interrupt count on a vector. */
+    double lifetimeCount(IrqVector vector) const;
+
+    /** Lifetime interrupts across all vectors. */
+    double lifetimeTotal() const;
+
+    /**
+     * Lifetime interrupts from I/O devices only (raised with
+     * round-robin routing). CPU-local timer interrupts are excluded;
+     * they never cross the I/O chips.
+     */
+    double lifetimeDeviceTotal() const { return deviceLifetime_; }
+
+    /** Device name owning a vector. */
+    const std::string &vectorDevice(IrqVector vector) const;
+
+    /** Number of registered vectors. */
+    int vectorCount() const { return static_cast<int>(vectors_.size()); }
+
+    /** Interrupts raised across all vectors this quantum (pre-clear). */
+    double pendingTotal() const;
+
+  private:
+    struct VectorState
+    {
+        std::string device;
+        double lifetime = 0.0;
+    };
+
+    void checkVector(IrqVector vector) const;
+
+    int cpuCount_;
+    std::vector<VectorState> vectors_;
+    std::vector<double> pendingPerCpu_;
+    double deviceLifetime_ = 0.0;
+    int rrNext_ = 0;
+};
+
+} // namespace tdp
+
+#endif // TDP_IO_INTERRUPT_CONTROLLER_HH

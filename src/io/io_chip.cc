@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Implementation of the I/O chip complex power model.
+ */
+
+#include "io/io_chip.hh"
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+IoChipComplex::IoChipComplex(System &system, const std::string &name,
+                             InterruptController &irq_controller,
+                             const Params &params)
+    : SimObject(system, name), params_(params),
+      irqController_(irq_controller)
+{
+    if (params_.chipCount <= 0 || params_.busCount <= 0)
+        fatal("IoChipComplex: chip/bus counts must be positive");
+    system.addTicked(this, TickPhase::Power);
+}
+
+void
+IoChipComplex::addLinkActivity(double bytes, double transfers)
+{
+    if (bytes < 0.0 || transfers < 0.0)
+        panic("IoChipComplex: negative link activity (%g, %g)", bytes,
+              transfers);
+    pendingBytes_ += bytes;
+    pendingTransfers_ += transfers;
+}
+
+void
+IoChipComplex::addMmioAccesses(double count)
+{
+    if (count < 0.0)
+        panic("IoChipComplex: negative MMIO count %g", count);
+    pendingMmio_ += count;
+}
+
+void
+IoChipComplex::tickUpdate(Tick /* now */, Tick quantum)
+{
+    const double dt = ticksToSeconds(quantum);
+
+    // Device interrupts this quantum, independent of clearing order in
+    // other phases: difference of the controller's lifetime count.
+    const double irq_lifetime = irqController_.lifetimeDeviceTotal();
+    const double interrupts = irq_lifetime - prevIrqLifetime_;
+    prevIrqLifetime_ = irq_lifetime;
+
+    const double dynamic_energy =
+        pendingBytes_ * params_.energyPerByte +
+        pendingTransfers_ * params_.energyPerTransfer +
+        interrupts * params_.energyPerInterrupt +
+        pendingMmio_ * params_.energyPerMmio;
+
+    lastPower_ = params_.staticPower + dynamic_energy / dt;
+    lastBytes_ = pendingBytes_;
+    pendingBytes_ = 0.0;
+    pendingTransfers_ = 0.0;
+    pendingMmio_ = 0.0;
+}
+
+} // namespace tdp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * I/O chip complex: the paper's "I/O subsystem" rail.
+ *
+ * Two I/O bridge chips provide six PCI-X buses. Static power dominates
+ * (the large DC term in the paper's Equation 5); dynamic power follows
+ * device-side link activity, interrupt signalling and MMIO
+ * (uncacheable) configuration traffic.
+ */
+
+#ifndef TDP_IO_IO_CHIP_HH
+#define TDP_IO_IO_CHIP_HH
+
+#include <string>
+
+#include "io/interrupt_controller.hh"
+#include "sim/sim_object.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+
+/**
+ * Aggregate model of all I/O bridge chips and PCI-X buses. Devices
+ * report their link activity as they transfer; the complex converts
+ * the quantum's totals to rail power in the Power phase.
+ */
+class IoChipComplex : public SimObject, public Ticked
+{
+  public:
+    /** Configuration of the chip complex. */
+    struct Params
+    {
+        /** Number of bridge chips. */
+        int chipCount = 2;
+
+        /** Number of PCI-X buses provided. */
+        int busCount = 6;
+
+        /** Static power of the whole complex (W). */
+        double staticPower = 32.85;
+
+        /** Dynamic energy per device-side byte moved (J). */
+        double energyPerByte = 175e-9;
+
+        /** Dynamic energy per individual device transfer (J). */
+        double energyPerTransfer = 1.1e-6;
+
+        /** Dynamic energy per interrupt signalled (J). */
+        double energyPerInterrupt = 260e-6;
+
+        /** Dynamic energy per MMIO (uncacheable) access (J). */
+        double energyPerMmio = 0.8e-6;
+    };
+
+    IoChipComplex(System &system, const std::string &name,
+                  InterruptController &irq_controller,
+                  const Params &params);
+
+    /**
+     * Report device-side link activity for the current quantum.
+     *
+     * @param bytes bytes moved across a PCI-X link.
+     * @param transfers number of individual transfers making them up.
+     */
+    void addLinkActivity(double bytes, double transfers);
+
+    /** Report MMIO accesses performed by CPUs this quantum. */
+    void addMmioAccesses(double count);
+
+    /** I/O rail power averaged over the last quantum. */
+    Watts lastPower() const { return lastPower_; }
+
+    /** Static (DC) power of the complex. */
+    Watts staticPower() const { return params_.staticPower; }
+
+    /** Device-side bytes moved during the previous quantum. */
+    double lastQuantumBytes() const { return lastBytes_; }
+
+    void tickUpdate(Tick now, Tick quantum) override;
+
+  private:
+    Params params_;
+    InterruptController &irqController_;
+    double pendingBytes_ = 0.0;
+    double pendingTransfers_ = 0.0;
+    double pendingMmio_ = 0.0;
+    double lastBytes_ = 0.0;
+    double prevIrqLifetime_ = 0.0;
+    Watts lastPower_ = 0.0;
+};
+
+} // namespace tdp
+
+#endif // TDP_IO_IO_CHIP_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Implementation of the background-traffic NIC.
+ */
+
+#include "io/nic.hh"
+
+namespace tdp {
+
+NicDevice::NicDevice(System &system, const std::string &name,
+                     IoChipComplex &chips, DmaEngine &dma,
+                     InterruptController &irq_controller,
+                     const Params &params)
+    : SimObject(system, name), params_(params), chips_(chips), dma_(dma),
+      irqController_(irq_controller),
+      vector_(irq_controller.registerVector(name)),
+      rng_(system.makeRng(name))
+{
+    system.addTicked(this, TickPhase::Device);
+}
+
+void
+NicDevice::tickUpdate(Tick /* now */, Tick quantum)
+{
+    const double dt = ticksToSeconds(quantum);
+    const double packets = static_cast<double>(
+        rng_.poisson(params_.backgroundPacketsPerSec * dt));
+    if (packets <= 0.0)
+        return;
+    lifetimePackets_ += packets;
+
+    const double bytes = packets * params_.meanPacketBytes;
+    chips_.addLinkActivity(bytes, packets);
+    dma_.submit(bytes, params_.meanPacketBytes);
+    irqController_.raise(vector_,
+                         packets / params_.packetsPerInterrupt);
+}
+
+} // namespace tdp

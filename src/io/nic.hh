@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Network interface model.
+ *
+ * The paper's workloads generate no meaningful network traffic (dbt-2
+ * runs without network clients), but the NIC still exists on a PCI-X
+ * bus and produces light background chatter (broadcast/ARP, keepalive)
+ * - the residual activity that keeps the measured idle I/O rail a
+ * touch above the chip complex's static power.
+ */
+
+#ifndef TDP_IO_NIC_HH
+#define TDP_IO_NIC_HH
+
+#include <string>
+
+#include "common/random.hh"
+#include "io/dma_engine.hh"
+#include "io/interrupt_controller.hh"
+#include "io/io_chip.hh"
+#include "sim/sim_object.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+
+/** Background-traffic network interface on a PCI-X bus. */
+class NicDevice : public SimObject, public Ticked
+{
+  public:
+    /** Configuration of the background traffic. */
+    struct Params
+    {
+        /** Mean background packets per second. */
+        double backgroundPacketsPerSec = 120.0;
+
+        /** Mean packet size (bytes). */
+        double meanPacketBytes = 180.0;
+
+        /** Interrupt coalescing: packets per interrupt. */
+        double packetsPerInterrupt = 4.0;
+    };
+
+    NicDevice(System &system, const std::string &name,
+              IoChipComplex &chips, DmaEngine &dma,
+              InterruptController &irq_controller, const Params &params);
+
+    /** Lifetime packets handled. */
+    double lifetimePackets() const { return lifetimePackets_; }
+
+    /** Interrupt vector assigned to the NIC. */
+    IrqVector vector() const { return vector_; }
+
+    void tickUpdate(Tick now, Tick quantum) override;
+
+  private:
+    Params params_;
+    IoChipComplex &chips_;
+    DmaEngine &dma_;
+    InterruptController &irqController_;
+    IrqVector vector_;
+    Rng rng_;
+    double lifetimePackets_ = 0.0;
+};
+
+} // namespace tdp
+
+#endif // TDP_IO_NIC_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Implementation of the trace aligner.
+ */
+
+#include "measure/aligner.hh"
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+void
+TraceAligner::drainInto(std::deque<CounterReading> &readings,
+                        SampleTrace &out)
+{
+    auto &pulses = daq_.pulses();
+    auto &blocks = daq_.blocks();
+
+    while (pulses.size() >= 2 && !readings.empty()) {
+        const Tick window_start = pulses[0];
+        const Tick window_end = pulses[1];
+        if (window_end <= window_start)
+            panic("TraceAligner: non-monotonic pulses (%llu, %llu)",
+                  static_cast<unsigned long long>(window_start),
+                  static_cast<unsigned long long>(window_end));
+
+        // Average the power blocks inside the window.
+        std::array<double, numRails> acc{};
+        uint64_t used = 0;
+        while (!blocks.empty() && blocks.front().start < window_end) {
+            const DaqBlock &block = blocks.front();
+            if (block.start >= window_start) {
+                for (int r = 0; r < numRails; ++r)
+                    acc[static_cast<size_t>(r)] +=
+                        block.watts[static_cast<size_t>(r)];
+                ++used;
+            }
+            blocks.pop_front();
+        }
+
+        CounterReading reading = std::move(readings.front());
+        readings.pop_front();
+        pulses.pop_front();
+
+        if (used == 0) {
+            warn("TraceAligner: empty power window at pulse %llu",
+                 static_cast<unsigned long long>(window_start));
+            continue;
+        }
+
+        AlignedSample sample;
+        sample.time = reading.time;
+        sample.interval = reading.interval;
+        sample.perCpu = std::move(reading.perCpu);
+        sample.osInterruptsTotal = reading.osInterruptsTotal;
+        sample.osDiskInterrupts = reading.osDiskInterrupts;
+        sample.osDeviceInterrupts = reading.osDeviceInterrupts;
+        for (int r = 0; r < numRails; ++r)
+            sample.measuredWatts[static_cast<size_t>(r)] =
+                acc[static_cast<size_t>(r)] / static_cast<double>(used);
+        out.add(std::move(sample));
+        ++aligned_;
+    }
+}
+
+} // namespace tdp

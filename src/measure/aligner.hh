@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Offline trace alignment (paper section 3.1.2): the single-byte
+ * serial pulse recorded by the DAQ marks each counter sampling, and
+ * the power samples between two consecutive pulses are averaged to
+ * pair with the counter deltas of that window.
+ */
+
+#ifndef TDP_MEASURE_ALIGNER_HH
+#define TDP_MEASURE_ALIGNER_HH
+
+#include <deque>
+
+#include "measure/counter_sampler.hh"
+#include "measure/daq.hh"
+#include "measure/trace.hh"
+
+namespace tdp {
+
+/** Pairs DAQ power windows with counter readings. */
+class TraceAligner
+{
+  public:
+    explicit TraceAligner(DataAcquisition &daq) : daq_(daq) {}
+
+    /**
+     * Consume every complete (pulse-delimited) window from the DAQ
+     * and every matching counter reading, appending aligned samples
+     * to the trace. Incomplete trailing windows stay queued.
+     */
+    void drainInto(std::deque<CounterReading> &readings,
+                   SampleTrace &out);
+
+    /** Number of windows aligned so far. */
+    uint64_t alignedCount() const { return aligned_; }
+
+  private:
+    DataAcquisition &daq_;
+    uint64_t aligned_ = 0;
+};
+
+} // namespace tdp
+
+#endif // TDP_MEASURE_ALIGNER_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Implementation of the counter sampler.
+ */
+
+#include "measure/counter_sampler.hh"
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+CounterSampler::CounterSampler(System &system, const std::string &name,
+                               CpuComplex &cpus,
+                               const InterruptController &irq_controller,
+                               IrqVector disk_vector,
+                               IrqVector timer_vector,
+                               std::function<void()> on_pulse,
+                               const Params &params)
+    : SimObject(system, name), params_(params), cpus_(cpus),
+      irqController_(irq_controller), diskVector_(disk_vector),
+      timerVector_(timer_vector), onPulse_(std::move(on_pulse)),
+      rng_(system.makeRng(name))
+{
+    if (params_.period <= 0.0)
+        fatal("CounterSampler: period must be positive");
+}
+
+void
+CounterSampler::startup()
+{
+    // Arming read at t=0: clears the counters and emits the first
+    // sync pulse so the first real sample covers a clean window.
+    system().events().scheduleFn(name() + ".arm", system().now(),
+                                 [this] { takeSample(); });
+}
+
+void
+CounterSampler::scheduleNext()
+{
+    const Seconds jitter =
+        rng_.uniform(-params_.jitter, params_.jitter);
+    const Tick delta = secondsToTicks(params_.period + jitter);
+    system().events().scheduleFn(name() + ".sample",
+                                 system().now() + delta,
+                                 [this] { takeSample(); });
+}
+
+void
+CounterSampler::takeSample()
+{
+    const Seconds now = ticksToSeconds(system().now());
+
+    CounterReading reading;
+    reading.time = now;
+    reading.interval = now - lastSampleTime_;
+    reading.perCpu.reserve(static_cast<size_t>(cpus_.coreCount()));
+    for (int i = 0; i < cpus_.coreCount(); ++i)
+        reading.perCpu.push_back(cpus_.core(i).counters().readAndClear());
+
+    const double irq_total = irqController_.lifetimeTotal();
+    const double irq_disk = irqController_.lifetimeCount(diskVector_);
+    const double irq_device = irqController_.lifetimeDeviceTotal();
+    reading.osInterruptsTotal = irq_total - lastIrqTotal_;
+    reading.osDiskInterrupts = irq_disk - lastIrqDisk_;
+    reading.osDeviceInterrupts = irq_device - lastIrqDevice_;
+    lastIrqTotal_ = irq_total;
+    lastIrqDisk_ = irq_disk;
+    lastIrqDevice_ = irq_device;
+    lastSampleTime_ = now;
+
+    if (onPulse_)
+        onPulse_();
+
+    // Discard the arming read: it covers no complete window.
+    if (armed_)
+        readings_.push_back(std::move(reading));
+    armed_ = true;
+
+    scheduleNext();
+}
+
+} // namespace tdp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Counter sampler: the target-resident agent that reads and clears
+ * every CPU's PMU about once per second (the perfctr-driver flow of
+ * paper section 3.1.3), reads interrupt sources from the OS, and
+ * writes the synchronisation byte to the serial port at each read.
+ */
+
+#ifndef TDP_MEASURE_COUNTER_SAMPLER_HH
+#define TDP_MEASURE_COUNTER_SAMPLER_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/random.hh"
+#include "cpu/cpu_complex.hh"
+#include "io/interrupt_controller.hh"
+#include "sim/sim_object.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+
+/** One raw counter reading (before power alignment). */
+struct CounterReading
+{
+    /** Target clock at the read (s). */
+    Seconds time = 0.0;
+
+    /** Interval since the previous read (s). */
+    Seconds interval = 0.0;
+
+    /** Per-CPU read-and-clear snapshots. */
+    std::vector<CounterSnapshot> perCpu;
+
+    /** /proc/interrupts total delta since the previous read. */
+    double osInterruptsTotal = 0.0;
+
+    /** Disk vector delta since the previous read. */
+    double osDiskInterrupts = 0.0;
+
+    /** All device (non-timer) vector deltas summed. */
+    double osDeviceInterrupts = 0.0;
+};
+
+/** Periodic sampler of the PMU and OS interrupt accounting. */
+class CounterSampler : public SimObject
+{
+  public:
+    /** Configuration. */
+    struct Params
+    {
+        /** Nominal sampling period (s). */
+        Seconds period = 1.0;
+
+        /**
+         * Uniform jitter half-width on the period (s): cache effects
+         * and interrupt latency make the real period wobble, which is
+         * why the paper normalises metrics by the cycles count.
+         */
+        Seconds jitter = 1.5e-3;
+    };
+
+    /**
+     * @param cpus CPU complex whose PMUs are read.
+     * @param irq_controller interrupt accounting source.
+     * @param disk_vector vector id of the disk HBA.
+     * @param timer_vector vector id of the per-CPU timer.
+     * @param on_pulse callback fired at each read (the serial byte to
+     *        the DAQ).
+     */
+    CounterSampler(System &system, const std::string &name,
+                   CpuComplex &cpus,
+                   const InterruptController &irq_controller,
+                   IrqVector disk_vector, IrqVector timer_vector,
+                   std::function<void()> on_pulse,
+                   const Params &params);
+
+    /** Completed readings awaiting collection (drained by the rig). */
+    std::deque<CounterReading> &readings() { return readings_; }
+
+    void startup() override;
+
+  private:
+    void scheduleNext();
+    void takeSample();
+
+    Params params_;
+    CpuComplex &cpus_;
+    const InterruptController &irqController_;
+    IrqVector diskVector_;
+    IrqVector timerVector_;
+    std::function<void()> onPulse_;
+    Rng rng_;
+    std::deque<CounterReading> readings_;
+    Seconds lastSampleTime_ = 0.0;
+    double lastIrqTotal_ = 0.0;
+    double lastIrqDisk_ = 0.0;
+    double lastIrqDevice_ = 0.0;
+    bool armed_ = false;
+};
+
+} // namespace tdp
+
+#endif // TDP_MEASURE_COUNTER_SAMPLER_HH

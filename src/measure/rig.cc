@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Implementation of the measurement rig.
+ */
+
+#include "measure/rig.hh"
+
+namespace tdp {
+
+DataAcquisition::Params
+MeasurementRig::defaultDaqParams()
+{
+    DataAcquisition::Params p;
+    p.conversionRateHz = 10000.0;
+
+    auto &cpu = p.rail[static_cast<size_t>(Rail::Cpu)];
+    cpu.adcNoiseSigma = 1.4;
+    cpu.biasWanderSigma = 0.45;
+    cpu.filterTau = 4e-3;
+
+    auto &chipset = p.rail[static_cast<size_t>(Rail::Chipset)];
+    chipset.adcNoiseSigma = 0.6;
+    chipset.biasWanderSigma = 0.08;
+    chipset.filterTau = 6e-3;
+
+    auto &memory = p.rail[static_cast<size_t>(Rail::Memory)];
+    memory.adcNoiseSigma = 0.5;
+    memory.biasWanderSigma = 0.03;
+    memory.filterTau = 5e-3;
+
+    auto &io = p.rail[static_cast<size_t>(Rail::Io)];
+    io.adcNoiseSigma = 0.7;
+    io.biasWanderSigma = 0.11;
+    io.filterTau = 6e-3;
+
+    auto &disk = p.rail[static_cast<size_t>(Rail::Disk)];
+    disk.adcNoiseSigma = 0.35;
+    disk.biasWanderSigma = 0.024;
+    disk.filterTau = 8e-3;
+
+    return p;
+}
+
+MeasurementRig::MeasurementRig(System &system, const std::string &name,
+                               CpuComplex &cpus,
+                               const InterruptController &irq_controller,
+                               IrqVector disk_vector,
+                               IrqVector timer_vector,
+                               const Params &params)
+    : SimObject(system, name),
+      daq_(system, name + ".daq", params.daq),
+      sampler_(system, name + ".sampler", cpus, irq_controller,
+               disk_vector, timer_vector, [this] { daq_.syncPulse(); },
+               params.sampler),
+      aligner_(daq_)
+{
+}
+
+void
+MeasurementRig::attachRail(Rail rail, std::function<Watts()> provider)
+{
+    daq_.attachRail(rail, std::move(provider));
+}
+
+const SampleTrace &
+MeasurementRig::collect()
+{
+    aligner_.drainInto(sampler_.readings(), trace_);
+    return trace_;
+}
+
+} // namespace tdp

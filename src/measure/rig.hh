@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Measurement rig: the whole instrumentation harness of the paper's
+ * methodology section in one object - sense resistors + DAQ on the
+ * five rails, the on-target counter sampler with its serial sync
+ * pulse, and the offline aligner producing the training/validation
+ * trace.
+ */
+
+#ifndef TDP_MEASURE_RIG_HH
+#define TDP_MEASURE_RIG_HH
+
+#include <functional>
+#include <string>
+
+#include "cpu/cpu_complex.hh"
+#include "io/interrupt_controller.hh"
+#include "measure/aligner.hh"
+#include "measure/counter_sampler.hh"
+#include "measure/daq.hh"
+#include "measure/trace.hh"
+#include "sim/sim_object.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+
+/** The complete measurement pipeline. */
+class MeasurementRig : public SimObject
+{
+  public:
+    /** Configuration of the pipeline. */
+    struct Params
+    {
+        /** DAQ and per-rail sensing configuration. */
+        DataAcquisition::Params daq = defaultDaqParams();
+
+        /** Counter sampling configuration. */
+        CounterSampler::Params sampler;
+    };
+
+    /** Rail sensing defaults matching the paper's idle noise floor. */
+    static DataAcquisition::Params defaultDaqParams();
+
+    MeasurementRig(System &system, const std::string &name,
+                   CpuComplex &cpus,
+                   const InterruptController &irq_controller,
+                   IrqVector disk_vector, IrqVector timer_vector,
+                   const Params &params);
+
+    /** Attach the true-power provider of one rail. */
+    void attachRail(Rail rail, std::function<Watts()> provider);
+
+    /**
+     * Align everything recorded so far and return the trace. Callable
+     * repeatedly; the trace grows monotonically.
+     */
+    const SampleTrace &collect();
+
+    /** The trace collected so far (without draining new windows). */
+    const SampleTrace &trace() const { return trace_; }
+
+    /** The DAQ (for tests). */
+    DataAcquisition &daq() { return daq_; }
+
+  private:
+    DataAcquisition daq_;
+    CounterSampler sampler_;
+    TraceAligner aligner_;
+    SampleTrace trace_;
+};
+
+} // namespace tdp
+
+#endif // TDP_MEASURE_RIG_HH

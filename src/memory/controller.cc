@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Implementation of the memory controller.
+ */
+
+#include "memory/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+MemoryController::MemoryController(System &system, const std::string &name,
+                                   FrontSideBus &bus, const Params &params)
+    : SimObject(system, name), params_(params), bus_(bus)
+{
+    if (params_.dimmCount <= 0)
+        fatal("MemoryController: dimmCount must be positive");
+    dimms_.assign(static_cast<size_t>(params_.dimmCount),
+                  DramModule(params_.dimm));
+    // Registered after the bus so the bus's totals for the quantum are
+    // final when this object ticks (same phase, construction order).
+    system.addTicked(this, TickPhase::Memory);
+}
+
+void
+MemoryController::setCpuTrafficCharacter(double page_hit_rate)
+{
+    cpuPageHitRate_ = std::clamp(page_hit_rate, 0.0, 1.0);
+}
+
+void
+MemoryController::tickUpdate(Tick /* now */, Tick quantum)
+{
+    const double dt = ticksToSeconds(quantum);
+
+    // Split the quantum's finalised bus traffic into memory accesses.
+    // Uncacheable transactions target I/O space, not DRAM.
+    const double cpu_tx = bus_.prevOfKind(BusTxKind::DemandFill) +
+                          bus_.prevOfKind(BusTxKind::Prefetch);
+    const double writebacks = bus_.prevOfKind(BusTxKind::Writeback);
+    const double dma_tx = bus_.prevOfKind(BusTxKind::Dma);
+
+    // Demand fills and prefetches read DRAM; the write share of CPU
+    // traffic reaches DRAM as writebacks, counted separately.
+    const double dma_reads = dma_tx * params_.dmaReadFraction;
+    const double dma_writes = dma_tx - dma_reads;
+
+    const double reads = cpu_tx + dma_reads;
+    const double writes = writebacks + dma_writes;
+
+    // Blend the page-hit rate of the CPU and DMA streams by volume.
+    const double total = cpu_tx + writebacks + dma_tx;
+    double hit_rate = cpuPageHitRate_;
+    if (total > 0.0) {
+        hit_rate = (cpuPageHitRate_ * (cpu_tx + writebacks) +
+                    params_.dmaPageHitRate * dma_tx) /
+                   total;
+    }
+
+    const double per_dimm = 1.0 / static_cast<double>(dimms_.size());
+    Watts power = params_.controllerIdlePower +
+                  total * params_.controllerEnergyPerTx / dt;
+    for (DramModule &dimm : dimms_) {
+        power += dimm.advance(reads * per_dimm, writes * per_dimm,
+                              hit_rate, dt);
+    }
+    lastPower_ = power;
+}
+
+} // namespace tdp

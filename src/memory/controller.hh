@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Memory controller: routes the quantum's bus transactions across the
+ * DIMM population and aggregates the memory-subsystem rail power.
+ */
+
+#ifndef TDP_MEMORY_CONTROLLER_HH
+#define TDP_MEMORY_CONTROLLER_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "memory/bus.hh"
+#include "memory/dram.hh"
+#include "sim/sim_object.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+
+/**
+ * Aggregates DRAM modules behind the front-side bus. Runs in the
+ * Memory phase after the bus has finalised the quantum's totals, and
+ * exposes the memory rail power (controller + DIMMs) that the paper's
+ * "memory subsystem" sense resistor observes.
+ *
+ * The access-stream character (read fraction, page-hit rate) is set
+ * per quantum by the CPU complex from the profile mix of the running
+ * threads; DMA traffic is pinned to a streaming-friendly character.
+ */
+class MemoryController : public SimObject, public Ticked
+{
+  public:
+    /** Configuration of the controller and DIMM population. */
+    struct Params
+    {
+        /** Number of DIMMs behind the controller. */
+        int dimmCount = 8;
+
+        /** Controller static power (W). */
+        double controllerIdlePower = 7.7;
+
+        /** Controller dynamic energy per bus transaction (J). */
+        double controllerEnergyPerTx = 9e-9;
+
+        /** DIMM electrical parameters. */
+        DramModule::Params dimm;
+
+        /** Page-hit rate of DMA (streaming) traffic. */
+        double dmaPageHitRate = 0.85;
+
+        /** Read fraction of DMA traffic (disk writes read memory). */
+        double dmaReadFraction = 0.5;
+    };
+
+    MemoryController(System &system, const std::string &name,
+                     FrontSideBus &bus, const Params &params);
+
+    /**
+     * Set the CPU-originated access-stream character for the current
+     * quantum; called by the CPU complex during its phase. The
+     * read/write mix itself is implied by the writeback share of the
+     * bus traffic; the row-buffer locality is what the bus counters
+     * cannot see (and what the paper's model therefore omits).
+     *
+     * @param page_hit_rate DRAM row-buffer hit rate of CPU traffic.
+     */
+    void setCpuTrafficCharacter(double page_hit_rate);
+
+    /** Memory rail power averaged over the last quantum. */
+    Watts lastPower() const { return lastPower_; }
+
+    /** DIMMs behind the controller (for inspection in tests). */
+    const std::vector<DramModule> &dimms() const { return dimms_; }
+
+    void tickUpdate(Tick now, Tick quantum) override;
+
+  private:
+    Params params_;
+    FrontSideBus &bus_;
+    std::vector<DramModule> dimms_;
+    double cpuPageHitRate_ = 0.55;
+    Watts lastPower_ = 0.0;
+};
+
+} // namespace tdp
+
+#endif // TDP_MEMORY_CONTROLLER_HH

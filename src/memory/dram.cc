@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Implementation of the DRAM module power model.
+ */
+
+#include "memory/dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+Watts
+DramModule::advance(double reads, double writes, double page_hit_rate,
+                    Seconds dt)
+{
+    if (reads < 0.0 || writes < 0.0)
+        panic("DramModule: negative access counts (%g, %g)", reads,
+              writes);
+    if (dt <= 0.0)
+        panic("DramModule: non-positive quantum %g", dt);
+    page_hit_rate = std::clamp(page_hit_rate, 0.0, 1.0);
+
+    const double accesses = reads + writes;
+    const double activations = accesses * (1.0 - page_hit_rate);
+
+    lifetimeReads_ += reads;
+    lifetimeWrites_ += writes;
+    lifetimeActivations_ += activations;
+
+    // State residency: fraction of the quantum with at least one bank
+    // active. Saturates at 1 when the module is fully busy.
+    const double busy = accesses * params_.accessBusyTime / dt;
+    const double active_fraction = std::min(1.0, busy);
+    lastActiveFraction_ = active_fraction;
+
+    const double burst_energy = activations * params_.activateEnergy +
+                                reads * params_.readEnergy +
+                                writes * params_.writeEnergy;
+
+    Watts power = params_.backgroundPower;
+    power += active_fraction * params_.activeStandbyPower;
+    power += burst_energy / dt;
+    // Superlinear bank-overlap term: with more concurrent bank
+    // activity the shared charge pumps and I/O drivers run hotter.
+    power += params_.bankOverlapPower * active_fraction * active_fraction;
+    return power;
+}
+
+} // namespace tdp

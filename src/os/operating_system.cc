@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Implementation of the operating system façade.
+ */
+
+#include "os/operating_system.hh"
+
+namespace tdp {
+
+OperatingSystem::OperatingSystem(System &system, const std::string &name,
+                                 Scheduler &scheduler,
+                                 PageCache &page_cache, VirtualMemory &vm,
+                                 InterruptController &irq_controller,
+                                 const Params &params)
+    : SimObject(system, name), params_(params), scheduler_(scheduler),
+      pageCache_(page_cache), vm_(vm), irqController_(irq_controller),
+      procIrq_(irq_controller),
+      timerVector_(irq_controller.registerVector("timer"))
+{
+    system.addTicked(this, TickPhase::Os);
+}
+
+double
+OperatingSystem::kernelUopsPerQuantum(Seconds dt) const
+{
+    return params_.timerHz * dt * params_.timerHandlerUops +
+           params_.housekeepingUopsPerSec * dt;
+}
+
+void
+OperatingSystem::tickUpdate(Tick /* now */, Tick quantum)
+{
+    const Seconds dt = ticksToSeconds(quantum);
+
+    // Local APIC timer on every CPU. Accumulate fractional ticks so
+    // non-integer HZ*dt still delivers the right long-run rate.
+    timerCarry_ += params_.timerHz * dt;
+    const double whole = static_cast<double>(
+        static_cast<uint64_t>(timerCarry_));
+    timerCarry_ -= whole;
+    if (whole > 0.0) {
+        for (int cpu = 0; cpu < scheduler_.coreCount(); ++cpu)
+            irqController_.raise(timerVector_, whole, cpu);
+    }
+
+    vm_.update(scheduler_.threads(), pageCache_.cachedBytes(), dt);
+    pageCache_.progress(dt);
+}
+
+} // namespace tdp

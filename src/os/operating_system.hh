@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Operating system façade: timer tick, idle HLT policy, and the
+ * per-quantum driving of the VM layer and page cache flusher.
+ */
+
+#ifndef TDP_OS_OPERATING_SYSTEM_HH
+#define TDP_OS_OPERATING_SYSTEM_HH
+
+#include <string>
+#include <vector>
+
+#include "io/interrupt_controller.hh"
+#include "os/page_cache.hh"
+#include "os/proc_interrupts.hh"
+#include "os/scheduler.hh"
+#include "os/virtual_memory.hh"
+#include "sim/sim_object.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+
+/**
+ * Ties the OS services together and runs once per quantum in the Os
+ * phase: raises the periodic timer interrupt on every CPU (the event
+ * that wakes halted processors), updates paging pressure and swap
+ * traffic, and advances the page cache flusher.
+ */
+class OperatingSystem : public SimObject, public Ticked
+{
+  public:
+    /** Kernel configuration. */
+    struct Params
+    {
+        /** Timer interrupt frequency per CPU (Linux HZ). */
+        double timerHz = 1000.0;
+
+        /** Uops executed per timer interrupt (handler + scheduler). */
+        double timerHandlerUops = 2600.0;
+
+        /** Background kernel housekeeping uops per second per CPU. */
+        double housekeepingUopsPerSec = 1.3e6;
+    };
+
+    OperatingSystem(System &system, const std::string &name,
+                    Scheduler &scheduler, PageCache &page_cache,
+                    VirtualMemory &vm,
+                    InterruptController &irq_controller,
+                    const Params &params);
+
+    /** The scheduler. */
+    Scheduler &scheduler() { return scheduler_; }
+
+    /** The page cache. */
+    PageCache &pageCache() { return pageCache_; }
+
+    /** The VM layer. */
+    VirtualMemory &vm() { return vm_; }
+
+    /** The /proc/interrupts view. */
+    const ProcInterrupts &procInterrupts() const { return procIrq_; }
+
+    /**
+     * Kernel-mode uops a CPU executes per quantum even when no user
+     * thread runs (timer handler + housekeeping). The CPU model adds
+     * this to its fetch stream; it is what keeps an "idle" machine's
+     * measured activity slightly above zero.
+     */
+    double kernelUopsPerQuantum(Seconds dt) const;
+
+    /** Timer interrupt vector. */
+    IrqVector timerVector() const { return timerVector_; }
+
+    void tickUpdate(Tick now, Tick quantum) override;
+
+  private:
+    Params params_;
+    Scheduler &scheduler_;
+    PageCache &pageCache_;
+    VirtualMemory &vm_;
+    InterruptController &irqController_;
+    ProcInterrupts procIrq_;
+    IrqVector timerVector_;
+    double timerCarry_ = 0.0;
+};
+
+} // namespace tdp
+
+#endif // TDP_OS_OPERATING_SYSTEM_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Implementation of the page cache.
+ */
+
+#include "os/page_cache.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+PageCache::PageCache(System &system, const std::string &name,
+                     DiskController &disks, const Params &params)
+    : SimObject(system, name), params_(params), disks_(disks),
+      rng_(system.makeRng(name))
+{
+    if (params_.requestBytes <= 0.0 || params_.readRequestBytes <= 0.0)
+        fatal("PageCache: request sizes must be positive");
+}
+
+void
+PageCache::writeBytes(double bytes)
+{
+    if (bytes < 0.0)
+        panic("PageCache::writeBytes: negative size %g", bytes);
+    dirtyBytes_ += bytes;
+    cachedBytes_ = std::min(cachedBytes_ + bytes,
+                            params_.capacityMB * 1e6);
+}
+
+void
+PageCache::readBytes(double bytes, double cached_fraction,
+                     bool sequential, Callback cb)
+{
+    if (bytes < 0.0)
+        panic("PageCache::readBytes: negative size %g", bytes);
+    cached_fraction = std::clamp(cached_fraction, 0.0, 1.0);
+    const double miss_bytes = bytes * (1.0 - cached_fraction);
+    cachedBytes_ = std::min(cachedBytes_ + miss_bytes,
+                            params_.capacityMB * 1e6);
+    if (miss_bytes <= 0.0) {
+        if (cb)
+            cb();
+        return;
+    }
+
+    const int requests = std::max(
+        1, static_cast<int>(miss_bytes / params_.readRequestBytes + 0.5));
+    const double per_request = miss_bytes / requests;
+    auto outstanding = std::make_shared<int>(requests);
+    auto shared_cb = std::make_shared<Callback>(std::move(cb));
+    for (int i = 0; i < requests; ++i) {
+        disks_.submit(false, per_request, nextPosition(sequential),
+                      [outstanding, shared_cb](uint64_t) {
+                          if (--*outstanding == 0 && *shared_cb)
+                              (*shared_cb)();
+                      });
+    }
+}
+
+void
+PageCache::sync(Callback cb)
+{
+    const double target = dirtyBytes_ + inFlightBytes_;
+    if (target <= 0.0) {
+        if (cb)
+            cb();
+        return;
+    }
+    syncWaiters_.push_back(SyncWaiter{target, std::move(cb)});
+}
+
+double
+PageCache::writeThrottle() const
+{
+    const double hard = params_.dirtyHardLimitMB * 1e6;
+    if (dirtyBytes_ <= hard)
+        return 1.0;
+    // Above the limit, writers are paced down toward the flusher rate;
+    // keep a floor so forward progress never fully stops.
+    return std::max(0.15, hard / dirtyBytes_ * 0.5);
+}
+
+double
+PageCache::nextPosition(bool sequential)
+{
+    if (sequential && rng_.bernoulli(params_.sequentialFraction)) {
+        cursor_ += 1e-4;
+        if (cursor_ > 1.0)
+            cursor_ -= 1.0;
+    } else {
+        cursor_ = rng_.uniform();
+    }
+    return cursor_;
+}
+
+void
+PageCache::issueWriteback(double budget_bytes)
+{
+    while (budget_bytes > 0.0 && dirtyBytes_ > 0.0 &&
+           inFlightRequests_ < params_.maxInFlight) {
+        const double req_bytes =
+            std::min({params_.requestBytes, dirtyBytes_, budget_bytes});
+        dirtyBytes_ -= req_bytes;
+        inFlightBytes_ += req_bytes;
+        ++inFlightRequests_;
+        budget_bytes -= req_bytes;
+
+        disks_.submit(
+            true, req_bytes, nextPosition(true),
+            [this, req_bytes](uint64_t) {
+                inFlightBytes_ -= req_bytes;
+                --inFlightRequests_;
+                flushedBytes_ += req_bytes;
+                // Credit every pending sync waiter; FIFO completion.
+                for (SyncWaiter &w : syncWaiters_)
+                    w.remainingBytes -= req_bytes;
+                while (!syncWaiters_.empty() &&
+                       syncWaiters_.front().remainingBytes <= 1e-6) {
+                    Callback cb = std::move(syncWaiters_.front().cb);
+                    syncWaiters_.pop_front();
+                    if (cb)
+                        cb();
+                }
+            });
+    }
+}
+
+void
+PageCache::progress(Seconds dt)
+{
+    double rate = 0.0;
+    if (!syncWaiters_.empty()) {
+        rate = params_.syncBytesPerSec;
+    } else if (dirtyBytes_ > params_.dirtyBackgroundMB * 1e6) {
+        rate = params_.writebackBytesPerSec;
+    }
+    if (rate > 0.0)
+        issueWriteback(rate * dt);
+}
+
+} // namespace tdp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * OS page cache (the "software hard disk cache" of the paper's
+ * DiskLoad discussion): absorbs file writes as dirty pages, serves
+ * cached reads, writes back in the background, and implements sync().
+ *
+ * The DiskLoad workload's power signature depends on this component:
+ * file modification dirties cache pages (memory traffic, no disk
+ * traffic), and the sync() flush turns the accumulated dirty bytes
+ * into a burst of disk writes (DMA + interrupts + I/O power).
+ */
+
+#ifndef TDP_OS_PAGE_CACHE_HH
+#define TDP_OS_PAGE_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/random.hh"
+#include "disk/disk_controller.hh"
+#include "sim/sim_object.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+
+/** Dirty-page tracking, cached reads, background writeback, sync(). */
+class PageCache : public SimObject
+{
+  public:
+    /** Tuning of the cache and the flusher. */
+    struct Params
+    {
+        /** Cache capacity (MB). */
+        double capacityMB = 1536.0;
+
+        /** Dirty bytes where background writeback starts (MB). */
+        double dirtyBackgroundMB = 96.0;
+
+        /** Dirty bytes where writers get throttled (MB). */
+        double dirtyHardLimitMB = 512.0;
+
+        /** Background flusher issue rate (bytes/s). */
+        double writebackBytesPerSec = 30e6;
+
+        /** sync() flush issue rate (bytes/s). */
+        double syncBytesPerSec = 120e6;
+
+        /** Size of individual writeback requests (bytes). */
+        double requestBytes = 64.0 * 1024.0;
+
+        /** Size of individual read-miss requests (bytes). */
+        double readRequestBytes = 64.0 * 1024.0;
+
+        /** Probability a flusher request continues sequentially. */
+        double sequentialFraction = 0.92;
+
+        /** Cap on in-flight writeback requests. */
+        int maxInFlight = 64;
+    };
+
+    /** Callback fired when an operation's disk traffic completes. */
+    using Callback = std::function<void()>;
+
+    PageCache(System &system, const std::string &name,
+              DiskController &disks, const Params &params);
+
+    /**
+     * Buffer written file data as dirty pages. No disk traffic happens
+     * here; the flusher or a sync() emits it later.
+     */
+    void writeBytes(double bytes);
+
+    /**
+     * Read file data; the cached fraction is served from memory and
+     * the remainder becomes disk reads.
+     *
+     * @param bytes total bytes the caller reads.
+     * @param cached_fraction fraction found in cache [0, 1].
+     * @param sequential true for streaming reads (short seeks).
+     * @param cb invoked once all miss traffic has completed; invoked
+     *        immediately when everything hits.
+     */
+    void readBytes(double bytes, double cached_fraction, bool sequential,
+                   Callback cb);
+
+    /**
+     * Flush all currently-dirty bytes to disk; cb fires when the last
+     * of them has reached the platters (the workload's sync() call).
+     */
+    void sync(Callback cb);
+
+    /** Bytes currently dirty (buffered, unwritten). */
+    double dirtyBytes() const { return dirtyBytes_; }
+
+    /** Bytes of file data currently cached (clean + dirty). */
+    double cachedBytes() const { return cachedBytes_; }
+
+    /**
+     * Writer throttle factor in (0, 1]: 1 below the hard limit,
+     * approaching the flusher/writer rate ratio above it.
+     */
+    double writeThrottle() const;
+
+    /** True while a sync() flush is still draining. */
+    bool syncInProgress() const { return !syncWaiters_.empty(); }
+
+    /** Advance the flusher by one quantum; called by the OS. */
+    void progress(Seconds dt);
+
+    /** Lifetime bytes written back to disk. */
+    double lifetimeFlushedBytes() const { return flushedBytes_; }
+
+  private:
+    void issueWriteback(double budget_bytes);
+    double nextPosition(bool sequential);
+
+    Params params_;
+    DiskController &disks_;
+    Rng rng_;
+
+    double dirtyBytes_ = 0.0;
+    double cachedBytes_ = 0.0;
+    double flushedBytes_ = 0.0;
+    double inFlightBytes_ = 0.0;
+    int inFlightRequests_ = 0;
+    double cursor_ = 0.1;
+
+    struct SyncWaiter
+    {
+        double remainingBytes;
+        Callback cb;
+    };
+    std::deque<SyncWaiter> syncWaiters_;
+};
+
+} // namespace tdp
+
+#endif // TDP_OS_PAGE_CACHE_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Implementation of the /proc/interrupts view.
+ */
+
+#include "os/proc_interrupts.hh"
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+std::vector<ProcInterrupts::Entry>
+ProcInterrupts::snapshot() const
+{
+    std::vector<Entry> out;
+    const int n = controller_.vectorCount();
+    out.reserve(static_cast<size_t>(n));
+    for (IrqVector v = 0; v < n; ++v) {
+        out.push_back(Entry{v, controller_.vectorDevice(v),
+                            controller_.lifetimeCount(v)});
+    }
+    return out;
+}
+
+std::string
+ProcInterrupts::render() const
+{
+    std::string text;
+    for (const Entry &e : snapshot()) {
+        text += formatString("%4d: %12.0f  %s\n", e.vector, e.count,
+                             e.device.c_str());
+    }
+    return text;
+}
+
+} // namespace tdp

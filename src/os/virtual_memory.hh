@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Virtual memory: paging pressure and swap traffic.
+ *
+ * When the attached threads' combined resident set exceeds physical
+ * memory, the VM layer pages. Paging stalls the offending threads and
+ * generates disk swap traffic - DMA the memory controller performs on
+ * behalf of the disks. This is the "outside (non-CPU) agent" of the
+ * paper's section 4.2.2: the reason the L3-miss memory model fails on
+ * many-instance mcf while the bus-transaction (+DMA) model holds.
+ */
+
+#ifndef TDP_OS_VIRTUAL_MEMORY_HH
+#define TDP_OS_VIRTUAL_MEMORY_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "disk/disk_controller.hh"
+#include "os/thread_context.hh"
+#include "sim/sim_object.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+
+/** Paging pressure model over the running threads. */
+class VirtualMemory : public SimObject
+{
+  public:
+    /** Configuration of physical memory and swap behaviour. */
+    struct Params
+    {
+        /** Physical memory size (MB). */
+        double physicalMB = 8192.0;
+
+        /** Memory reserved for kernel + page cache floor (MB). */
+        double osReservedMB = 512.0;
+
+        /** Peak swap traffic at full pressure (bytes/s). */
+        double maxSwapBytesPerSec = 40e6;
+
+        /** Swap request size (bytes). */
+        double swapRequestBytes = 64.0 * 1024.0;
+
+        /** Stall severity coefficient for paging threads. */
+        double stallCoefficient = 2.5;
+    };
+
+    VirtualMemory(System &system, const std::string &name,
+                  DiskController &disks, const Params &params);
+
+    /**
+     * Recompute pressure from the running threads and emit this
+     * quantum's swap traffic. Called by the OS each quantum.
+     *
+     * @param threads all attached threads.
+     * @param cache_bytes bytes currently held by the page cache.
+     * @param dt quantum length in seconds.
+     */
+    void update(const std::vector<ThreadContext *> &threads,
+                double cache_bytes, Seconds dt);
+
+    /** Paging pressure in [0, 1): 0 when everything fits. */
+    double pressure() const { return pressure_; }
+
+    /**
+     * Throughput multiplier in (0, 1] for a thread with the given
+     * memory-boundness under the current pressure.
+     */
+    double stallFactor(double mem_boundness) const;
+
+    /** Lifetime swap bytes moved. */
+    double lifetimeSwapBytes() const { return swapBytes_; }
+
+  private:
+    Params params_;
+    DiskController &disks_;
+    Rng rng_;
+    double pressure_ = 0.0;
+    double swapBytes_ = 0.0;
+    double swapCarry_ = 0.0;
+    bool swapFlip_ = false;
+};
+
+} // namespace tdp
+
+#endif // TDP_OS_VIRTUAL_MEMORY_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Implementation of the wired server.
+ */
+
+#include "platform/server.hh"
+
+namespace tdp {
+
+Server::Server(uint64_t master_seed) : Server(master_seed, Params()) {}
+
+Server::Server(uint64_t master_seed, const Params &params)
+    : system_(master_seed, params.quantum)
+{
+    // Memory subsystem: bus first so it finalises before the
+    // controller consumes its totals (same phase, registration order).
+    bus_ = std::make_unique<FrontSideBus>(system_, "server.fsb",
+                                          params.bus);
+    memory_ = std::make_unique<MemoryController>(
+        system_, "server.memctl", *bus_, params.memory);
+
+    // I/O subsystem.
+    irq_ = std::make_unique<InterruptController>(system_, "server.pic",
+                                                 params.cpuCount);
+    ioChips_ = std::make_unique<IoChipComplex>(
+        system_, "server.iochips", *irq_, params.ioChips);
+    dma_ = std::make_unique<DmaEngine>(system_, "server.dma", *bus_,
+                                       params.dma);
+    nic_ = std::make_unique<NicDevice>(system_, "server.nic", *ioChips_,
+                                       *dma_, *irq_, params.nic);
+
+    // Disks.
+    disks_ = std::make_unique<DiskController>(
+        system_, "server.hba", *ioChips_, *dma_, *irq_, params.disks);
+
+    // Operating system.
+    scheduler_ = std::make_unique<Scheduler>(
+        system_, "server.sched", params.cpuCount, params.smtPerCore);
+    pageCache_ = std::make_unique<PageCache>(
+        system_, "server.pagecache", *disks_, params.pageCache);
+    vm_ = std::make_unique<VirtualMemory>(system_, "server.vm", *disks_,
+                                          params.vm);
+    os_ = std::make_unique<OperatingSystem>(
+        system_, "server.os", *scheduler_, *pageCache_, *vm_, *irq_,
+        params.os);
+
+    // Processors.
+    CpuComplex::Params cpu_params;
+    cpu_params.coreCount = params.cpuCount;
+    cpu_params.core = params.core;
+    cpus_ = std::make_unique<CpuComplex>(
+        system_, "server.cpus", *scheduler_, *os_, *vm_, *bus_, *memory_,
+        *irq_, *ioChips_, cpu_params);
+    cpus_->addMmioSource([this] { return disks_->drainPendingMmio(); });
+
+    // Chipset power domain.
+    chipset_ = std::make_unique<ChipsetPower>(
+        system_, "server.chipset", *cpus_, params.chipset);
+
+    // Instrumentation: five sensed rails + counter sampler.
+    rig_ = std::make_unique<MeasurementRig>(
+        system_, "server.rig", *cpus_, *irq_, disks_->vector(),
+        os_->timerVector(), params.rig);
+    rig_->attachRail(Rail::Cpu, [this] { return cpus_->lastPower(); });
+    rig_->attachRail(Rail::Chipset,
+                     [this] { return chipset_->lastPower(); });
+    rig_->attachRail(Rail::Memory,
+                     [this] { return memory_->lastPower(); });
+    rig_->attachRail(Rail::Io, [this] { return ioChips_->lastPower(); });
+    rig_->attachRail(Rail::Disk, [this] { return disks_->lastPower(); });
+
+    // Workload launcher.
+    runner_ = std::make_unique<WorkloadRunner>(system_, *scheduler_,
+                                               *pageCache_);
+}
+
+const SampleTrace &
+Server::runAndCollect(Seconds seconds)
+{
+    run(seconds);
+    return rig_->collect();
+}
+
+} // namespace tdp

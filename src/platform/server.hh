@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The simulated target server: the paper's 4-way Pentium 4 Xeon SMP
+ * with its chipset, memory, I/O and disk subsystems, the instrumented
+ * power rails, and the workload launcher - fully wired and ready to
+ * run experiments against.
+ */
+
+#ifndef TDP_PLATFORM_SERVER_HH
+#define TDP_PLATFORM_SERVER_HH
+
+#include <memory>
+#include <string>
+
+#include "cpu/cpu_complex.hh"
+#include "disk/disk_controller.hh"
+#include "io/dma_engine.hh"
+#include "io/interrupt_controller.hh"
+#include "io/io_chip.hh"
+#include "io/nic.hh"
+#include "measure/rig.hh"
+#include "memory/bus.hh"
+#include "memory/controller.hh"
+#include "os/operating_system.hh"
+#include "os/page_cache.hh"
+#include "os/scheduler.hh"
+#include "os/virtual_memory.hh"
+#include "platform/chipset.hh"
+#include "sim/system.hh"
+#include "workloads/runner.hh"
+
+namespace tdp {
+
+/** Everything needed to run one measured experiment. */
+class Server
+{
+  public:
+    /** Top-level configuration, one struct per subsystem. */
+    struct Params
+    {
+        /** Physical CPU packages. */
+        int cpuCount = 4;
+
+        /** SMT threads per package. */
+        int smtPerCore = 2;
+
+        /** Activity quantum (ticks). */
+        Tick quantum = ticksPerMs;
+
+        CpuCore::Params core;
+        FrontSideBus::Params bus;
+        MemoryController::Params memory;
+        IoChipComplex::Params ioChips;
+        DmaEngine::Params dma;
+        NicDevice::Params nic;
+        DiskController::Params disks;
+        PageCache::Params pageCache;
+        VirtualMemory::Params vm;
+        OperatingSystem::Params os;
+        ChipsetPower::Params chipset;
+        MeasurementRig::Params rig;
+    };
+
+    /**
+     * Build a fully wired server.
+     *
+     * @param master_seed seed for all random streams.
+     * @param params configuration (defaults reproduce the paper's
+     *        machine).
+     */
+    /** Build with the default (paper-machine) configuration. */
+    explicit Server(uint64_t master_seed);
+
+    Server(uint64_t master_seed, const Params &params);
+
+    /** The simulation system. */
+    System &system() { return system_; }
+
+    /** Launch workloads through this. */
+    WorkloadRunner &runner() { return *runner_; }
+
+    /** The measurement harness. */
+    MeasurementRig &rig() { return *rig_; }
+
+    /** Run for the given simulated seconds. */
+    void run(Seconds seconds) { system_.runFor(seconds); }
+
+    /**
+     * Run and return the aligned trace collected so far (convenience
+     * for single-shot experiments).
+     */
+    const SampleTrace &runAndCollect(Seconds seconds);
+
+    /** Subsystem access, mostly for tests and ablations. @{ */
+    CpuComplex &cpus() { return *cpus_; }
+    FrontSideBus &bus() { return *bus_; }
+    MemoryController &memory() { return *memory_; }
+    IoChipComplex &ioChips() { return *ioChips_; }
+    DmaEngine &dmaEngine() { return *dma_; }
+    InterruptController &interrupts() { return *irq_; }
+    DiskController &disks() { return *disks_; }
+    Scheduler &scheduler() { return *scheduler_; }
+    OperatingSystem &os() { return *os_; }
+    PageCache &pageCache() { return *pageCache_; }
+    VirtualMemory &vm() { return *vm_; }
+    ChipsetPower &chipset() { return *chipset_; }
+    /** @} */
+
+  private:
+    System system_;
+    // Construction order is load-bearing: within a tick phase,
+    // components run in the order they registered.
+    std::unique_ptr<FrontSideBus> bus_;
+    std::unique_ptr<MemoryController> memory_;
+    std::unique_ptr<InterruptController> irq_;
+    std::unique_ptr<IoChipComplex> ioChips_;
+    std::unique_ptr<DmaEngine> dma_;
+    std::unique_ptr<NicDevice> nic_;
+    std::unique_ptr<DiskController> disks_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<PageCache> pageCache_;
+    std::unique_ptr<VirtualMemory> vm_;
+    std::unique_ptr<OperatingSystem> os_;
+    std::unique_ptr<CpuComplex> cpus_;
+    std::unique_ptr<ChipsetPower> chipset_;
+    std::unique_ptr<MeasurementRig> rig_;
+    std::unique_ptr<WorkloadRunner> runner_;
+};
+
+} // namespace tdp
+
+#endif // TDP_PLATFORM_SERVER_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Clock domains: frequency bookkeeping and tick/cycle conversion.
+ */
+
+#ifndef TDP_SIM_CLOCK_HH
+#define TDP_SIM_CLOCK_HH
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace tdp {
+
+/**
+ * A clock domain with a (scalable) frequency. CPU cores, buses and
+ * device controllers each reference a domain; DVFS-style frequency
+ * changes (used by the power-capping example) go through setFrequency.
+ */
+class ClockDomain
+{
+  public:
+    /** @param frequency nominal frequency in Hz. */
+    explicit ClockDomain(Hertz frequency) : nominal_(frequency),
+                                            current_(frequency)
+    {
+        if (frequency <= 0.0)
+            fatal("ClockDomain frequency must be positive, got %g",
+                  frequency);
+    }
+
+    /** Nominal (design) frequency in Hz. */
+    Hertz nominalFrequency() const { return nominal_; }
+
+    /** Current operating frequency in Hz. */
+    Hertz frequency() const { return current_; }
+
+    /** Current / nominal frequency ratio. */
+    double scale() const { return current_ / nominal_; }
+
+    /**
+     * Change the operating frequency (DVFS). Clamped to
+     * [0.1, 1.0] x nominal, mirroring real P-state tables.
+     */
+    void
+    setFrequency(Hertz f)
+    {
+        const Hertz lo = 0.1 * nominal_;
+        if (f < lo)
+            f = lo;
+        if (f > nominal_)
+            f = nominal_;
+        current_ = f;
+    }
+
+    /** Cycles elapsed over a tick span at the current frequency. */
+    Cycles
+    cycles(Tick span) const
+    {
+        return ticksToCycles(span, current_);
+    }
+
+  private:
+    Hertz nominal_;
+    Hertz current_;
+};
+
+} // namespace tdp
+
+#endif // TDP_SIM_CLOCK_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Implementation of the discrete-event queue.
+ */
+
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+void
+EventQueue::schedule(std::unique_ptr<Event> ev, Tick when, int priority)
+{
+    if (!ev)
+        panic("EventQueue::schedule: null event");
+    if (when < now_) {
+        panic("EventQueue::schedule: event '%s' scheduled at %llu, "
+              "before current tick %llu",
+              ev->name().c_str(), static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    }
+    heap_.push(Entry{when, priority, nextSequence_++,
+                     std::shared_ptr<Event>(std::move(ev))});
+}
+
+void
+EventQueue::scheduleFn(std::string name, Tick when,
+                       std::function<void()> fn, int priority)
+{
+    schedule(std::make_unique<LambdaEvent>(std::move(name), std::move(fn)),
+             when, priority);
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    if (heap_.empty())
+        panic("EventQueue::nextTick on empty queue");
+    return heap_.top().when;
+}
+
+void
+EventQueue::step()
+{
+    if (heap_.empty())
+        panic("EventQueue::step on empty queue");
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.when;
+    ++processed_;
+    entry.event->process();
+}
+
+void
+EventQueue::runUntil(Tick until_tick)
+{
+    while (!heap_.empty() && heap_.top().when <= until_tick)
+        step();
+    if (now_ < until_tick)
+        now_ = until_tick;
+}
+
+} // namespace tdp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Discrete-event queue for the simulation kernel.
+ *
+ * Events fire in (tick, priority, insertion-order) order, so
+ * simultaneous events are deterministic. Components either subclass
+ * Event or schedule a LambdaEvent.
+ */
+
+#ifndef TDP_SIM_EVENT_QUEUE_HH
+#define TDP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tdp {
+
+/**
+ * A schedulable unit of work. Ownership stays with the queue once
+ * scheduled; process() runs exactly once per scheduling.
+ */
+class Event
+{
+  public:
+    /** @param name diagnostic label shown in traces and errors. */
+    explicit Event(std::string name) : name_(std::move(name)) {}
+
+    virtual ~Event() = default;
+
+    /** Perform the event's work at its scheduled tick. */
+    virtual void process() = 0;
+
+    /** Diagnostic label. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/** Event wrapping an arbitrary callable. */
+class LambdaEvent : public Event
+{
+  public:
+    LambdaEvent(std::string name, std::function<void()> fn)
+        : Event(std::move(name)), fn_(std::move(fn))
+    {
+    }
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * Priority queue of events ordered by tick, then priority, then
+ * insertion order. Lower priority values fire first within a tick.
+ */
+class EventQueue
+{
+  public:
+    /** Default priority for ordinary events. */
+    static constexpr int defaultPriority = 100;
+
+    /**
+     * Schedule an event at an absolute tick. Scheduling in the past
+     * (before the current tick) is a bug and panics.
+     */
+    void schedule(std::unique_ptr<Event> ev, Tick when,
+                  int priority = defaultPriority);
+
+    /** Schedule a callable at an absolute tick. */
+    void scheduleFn(std::string name, Tick when, std::function<void()> fn,
+                    int priority = defaultPriority);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t size() const { return heap_.size(); }
+
+    /** Tick of the next pending event; panics when empty. */
+    Tick nextTick() const;
+
+    /**
+     * Pop and process the next event, advancing time to its tick.
+     * Panics when empty.
+     */
+    void step();
+
+    /**
+     * Run until the queue empties or simulated time would pass
+     * until_tick. Events exactly at until_tick are processed; time
+     * finishes at until_tick.
+     */
+    void runUntil(Tick until_tick);
+
+    /** Total number of events processed so far. */
+    uint64_t processedCount() const { return processed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        uint64_t sequence;
+        // shared_ptr only because std::priority_queue requires
+        // copyable entries; ownership is singular in practice.
+        std::shared_ptr<Event> event;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return sequence > other.sequence;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap_;
+    Tick now_ = 0;
+    uint64_t nextSequence_ = 0;
+    uint64_t processed_ = 0;
+};
+
+} // namespace tdp
+
+#endif // TDP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * SimObject registration.
+ */
+
+#include "sim/sim_object.hh"
+
+#include "sim/system.hh"
+
+namespace tdp {
+
+SimObject::SimObject(System &system, std::string name)
+    : system_(system), name_(std::move(name))
+{
+    system_.registerObject(this);
+}
+
+} // namespace tdp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef TDP_SIM_SIM_OBJECT_HH
+#define TDP_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace tdp {
+
+class System;
+
+/**
+ * A named component owned by a System. Objects receive a startup()
+ * call once before simulation begins and may implement the Ticked
+ * interface to be stepped every activity quantum.
+ */
+class SimObject
+{
+  public:
+    /**
+     * @param system owning system; registers this object.
+     * @param name hierarchical dotted name, e.g. "server.cpu0".
+     */
+    SimObject(System &system, std::string name);
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical name. */
+    const std::string &name() const { return name_; }
+
+    /** Owning system. */
+    System &system() { return system_; }
+
+    /** Owning system. */
+    const System &system() const { return system_; }
+
+    /** Called once before the first quantum; schedule initial events. */
+    virtual void startup() {}
+
+  private:
+    System &system_;
+    std::string name_;
+};
+
+/**
+ * Interface for components updated once per activity quantum.
+ *
+ * The System calls tickUpdate on all registered Ticked objects in
+ * ascending phase order each quantum, so producers (workloads, CPUs)
+ * always run before consumers (power rails, measurement).
+ */
+class Ticked
+{
+  public:
+    virtual ~Ticked() = default;
+
+    /**
+     * Advance the component by one quantum.
+     *
+     * @param now tick at the START of the quantum.
+     * @param quantum quantum length in ticks.
+     */
+    virtual void tickUpdate(Tick now, Tick quantum) = 0;
+};
+
+/**
+ * Quantum update ordering phases (lower runs first).
+ *
+ * The order encodes the trickle-down data flow: workloads make
+ * demands, the OS turns file activity into block requests, devices
+ * produce DMA and interrupts, CPUs then execute (snooping the DMA
+ * traffic), the memory system consumes the final bus transaction
+ * totals, ground-truth power is evaluated, and finally the DAQ samples
+ * the rails.
+ */
+enum class TickPhase : int
+{
+    Workload = 0, ///< workload threads produce demand
+    Os = 10,      ///< scheduler, page cache writeback, block layer
+    Device = 20,  ///< disk and I/O devices: DMA traffic, interrupts
+    Cpu = 30,     ///< CPU cores convert demand to activity and bus tx
+    Memory = 40,  ///< bus finalisation and DRAM state update
+    Power = 50,   ///< ground-truth power evaluation
+    Measure = 60, ///< DAQ sampling of rails
+};
+
+} // namespace tdp
+
+#endif // TDP_SIM_SIM_OBJECT_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Implementation of the System scheduler.
+ */
+
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+System::System(uint64_t master_seed, Tick quantum)
+    : masterSeed_(master_seed), quantum_(quantum)
+{
+    if (quantum_ == 0)
+        fatal("System quantum must be positive");
+}
+
+Rng
+System::makeRng(const std::string &stream_name) const
+{
+    return Rng(masterSeed_, stream_name);
+}
+
+void
+System::registerObject(SimObject *obj)
+{
+    if (findObject(obj->name())) {
+        fatal("System: duplicate object name '%s'", obj->name().c_str());
+    }
+    objects_.push_back(obj);
+}
+
+void
+System::addTicked(Ticked *ticked, TickPhase phase)
+{
+    if (!ticked)
+        panic("System::addTicked: null participant");
+    tickeds_.push_back(
+        TickedEntry{ticked, static_cast<int>(phase), tickeds_.size()});
+    std::stable_sort(tickeds_.begin(), tickeds_.end(),
+                     [](const TickedEntry &a, const TickedEntry &b) {
+                         if (a.phase != b.phase)
+                             return a.phase < b.phase;
+                         return a.order < b.order;
+                     });
+}
+
+SimObject *
+System::findObject(const std::string &name) const
+{
+    for (SimObject *obj : objects_)
+        if (obj->name() == name)
+            return obj;
+    return nullptr;
+}
+
+void
+System::ensureStarted()
+{
+    if (started_)
+        return;
+    started_ = true;
+    // startup() may construct further objects; iterate by index.
+    for (size_t i = 0; i < objects_.size(); ++i)
+        objects_[i]->startup();
+}
+
+void
+System::executeQuantum(Tick start)
+{
+    for (const TickedEntry &entry : tickeds_)
+        entry.ticked->tickUpdate(start, quantum_);
+    ++quantaExecuted_;
+}
+
+void
+System::runUntil(Tick until_tick)
+{
+    ensureStarted();
+    while (nextQuantumStart_ + quantum_ <= until_tick) {
+        const Tick start = nextQuantumStart_;
+        // Fire events due at or before the quantum start (e.g. thread
+        // launches, sampler reads) so they observe the pre-quantum
+        // state, then advance the quantum.
+        events_.runUntil(start);
+        executeQuantum(start);
+        nextQuantumStart_ = start + quantum_;
+    }
+    events_.runUntil(until_tick);
+}
+
+void
+System::runFor(Seconds seconds)
+{
+    if (seconds < 0.0)
+        fatal("System::runFor: negative duration %g", seconds);
+    runUntil(nextQuantumStart_ + secondsToTicks(seconds));
+}
+
+} // namespace tdp

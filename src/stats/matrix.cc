@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Implementation of the dense matrix.
+ */
+
+#include "stats/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    if (rows.empty())
+        return Matrix();
+    Matrix m(rows.size(), rows.front().size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].size() != m.cols_) {
+            panic("Matrix::fromRows: ragged row %zu (%zu vs %zu cols)",
+                  r, rows[r].size(), m.cols_);
+        }
+        for (size_t c = 0; c < m.cols_; ++c)
+            m(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(size_t r, size_t c)
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at(%zu, %zu) out of %zux%zu", r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(size_t r, size_t c) const
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at(%zu, %zu) out of %zux%zu", r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix
+Matrix::operator*(const Matrix &rhs) const
+{
+    if (cols_ != rhs.rows_) {
+        panic("Matrix multiply shape mismatch: %zux%zu * %zux%zu",
+              rows_, cols_, rhs.rows_, rhs.cols_);
+    }
+    Matrix out(rows_, rhs.cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t k = 0; k < cols_; ++k) {
+            const double lhs_val = (*this)(r, k);
+            if (lhs_val == 0.0)
+                continue;
+            for (size_t c = 0; c < rhs.cols_; ++c)
+                out(r, c) += lhs_val * rhs(k, c);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::operator*(const std::vector<double> &v) const
+{
+    if (cols_ != v.size()) {
+        panic("Matrix-vector shape mismatch: %zux%zu * %zu",
+              rows_, cols_, v.size());
+    }
+    std::vector<double> out(rows_, 0.0);
+    for (size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (size_t c = 0; c < cols_; ++c)
+            acc += (*this)(r, c) * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+double
+Matrix::maxAbs() const
+{
+    double best = 0.0;
+    for (double x : data_)
+        best = std::max(best, std::fabs(x));
+    return best;
+}
+
+} // namespace tdp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Dense row-major matrix used by the regression machinery.
+ *
+ * The matrices here are tiny (design matrices with a handful of
+ * columns), so clarity beats blocking/vectorisation tricks.
+ */
+
+#ifndef TDP_STATS_MATRIX_HH
+#define TDP_STATS_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tdp {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix initialised with fill. */
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    /** Build from nested initializer data (rows of equal length). */
+    static Matrix fromRows(
+        const std::vector<std::vector<double>> &rows);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(size_t n);
+
+    /** Number of rows. */
+    size_t rows() const { return rows_; }
+
+    /** Number of columns. */
+    size_t cols() const { return cols_; }
+
+    /** Mutable element access (bounds-checked in debug builds). */
+    double &at(size_t r, size_t c);
+
+    /** Const element access (bounds-checked in debug builds). */
+    double at(size_t r, size_t c) const;
+
+    /** Unchecked element access. */
+    double &operator()(size_t r, size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked const element access. */
+    double operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Matrix transpose. */
+    Matrix transposed() const;
+
+    /** Matrix product this * rhs. */
+    Matrix operator*(const Matrix &rhs) const;
+
+    /** Matrix-vector product. */
+    std::vector<double> operator*(const std::vector<double> &v) const;
+
+    /** Elementwise maximum absolute value. */
+    double maxAbs() const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace tdp
+
+#endif // TDP_STATS_MATRIX_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Implementation of the error metrics.
+ */
+
+#include "stats/metrics.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/running_stats.hh"
+
+namespace tdp {
+
+namespace {
+
+void
+checkSameLength(const std::vector<double> &a, const std::vector<double> &b,
+                const char *who)
+{
+    if (a.size() != b.size())
+        panic("%s: series lengths differ (%zu vs %zu)", who, a.size(),
+              b.size());
+}
+
+} // namespace
+
+double
+averageError(const std::vector<double> &modeled,
+             const std::vector<double> &measured)
+{
+    checkSameLength(modeled, measured, "averageError");
+    double acc = 0.0;
+    size_t used = 0;
+    for (size_t i = 0; i < modeled.size(); ++i) {
+        if (measured[i] == 0.0)
+            continue;
+        acc += std::fabs(modeled[i] - measured[i]) /
+               std::fabs(measured[i]);
+        ++used;
+    }
+    return used ? acc / static_cast<double>(used) : 0.0;
+}
+
+double
+averageErrorAboveDc(const std::vector<double> &modeled,
+                    const std::vector<double> &measured, double dc_offset)
+{
+    checkSameLength(modeled, measured, "averageErrorAboveDc");
+    double acc = 0.0;
+    size_t used = 0;
+    for (size_t i = 0; i < modeled.size(); ++i) {
+        const double meas = measured[i] - dc_offset;
+        if (meas <= 0.0)
+            continue;
+        const double model = modeled[i] - dc_offset;
+        acc += std::fabs(model - meas) / meas;
+        ++used;
+    }
+    return used ? acc / static_cast<double>(used) : 0.0;
+}
+
+double
+rmsError(const std::vector<double> &modeled,
+         const std::vector<double> &measured)
+{
+    checkSameLength(modeled, measured, "rmsError");
+    if (modeled.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < modeled.size(); ++i) {
+        const double d = modeled[i] - measured[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(modeled.size()));
+}
+
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    checkSameLength(a, b, "pearson");
+    RunningCovariance cov;
+    for (size_t i = 0; i < a.size(); ++i)
+        cov.add(a[i], b[i]);
+    return cov.correlation();
+}
+
+double
+rSquared(const std::vector<double> &modeled,
+         const std::vector<double> &measured)
+{
+    checkSameLength(modeled, measured, "rSquared");
+    if (modeled.empty())
+        return 0.0;
+    RunningStats meas_stats;
+    for (double v : measured)
+        meas_stats.add(v);
+    const double mean = meas_stats.mean();
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (size_t i = 0; i < modeled.size(); ++i) {
+        ss_res += (measured[i] - modeled[i]) * (measured[i] - modeled[i]);
+        ss_tot += (measured[i] - mean) * (measured[i] - mean);
+    }
+    return ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+}
+
+} // namespace tdp

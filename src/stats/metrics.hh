@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Error metrics, including the paper's Equation 6 average error.
+ */
+
+#ifndef TDP_STATS_METRICS_HH
+#define TDP_STATS_METRICS_HH
+
+#include <vector>
+
+namespace tdp {
+
+/**
+ * Paper Equation 6: mean over samples of
+ * |modeled - measured| / measured, as a fraction (multiply by 100 for
+ * percent). Samples with measured == 0 are skipped.
+ */
+double averageError(const std::vector<double> &modeled,
+                    const std::vector<double> &measured);
+
+/**
+ * Equation 6 applied after removing a DC offset from both series, the
+ * way the paper reports disk error ("this error is calculated by first
+ * subtracting the 21.6W of idle (DC) disk power"). Samples whose
+ * offset-corrected measured value is <= 0 are skipped.
+ */
+double averageErrorAboveDc(const std::vector<double> &modeled,
+                           const std::vector<double> &measured,
+                           double dc_offset);
+
+/** Root-mean-square error between two equal-length series. */
+double rmsError(const std::vector<double> &modeled,
+                const std::vector<double> &measured);
+
+/** Pearson correlation between two equal-length series. */
+double pearson(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Coefficient of determination of modeled against measured. */
+double rSquared(const std::vector<double> &modeled,
+                const std::vector<double> &measured);
+
+} // namespace tdp
+
+#endif // TDP_STATS_METRICS_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Implementation of the regression fits.
+ */
+
+#include "stats/regression.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/running_stats.hh"
+#include "stats/matrix.hh"
+#include "stats/solve.hh"
+
+namespace tdp {
+
+double
+FitResult::predict(const std::vector<double> &row) const
+{
+    if (row.size() != coefficients.size()) {
+        panic("FitResult::predict: %zu inputs for %zu coefficients",
+              row.size(), coefficients.size());
+    }
+    double acc = intercept;
+    for (size_t i = 0; i < row.size(); ++i)
+        acc += coefficients[i] * row[i];
+    return acc;
+}
+
+namespace {
+
+/** Compute R^2 and RMSE of a fitted result over the training data. */
+void
+finalizeGoodness(const std::vector<std::vector<double>> &columns,
+                 const std::vector<double> &y, FitResult &fit)
+{
+    RunningStats ystats;
+    for (double v : y)
+        ystats.add(v);
+    const double ymean = ystats.mean();
+
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    std::vector<double> row(columns.size());
+    for (size_t i = 0; i < y.size(); ++i) {
+        for (size_t c = 0; c < columns.size(); ++c)
+            row[c] = columns[c][i];
+        const double pred = fit.predict(row);
+        ss_res += (y[i] - pred) * (y[i] - pred);
+        ss_tot += (y[i] - ymean) * (y[i] - ymean);
+    }
+    fit.rmse = y.empty() ? 0.0 : std::sqrt(ss_res / y.size());
+    fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    fit.sampleCount = y.size();
+}
+
+} // namespace
+
+FitResult
+fitOls(const std::vector<std::vector<double>> &columns,
+       const std::vector<double> &y)
+{
+    const size_t n = y.size();
+    const size_t k = columns.size();
+    if (n == 0)
+        fatal("fitOls: no samples");
+    for (size_t c = 0; c < k; ++c) {
+        if (columns[c].size() != n) {
+            fatal("fitOls: column %zu has %zu samples, expected %zu",
+                  c, columns[c].size(), n);
+        }
+    }
+    if (n < k + 1)
+        fatal("fitOls: %zu samples cannot fit %zu coefficients", n, k + 1);
+
+    // Standardise regressors to unit scale so the quadratic design
+    // matrices stay well conditioned; map coefficients back afterwards.
+    std::vector<double> shift(k, 0.0);
+    std::vector<double> scale(k, 1.0);
+    for (size_t c = 0; c < k; ++c) {
+        RunningStats s;
+        for (double v : columns[c])
+            s.add(v);
+        shift[c] = s.mean();
+        scale[c] = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+    }
+
+    Matrix design(n, k + 1);
+    for (size_t r = 0; r < n; ++r) {
+        design(r, 0) = 1.0;
+        for (size_t c = 0; c < k; ++c)
+            design(r, c + 1) = (columns[c][r] - shift[c]) / scale[c];
+    }
+
+    std::vector<double> beta = solveLeastSquaresQr(design, y);
+
+    FitResult fit;
+    fit.coefficients.resize(k);
+    fit.intercept = beta[0];
+    for (size_t c = 0; c < k; ++c) {
+        fit.coefficients[c] = beta[c + 1] / scale[c];
+        fit.intercept -= beta[c + 1] * shift[c] / scale[c];
+    }
+    finalizeGoodness(columns, y, fit);
+    return fit;
+}
+
+FitResult
+fitPolynomial(const std::vector<double> &x, const std::vector<double> &y,
+              int degree)
+{
+    if (degree < 1)
+        fatal("fitPolynomial: degree must be >= 1, got %d", degree);
+    std::vector<std::vector<double>> columns(degree);
+    for (int d = 0; d < degree; ++d) {
+        columns[d].resize(x.size());
+        for (size_t i = 0; i < x.size(); ++i)
+            columns[d][i] = std::pow(x[i], d + 1);
+    }
+    return fitOls(columns, y);
+}
+
+std::vector<double>
+quadraticPerInputFeatures(const std::vector<double> &row)
+{
+    std::vector<double> out;
+    out.reserve(row.size() * 2);
+    for (double v : row) {
+        out.push_back(v);
+        out.push_back(v * v);
+    }
+    return out;
+}
+
+FitResult
+fitQuadraticPerInput(const std::vector<std::vector<double>> &inputs,
+                     const std::vector<double> &y)
+{
+    std::vector<std::vector<double>> columns;
+    columns.reserve(inputs.size() * 2);
+    for (const auto &input : inputs) {
+        columns.push_back(input);
+        std::vector<double> squared(input.size());
+        for (size_t i = 0; i < input.size(); ++i)
+            squared[i] = input[i] * input[i];
+        columns.push_back(std::move(squared));
+    }
+    return fitOls(columns, y);
+}
+
+} // namespace tdp

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Implementation of the linear solvers.
+ */
+
+#include "stats/solve.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+std::vector<double>
+solveLinearSystem(Matrix a, std::vector<double> b)
+{
+    const size_t n = a.rows();
+    if (a.cols() != n || b.size() != n) {
+        panic("solveLinearSystem: shape mismatch (%zux%zu, b=%zu)",
+              a.rows(), a.cols(), b.size());
+    }
+
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivot: bring the largest remaining entry up.
+        size_t pivot = col;
+        double best = std::fabs(a(col, col));
+        for (size_t r = col + 1; r < n; ++r) {
+            if (std::fabs(a(r, col)) > best) {
+                best = std::fabs(a(r, col));
+                pivot = r;
+            }
+        }
+        if (best < 1e-12)
+            fatal("solveLinearSystem: singular matrix at column %zu", col);
+        if (pivot != col) {
+            for (size_t c = 0; c < n; ++c)
+                std::swap(a(col, c), a(pivot, c));
+            std::swap(b[col], b[pivot]);
+        }
+        for (size_t r = col + 1; r < n; ++r) {
+            const double factor = a(r, col) / a(col, col);
+            if (factor == 0.0)
+                continue;
+            for (size_t c = col; c < n; ++c)
+                a(r, c) -= factor * a(col, c);
+            b[r] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (size_t c = ri + 1; c < n; ++c)
+            acc -= a(ri, c) * x[c];
+        x[ri] = acc / a(ri, ri);
+    }
+    return x;
+}
+
+std::vector<double>
+solveLeastSquaresQr(Matrix a, std::vector<double> b)
+{
+    const size_t m = a.rows();
+    const size_t n = a.cols();
+    if (b.size() != m) {
+        panic("solveLeastSquaresQr: shape mismatch (%zux%zu, b=%zu)",
+              m, n, b.size());
+    }
+    if (m < n)
+        fatal("solveLeastSquaresQr: underdetermined (%zu rows < %zu cols)",
+              m, n);
+
+    // Householder QR applied in place; b accumulates Q^T b.
+    for (size_t k = 0; k < n; ++k) {
+        double norm = 0.0;
+        for (size_t r = k; r < m; ++r)
+            norm += a(r, k) * a(r, k);
+        norm = std::sqrt(norm);
+        if (norm < 1e-12)
+            fatal("solveLeastSquaresQr: rank-deficient at column %zu", k);
+        // Take the sign of the diagonal so the reflected diagonal
+        // element (a(k,k)/norm + 1) stays away from zero.
+        if (a(k, k) < 0.0)
+            norm = -norm;
+
+        // Householder vector v stored in-place below the diagonal.
+        for (size_t r = k; r < m; ++r)
+            a(r, k) /= norm;
+        a(k, k) += 1.0;
+
+        for (size_t c = k + 1; c < n; ++c) {
+            double dot = 0.0;
+            for (size_t r = k; r < m; ++r)
+                dot += a(r, k) * a(r, c);
+            dot = -dot / a(k, k);
+            for (size_t r = k; r < m; ++r)
+                a(r, c) += dot * a(r, k);
+        }
+        double dot = 0.0;
+        for (size_t r = k; r < m; ++r)
+            dot += a(r, k) * b[r];
+        dot = -dot / a(k, k);
+        for (size_t r = k; r < m; ++r)
+            b[r] += dot * a(r, k);
+
+        // Store R's diagonal entry where back-substitution expects it.
+        a(k, k) = -norm;
+    }
+
+    // Back-substitute on the upper-triangular R (strictly above the
+    // diagonal of 'a'; the diagonal holds norm values set above).
+    std::vector<double> x(n, 0.0);
+    for (size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (size_t c = ri + 1; c < n; ++c)
+            acc -= a(ri, c) * x[c];
+        x[ri] = acc / a(ri, ri);
+    }
+    return x;
+}
+
+} // namespace tdp

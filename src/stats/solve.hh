@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Linear system and least-squares solvers.
+ */
+
+#ifndef TDP_STATS_SOLVE_HH
+#define TDP_STATS_SOLVE_HH
+
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace tdp {
+
+/**
+ * Solve the square system A x = b with Gaussian elimination and partial
+ * pivoting. Throws FatalError when A is (numerically) singular.
+ */
+std::vector<double> solveLinearSystem(Matrix a, std::vector<double> b);
+
+/**
+ * Least-squares solution of the (possibly overdetermined) system
+ * A x ~= b via Householder QR, which is better conditioned than the
+ * normal equations for the polynomial design matrices used here.
+ * Throws FatalError when A is rank-deficient.
+ */
+std::vector<double> solveLeastSquaresQr(Matrix a, std::vector<double> b);
+
+} // namespace tdp
+
+#endif // TDP_STATS_SOLVE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Profile validation and registry lookups.
+ */
+
+#include "workloads/profile.hh"
+
+#include "common/logging.hh"
+#include "workloads/suite.hh"
+
+namespace tdp {
+
+void
+validateProfile(const WorkloadProfile &profile)
+{
+    if (profile.name.empty())
+        fatal("workload profile with empty name");
+    if (profile.phases.empty())
+        fatal("workload '%s' has no phases", profile.name.c_str());
+    if (profile.footprintMB < 0.0)
+        fatal("workload '%s': negative footprint", profile.name.c_str());
+    for (const WorkloadPhase &phase : profile.phases) {
+        if (phase.duration <= 0.0) {
+            fatal("workload '%s' phase '%s': non-positive duration",
+                  profile.name.c_str(), phase.label.c_str());
+        }
+        const ThreadDemand &d = phase.demand;
+        if (d.uopsPerCycle < 0.0 || d.l3MissPerKuop < 0.0 ||
+            d.tlbMissPerMuop < 0.0 || d.uncacheablePerMuop < 0.0) {
+            fatal("workload '%s' phase '%s': negative demand rate",
+                  profile.name.c_str(), phase.label.c_str());
+        }
+        if (d.dutyCycle < 0.0 || d.dutyCycle > 1.0) {
+            fatal("workload '%s' phase '%s': dutyCycle out of [0,1]",
+                  profile.name.c_str(), phase.label.c_str());
+        }
+        if (d.pageHitRate < 0.0 || d.pageHitRate > 1.0) {
+            fatal("workload '%s' phase '%s': pageHitRate out of [0,1]",
+                  profile.name.c_str(), phase.label.c_str());
+        }
+        if (d.memBoundness < 0.0 || d.memBoundness > 1.0) {
+            fatal("workload '%s' phase '%s': memBoundness out of [0,1]",
+                  profile.name.c_str(), phase.label.c_str());
+        }
+        if (phase.readCachedFraction < 0.0 ||
+            phase.readCachedFraction > 1.0) {
+            fatal("workload '%s' phase '%s': readCachedFraction out of "
+                  "[0,1]",
+                  profile.name.c_str(), phase.label.c_str());
+        }
+        if (phase.fileWriteBytesPerSec < 0.0 ||
+            phase.fileReadBytesPerSec < 0.0 ||
+            phase.fileRegionBytes < 0.0 ||
+            phase.syncEverySeconds < 0.0) {
+            fatal("workload '%s' phase '%s': negative I/O parameter",
+                  profile.name.c_str(), phase.label.c_str());
+        }
+    }
+}
+
+const WorkloadProfile &
+findWorkloadProfile(const std::string &name)
+{
+    for (const WorkloadProfile &p : workloadSuite())
+        if (p.name == name)
+            return p;
+    fatal("unknown workload profile '%s'", name.c_str());
+}
+
+std::vector<std::string>
+workloadProfileNames()
+{
+    std::vector<std::string> names;
+    for (const WorkloadProfile &p : workloadSuite())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace tdp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Workload profiles: phased behaviour descriptions that drive the
+ * synthetic equivalents of the paper's workloads (SPEC CPU 2000
+ * subset, dbt-2, SPECjbb, the DiskLoad synthetic and idle).
+ *
+ * A profile is a sequence of phases; each phase pins the thread's
+ * microarchitectural demand and its file-I/O behaviour. Profiles are
+ * data, not code: the same WorkloadThread executes all of them.
+ */
+
+#ifndef TDP_WORKLOADS_PROFILE_HH
+#define TDP_WORKLOADS_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "os/thread_context.hh"
+
+namespace tdp {
+
+/** One phase of workload behaviour. */
+struct WorkloadPhase
+{
+    /** Diagnostic label ("compute", "flush", ...). */
+    std::string label;
+
+    /** Wall-clock duration of the phase (s). */
+    Seconds duration = 10.0;
+
+    /** Microarchitectural demand during the phase. */
+    ThreadDemand demand;
+
+    /** Rate of newly-dirtied file bytes (B/s) - buffered writes. */
+    double fileWriteBytesPerSec = 0.0;
+
+    /**
+     * Size of the file region the phase dirties (B). Re-writing the
+     * same region does not create new dirty pages, so the dirty
+     * contribution saturates here until a sync() cleans it.
+     */
+    double fileRegionBytes = 0.0;
+
+    /** Rate of file reads (B/s). */
+    double fileReadBytesPerSec = 0.0;
+
+    /** Fraction of those reads served by the page cache. */
+    double readCachedFraction = 1.0;
+
+    /** True if reads are sequential (short seeks). */
+    bool readSequential = true;
+
+    /** Block the thread while read misses are in flight. */
+    bool readsBlock = false;
+
+    /** Call sync() with this period (s); 0 disables. */
+    Seconds syncEverySeconds = 0.0;
+};
+
+/** A complete workload description. */
+struct WorkloadProfile
+{
+    /** Workload name ("gcc", "mcf", ...). */
+    std::string name;
+
+    /** True for SPEC floating-point codes (Table 4 grouping). */
+    bool isFloatingPoint = false;
+
+    /** Resident set per instance (MB). */
+    double footprintMB = 128.0;
+
+    /** Dataset bytes read from disk at program start. */
+    double initReadBytes = 0.0;
+
+    /** Phases, executed in order. */
+    std::vector<WorkloadPhase> phases;
+
+    /** Loop the phases until the simulation ends. */
+    bool loopForever = true;
+
+    /**
+     * Relative sigma of the slow multiplicative wander applied to the
+     * demand rates (models input-dependent program variability).
+     */
+    double demandWanderSigma = 0.04;
+
+    /** Wander correlation time constant (s). */
+    double demandWanderTau = 8.0;
+};
+
+/** Look up a registered profile by name; fatal() on unknown names. */
+const WorkloadProfile &findWorkloadProfile(const std::string &name);
+
+/** Names of all registered profiles, in registry order. */
+std::vector<std::string> workloadProfileNames();
+
+/**
+ * Sanity-check a profile (positive durations, rates in range);
+ * fatal() with a descriptive message on the first violation.
+ */
+void validateProfile(const WorkloadProfile &profile);
+
+} // namespace tdp
+
+#endif // TDP_WORKLOADS_PROFILE_HH

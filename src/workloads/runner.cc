@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Implementation of the workload runner.
+ */
+
+#include "workloads/runner.hh"
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+WorkloadRunner::WorkloadRunner(System &system, Scheduler &scheduler,
+                               PageCache &cache)
+    : system_(system), scheduler_(scheduler), cache_(cache)
+{
+}
+
+std::vector<WorkloadThread *>
+WorkloadRunner::launchStaggered(const std::string &profile_name,
+                                int instances,
+                                Seconds first_start_seconds,
+                                Seconds stagger_seconds)
+{
+    if (instances < 0)
+        fatal("WorkloadRunner: negative instance count %d", instances);
+    const WorkloadProfile &profile = findWorkloadProfile(profile_name);
+
+    std::vector<WorkloadThread *> created;
+    for (int i = 0; i < instances; ++i) {
+        const std::string thread_name =
+            profile.name + "." + std::to_string(threads_.size());
+        threads_.push_back(std::make_unique<WorkloadThread>(
+            system_, cache_, profile, thread_name));
+        WorkloadThread *thread = threads_.back().get();
+        created.push_back(thread);
+        scheduler_.launchAt(thread, first_start_seconds +
+                                        stagger_seconds * i);
+    }
+    return created;
+}
+
+} // namespace tdp

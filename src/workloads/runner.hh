@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Workload runner: builds N instances of a profile and launches them
+ * with the paper's staggered start discipline (section 3.2.1: thread
+ * starts staggered by a fixed 30-60 s so the models train across the
+ * whole utilisation range).
+ */
+
+#ifndef TDP_WORKLOADS_RUNNER_HH
+#define TDP_WORKLOADS_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/page_cache.hh"
+#include "os/scheduler.hh"
+#include "sim/system.hh"
+#include "workloads/profile.hh"
+#include "workloads/workload_thread.hh"
+
+namespace tdp {
+
+/** Builds, owns and launches workload thread instances. */
+class WorkloadRunner
+{
+  public:
+    /**
+     * @param system owning system.
+     * @param scheduler placement target.
+     * @param cache page cache the threads do file I/O through.
+     */
+    WorkloadRunner(System &system, Scheduler &scheduler,
+                   PageCache &cache);
+
+    /**
+     * Create `instances` threads of the named profile and schedule
+     * their launches `stagger_seconds` apart starting at
+     * `first_start_seconds`.
+     *
+     * @return the created threads (owned by the runner).
+     */
+    std::vector<WorkloadThread *> launchStaggered(
+        const std::string &profile_name, int instances,
+        Seconds first_start_seconds, Seconds stagger_seconds);
+
+    /** All threads created so far. */
+    const std::vector<std::unique_ptr<WorkloadThread>> &threads() const
+    {
+        return threads_;
+    }
+
+  private:
+    System &system_;
+    Scheduler &scheduler_;
+    PageCache &cache_;
+    std::vector<std::unique_ptr<WorkloadThread>> threads_;
+};
+
+} // namespace tdp
+
+#endif // TDP_WORKLOADS_RUNNER_HH

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Definitions of the paper's workload profiles.
+ *
+ * The rates below are per-thread calibration values chosen so the
+ * simulated four-package SMP reproduces the paper's Table 1 subsystem
+ * power characterisation when run with the paper's thread counts
+ * (eight staggered instances for the SPEC codes).
+ */
+
+#include "workloads/suite.hh"
+
+namespace tdp {
+
+namespace {
+
+/** Convenience builder for a compute phase. */
+WorkloadPhase
+computePhase(const std::string &label, Seconds duration, double uops,
+             double miss_per_kuop, double writeback, double prefetch,
+             double tlb_per_muop, double spec, double mem_bound,
+             double page_hit, double gating = 0.0, double duty = 1.0,
+             double crosstalk = 0.0)
+{
+    WorkloadPhase p;
+    p.label = label;
+    p.duration = duration;
+    p.demand.uopsPerCycle = uops;
+    p.demand.l3MissPerKuop = miss_per_kuop;
+    p.demand.writebackFraction = writeback;
+    p.demand.prefetchPerMiss = prefetch;
+    p.demand.tlbMissPerMuop = tlb_per_muop;
+    p.demand.uncacheablePerMuop = 0.4;
+    p.demand.specUopsEquiv = spec;
+    p.demand.memBoundness = mem_bound;
+    p.demand.pageHitRate = page_hit;
+    p.demand.clockGatingFactor = gating;
+    p.demand.dutyCycle = duty;
+    p.demand.chipsetCrosstalkW = crosstalk;
+    return p;
+}
+
+std::vector<WorkloadProfile>
+buildSuite()
+{
+    std::vector<WorkloadProfile> suite;
+
+    // ---- idle: nothing runs; the OS housekeeping is the workload.
+    {
+        WorkloadProfile p;
+        p.name = "idle";
+        p.footprintMB = 0.0;
+        p.demandWanderSigma = 0.0;
+        p.phases.push_back(computePhase("idle", 10.0, 0.0, 0.0, 0.0,
+                                        0.0, 0.0, 0.0, 0.0, 0.5, 0.0,
+                                        0.0));
+        suite.push_back(p);
+    }
+
+    // ---- SPEC CPU 2000 integer ----------------------------------
+    {
+        WorkloadProfile p;
+        p.name = "gcc";
+        p.footprintMB = 160.0;
+        p.initReadBytes = 30e6;
+        p.phases = {
+            computePhase("parse", 9.0, 0.50, 2.7, 0.35, 0.40, 18.0,
+                         0.10, 0.30, 0.58, 0.0, 1.0, 0.1),
+            computePhase("optimize", 6.0, 0.40, 1.9, 0.30, 0.35, 22.0,
+                         0.35, 0.25, 0.62, 0.0, 1.0, 0.1),
+            computePhase("codegen", 5.0, 0.46, 2.4, 0.35, 0.40, 20.0,
+                         0.18, 0.30, 0.60, 0.0, 1.0, 0.1),
+        };
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "mcf";
+        p.footprintMB = 1000.0;
+        p.initReadBytes = 80e6;
+        p.phases = {
+            computePhase("pointer-chase", 30.0, 0.13, 14.0, 0.38, 0.50,
+                         45.0, 0.78, 0.90, 0.30, 0.05, 1.0, 0.1),
+            computePhase("refine", 15.0, 0.16, 13.0, 0.25, 0.50, 40.0,
+                         0.70, 0.85, 0.48, 0.05, 1.0, 0.1),
+        };
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "vortex";
+        p.footprintMB = 90.0;
+        p.initReadBytes = 40e6;
+        p.phases = {
+            computePhase("insert", 10.0, 0.95, 1.6, 0.30, 0.30, 12.0,
+                         0.05, 0.15, 0.62, 0.0, 1.0, -2.6),
+            computePhase("lookup", 8.0, 0.88, 1.4, 0.28, 0.30, 14.0,
+                         0.13, 0.15, 0.64, 0.0, 1.0, -2.6),
+        };
+        suite.push_back(p);
+    }
+
+    // ---- SPEC CPU 2000 floating point ---------------------------
+    {
+        WorkloadProfile p;
+        p.name = "art";
+        p.isFloatingPoint = true;
+        p.footprintMB = 60.0;
+        p.initReadBytes = 20e6;
+        p.demandWanderSigma = 0.015; // art's trace is very flat
+        p.phases = {
+            computePhase("match", 12.0, 0.14, 9.5, 0.25, 0.60, 12.0,
+                         0.50, 0.80, 0.50, 0.0, 1.0, -1.2),
+            computePhase("train", 8.0, 0.16, 8.6, 0.25, 0.60, 12.0,
+                         0.46, 0.80, 0.50, 0.0, 1.0, -1.2),
+        };
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "lucas";
+        p.isFloatingPoint = true;
+        p.footprintMB = 180.0;
+        p.initReadBytes = 10e6;
+        p.phases = {
+            computePhase("fft", 14.0, 0.15, 17.0, 0.50, 0.70, 10.0,
+                         0.0, 0.90, 0.70, 0.12, 1.0, -0.4),
+            computePhase("mult", 10.0, 0.17, 15.0, 0.50, 0.65, 10.0,
+                         0.0, 0.88, 0.72, 0.11, 1.0, -0.4),
+        };
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "mesa";
+        p.isFloatingPoint = true;
+        p.footprintMB = 80.0;
+        p.initReadBytes = 15e6;
+        p.phases = {
+            computePhase("raster", 10.0, 0.64, 2.1, 0.30, 0.30, 8.0,
+                         0.25, 0.20, 0.60, 0.02, 1.0, -3.1),
+            computePhase("shade", 7.0, 0.58, 1.8, 0.30, 0.30, 8.0,
+                         0.08, 0.20, 0.60, 0.02, 1.0, -3.1),
+        };
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "mgrid";
+        p.isFloatingPoint = true;
+        p.footprintMB = 120.0;
+        p.initReadBytes = 12e6;
+        p.demandWanderSigma = 0.02;
+        p.phases = {
+            computePhase("relax", 12.0, 0.10, 32.0, 0.45, 0.60, 9.0,
+                         0.0, 0.70, 0.72, 0.0, 1.0, -0.9),
+            computePhase("project", 9.0, 0.095, 30.0, 0.45, 0.60, 9.0,
+                         0.0, 0.70, 0.72, 0.0, 1.0, -0.9),
+        };
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "wupwise";
+        p.isFloatingPoint = true;
+        p.footprintMB = 170.0;
+        p.initReadBytes = 15e6;
+        p.phases = {
+            computePhase("su3", 11.0, 0.55, 5.3, 0.40, 0.50, 9.0,
+                         0.65, 0.60, 0.65, 0.08, 1.0, -1.1),
+            computePhase("gamma", 8.0, 0.50, 4.8, 0.40, 0.50, 9.0,
+                         0.40, 0.60, 0.65, 0.08, 1.0, -1.1),
+        };
+        suite.push_back(p);
+    }
+
+    // ---- commercial server workloads ----------------------------
+    {
+        // dbt-2: TPC-C-style OLTP through PostgreSQL; disk-starved on
+        // this machine, so CPUs are mostly idle (paper section 4.1).
+        WorkloadProfile p;
+        p.name = "dbt2";
+        p.footprintMB = 300.0;
+        p.initReadBytes = 100e6;
+        WorkloadPhase oltp =
+            computePhase("oltp", 10.0, 0.60, 4.2, 0.35, 0.30, 25.0,
+                         0.15, 0.30, 0.50, 0.0, 0.038, -0.5);
+        oltp.fileReadBytesPerSec = 0.6e6;
+        oltp.readCachedFraction = 0.98;
+        oltp.readSequential = false;
+        oltp.readsBlock = true;
+        oltp.fileWriteBytesPerSec = 0.15e6; // WAL appends
+        p.phases = {oltp};
+        suite.push_back(p);
+    }
+    {
+        // SPECjbb: server-side java, alternating transaction phases
+        // with stop-the-world garbage collection bursts (the source of
+        // the paper's largest CPU power standard deviation).
+        WorkloadProfile p;
+        p.name = "specjbb";
+        p.footprintMB = 230.0;
+        p.phases = {
+            computePhase("transact", 7.0, 0.52, 6.0, 0.40, 0.40, 28.0,
+                         0.20, 0.35, 0.55, 0.0, 0.30, -2.9),
+            computePhase("gc", 1.5, 0.80, 9.0, 0.50, 0.50, 20.0,
+                         0.10, 0.60, 0.70, 0.0, 0.85, -2.9),
+        };
+        suite.push_back(p);
+    }
+
+    // ---- synthetic disk workload --------------------------------
+    {
+        // DiskLoad: stream-modify a cache-sized file region, then
+        // sync() to force the dirty pages to disk (paper section
+        // 3.2.2). Memory stays hot throughout; disk and I/O pulse at
+        // each flush.
+        WorkloadProfile p;
+        p.name = "diskload";
+        p.footprintMB = 60.0;
+        WorkloadPhase modify =
+            computePhase("modify", 12.0, 0.45, 9.5, 0.50, 0.20, 15.0,
+                         0.10, 0.85, 0.55, 0.05, 0.60, 0.0);
+        modify.fileWriteBytesPerSec = 150e6;
+        modify.fileRegionBytes = 20e6;
+        modify.syncEverySeconds = 12.0;
+        p.phases = {modify};
+        suite.push_back(p);
+    }
+
+    for (const WorkloadProfile &p : suite)
+        validateProfile(p);
+    return suite;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+workloadSuite()
+{
+    static const std::vector<WorkloadProfile> suite = buildSuite();
+    return suite;
+}
+
+std::vector<std::string>
+integerWorkloads()
+{
+    return {"gcc", "mcf", "vortex"};
+}
+
+std::vector<std::string>
+floatingPointWorkloads()
+{
+    return {"art", "lucas", "mesa", "mgrid", "wupwise"};
+}
+
+std::vector<std::string>
+paperWorkloadOrder()
+{
+    return {"idle",    "gcc",     "mcf",   "vortex",
+            "art",     "lucas",   "mesa",  "mgrid",
+            "wupwise", "dbt2",    "specjbb", "diskload"};
+}
+
+} // namespace tdp

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The paper's workload suite (section 3.2): eight SPEC CPU 2000
+ * codes, two commercial server workloads and the synthetic DiskLoad,
+ * plus idle. Each is a WorkloadProfile whose rates were calibrated so
+ * the simulated server reproduces the paper's Table 1/2
+ * characterisation.
+ */
+
+#ifndef TDP_WORKLOADS_SUITE_HH
+#define TDP_WORKLOADS_SUITE_HH
+
+#include <vector>
+
+#include "workloads/profile.hh"
+
+namespace tdp {
+
+/** All registered workload profiles (built once, in a fixed order). */
+const std::vector<WorkloadProfile> &workloadSuite();
+
+/** Names of the SPEC integer codes in the suite. */
+std::vector<std::string> integerWorkloads();
+
+/** Names of the SPEC floating-point codes in the suite. */
+std::vector<std::string> floatingPointWorkloads();
+
+/** The paper's Table 1 workload order (idle first, DiskLoad last). */
+std::vector<std::string> paperWorkloadOrder();
+
+} // namespace tdp
+
+#endif // TDP_WORKLOADS_SUITE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the logging and error-reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace tdp {
+namespace {
+
+TEST(Logging, FormatStringBasic)
+{
+    EXPECT_EQ(formatString("hello %s %d", "world", 42),
+              "hello world 42");
+}
+
+TEST(Logging, FormatStringEmpty)
+{
+    EXPECT_EQ(formatString("%s", ""), "");
+}
+
+TEST(Logging, FormatStringLong)
+{
+    const std::string big(5000, 'x');
+    EXPECT_EQ(formatString("%s", big.c_str()), big);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config %d", 7), FatalError);
+}
+
+TEST(Logging, FatalMessageContent)
+{
+    try {
+        fatal("bad value %d", 13);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad value 13");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant %s broken", "x"), PanicError);
+}
+
+TEST(Logging, PanicIsNotFatalError)
+{
+    // The two error classes must stay distinguishable: tests and
+    // long-running tools catch FatalError but let PanicError escape.
+    try {
+        panic("boom");
+        FAIL() << "panic did not throw";
+    } catch (const FatalError &) {
+        FAIL() << "panic threw FatalError";
+    } catch (const PanicError &) {
+        SUCCEED();
+    }
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_NO_THROW(warn("suppressed %d", 1));
+    EXPECT_NO_THROW(inform("suppressed"));
+    EXPECT_NO_THROW(debugLog("suppressed"));
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace tdp

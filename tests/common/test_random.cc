@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the deterministic random number generator.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/running_stats.hh"
+
+namespace tdp {
+namespace {
+
+TEST(Random, Deterministic)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Random, NamedStreamsIndependent)
+{
+    Rng a(7, "alpha"), b(7, "beta"), a2(7, "alpha");
+    EXPECT_NE(a.next(), b.next());
+    Rng a3(7, "alpha");
+    EXPECT_EQ(a3.next(), a2.next());
+}
+
+TEST(Random, UniformRange)
+{
+    Rng rng(99);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformMeanNearHalf)
+{
+    Rng rng(5);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.uniform());
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Random, UniformIntBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const int64_t v = rng.uniformInt(-3, 4);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 4);
+    }
+}
+
+TEST(Random, UniformIntSingleton)
+{
+    Rng rng(12);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(Random, GaussianMoments)
+{
+    Rng rng(77);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.gaussian());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Random, GaussianScaled)
+{
+    Rng rng(78);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.gaussian(10.0, 3.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(Random, ExponentialMean)
+{
+    Rng rng(33);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.exponential(4.0));
+    EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Random, PoissonSmallMean)
+{
+    Rng rng(44);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(static_cast<double>(rng.poisson(2.5)));
+    EXPECT_NEAR(stats.mean(), 2.5, 0.05);
+    EXPECT_NEAR(stats.variance(), 2.5, 0.1);
+}
+
+TEST(Random, PoissonLargeMeanUsesNormalApprox)
+{
+    Rng rng(45);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(static_cast<double>(rng.poisson(500.0)));
+    EXPECT_NEAR(stats.mean(), 500.0, 2.0);
+    EXPECT_NEAR(stats.stddev(), std::sqrt(500.0), 1.0);
+}
+
+TEST(Random, PoissonZeroMean)
+{
+    Rng rng(46);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Random, BernoulliProbability)
+{
+    Rng rng(55);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Random, HashStringStable)
+{
+    EXPECT_EQ(hashString("abc"), hashString("abc"));
+    EXPECT_NE(hashString("abc"), hashString("abd"));
+    EXPECT_NE(hashString(""), hashString("a"));
+}
+
+} // namespace
+} // namespace tdp

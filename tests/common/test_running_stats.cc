@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the streaming statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/running_stats.hh"
+
+namespace tdp {
+namespace {
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 42.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 42.0);
+    EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownSeries)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Unbiased sample variance of the classic series: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined)
+{
+    Rng rng(3);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.gaussian(3.0, 2.0);
+        all.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, Reset)
+{
+    RunningStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, NumericalStabilityLargeOffset)
+{
+    // Welford must survive a huge common offset.
+    RunningStats s;
+    const double offset = 1e12;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(offset + v);
+    EXPECT_NEAR(s.mean() - offset, 2.5, 1e-3);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-3);
+}
+
+TEST(RunningCovariance, PerfectlyCorrelated)
+{
+    RunningCovariance c;
+    for (int i = 0; i < 100; ++i)
+        c.add(i, 2.0 * i + 1.0);
+    EXPECT_NEAR(c.correlation(), 1.0, 1e-12);
+}
+
+TEST(RunningCovariance, PerfectlyAntiCorrelated)
+{
+    RunningCovariance c;
+    for (int i = 0; i < 100; ++i)
+        c.add(i, -3.0 * i);
+    EXPECT_NEAR(c.correlation(), -1.0, 1e-12);
+}
+
+TEST(RunningCovariance, IndependentNearZero)
+{
+    Rng rng(9);
+    RunningCovariance c;
+    for (int i = 0; i < 100000; ++i)
+        c.add(rng.gaussian(), rng.gaussian());
+    EXPECT_NEAR(c.correlation(), 0.0, 0.02);
+}
+
+TEST(RunningCovariance, KnownCovariance)
+{
+    RunningCovariance c;
+    c.add(1.0, 2.0);
+    c.add(2.0, 4.0);
+    c.add(3.0, 6.0);
+    // cov of {1,2,3} with {2,4,6} is 2 * var({1,2,3}) = 2.
+    EXPECT_NEAR(c.covariance(), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(c.meanX(), 2.0);
+    EXPECT_DOUBLE_EQ(c.meanY(), 4.0);
+}
+
+TEST(RunningCovariance, DegenerateConstantSeries)
+{
+    RunningCovariance c;
+    c.add(1.0, 5.0);
+    c.add(1.0, 7.0);
+    EXPECT_EQ(c.correlation(), 0.0);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the string utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hh"
+
+namespace tdp {
+namespace {
+
+TEST(Strings, SplitBasic)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    const auto parts = split(",x,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "x");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitNoDelimiter)
+{
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, TrimBothEnds)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(toLower("MiXeD 42!"), "mixed 42!");
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("workload.gcc", "workload"));
+    EXPECT_FALSE(startsWith("gcc", "workload"));
+    EXPECT_TRUE(startsWith("anything", ""));
+    EXPECT_FALSE(startsWith("", "x"));
+}
+
+TEST(Strings, SplitJoinRoundTrip)
+{
+    const std::string original = "one,two,three";
+    EXPECT_EQ(join(split(original, ','), ","), original);
+}
+
+} // namespace
+} // namespace tdp

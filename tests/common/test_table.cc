@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the console table and CSV writers.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace tdp {
+namespace {
+
+TEST(TableWriter, RendersAlignedColumns)
+{
+    TableWriter table({"name", "watts"});
+    table.addRow({"cpu", "38.4"});
+    table.addRow({"memory", "28.1"});
+    std::ostringstream os;
+    table.render(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("memory"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableWriter, RowArityChecked)
+{
+    TableWriter table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), PanicError);
+}
+
+TEST(TableWriter, EmptyHeadersRejected)
+{
+    EXPECT_THROW(TableWriter({}), PanicError);
+}
+
+TEST(TableWriter, NumFormatting)
+{
+    EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TableWriter::num(-1.0, 0), "-1");
+}
+
+TEST(TableWriter, PctFormatting)
+{
+    EXPECT_EQ(TableWriter::pct(0.0931, 1), "9.3%");
+    EXPECT_EQ(TableWriter::pct(1.0, 0), "100%");
+}
+
+TEST(TableWriter, RowCount)
+{
+    TableWriter table({"x"});
+    EXPECT_EQ(table.rowCount(), 0u);
+    table.addRow({"1"});
+    EXPECT_EQ(table.rowCount(), 1u);
+}
+
+TEST(CsvWriter, PlainCells)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"a", "b", "c"});
+    EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, EscapesSeparatorsAndQuotes)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"a,b", "say \"hi\"", "plain"});
+    EXPECT_EQ(os.str(), "\"a,b\",\"say \"\"hi\"\"\",plain\n");
+}
+
+TEST(CsvWriter, EscapesNewlines)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"line1\nline2"});
+    EXPECT_EQ(os.str(), "\"line1\nline2\"\n");
+}
+
+} // namespace
+} // namespace tdp

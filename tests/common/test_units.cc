@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Tests for the unit conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace tdp {
+namespace {
+
+TEST(Units, SecondsToTicksRoundTrip)
+{
+    EXPECT_EQ(secondsToTicks(1.0), ticksPerSecond);
+    EXPECT_EQ(secondsToTicks(0.001), ticksPerMs);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(ticksPerSecond), 1.0);
+}
+
+TEST(Units, SecondsToTicksRounds)
+{
+    // 1.5 us rounds to 2 ticks.
+    EXPECT_EQ(secondsToTicks(1.5e-6), 2u);
+    EXPECT_EQ(secondsToTicks(0.4e-6), 0u);
+}
+
+TEST(Units, TicksToCycles)
+{
+    // 1 ms at 2.8 GHz is 2.8 million cycles.
+    EXPECT_DOUBLE_EQ(ticksToCycles(ticksPerMs, 2.8e9), 2.8e6);
+}
+
+TEST(Units, ZeroSpans)
+{
+    EXPECT_DOUBLE_EQ(ticksToSeconds(0), 0.0);
+    EXPECT_DOUBLE_EQ(ticksToCycles(0, 1e9), 0.0);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic trace builders shared by the core-library test suites:
+ * hand-constructed aligned samples with known counter/power
+ * relationships, so model behaviour is testable without running the
+ * full simulator.
+ */
+
+#ifndef TDP_TESTS_CORE_SYNTHETIC_TRACE_HH
+#define TDP_TESTS_CORE_SYNTHETIC_TRACE_HH
+
+#include <functional>
+
+#include "common/random.hh"
+#include "measure/trace.hh"
+
+namespace tdp {
+
+/** Knobs for one synthetic sample. */
+struct SyntheticPoint
+{
+    double activeFraction = 1.0;
+    double uopsPerCycle = 1.0;
+    double l3MissesPerCycle = 0.005;
+    double busTxPerCycle = 0.01;
+    double dmaPerCycle = 0.0;
+    double uncacheablePerCycle = 1e-6;
+    double tlbMissesPerCycle = 1e-5;
+    double prefetchPerCycle = 0.002;
+    double interruptsPerSecond = 1000.0;
+    double diskIrqPerSecond = 0.0;
+    double deviceIrqPerSecond = 50.0;
+};
+
+/** Build one aligned sample for `cpus` identical CPUs. */
+inline AlignedSample
+makeSyntheticSample(const SyntheticPoint &pt,
+                    const std::array<double, numRails> &watts,
+                    int cpus = 4, double time = 0.0)
+{
+    AlignedSample s;
+    s.time = time;
+    s.interval = 1.0;
+    const double cycles = 2.8e9;
+    s.perCpu.resize(static_cast<size_t>(cpus));
+    for (CounterSnapshot &snap : s.perCpu) {
+        snap[PerfEvent::Cycles] = cycles;
+        snap[PerfEvent::HaltedCycles] =
+            cycles * (1.0 - pt.activeFraction);
+        snap[PerfEvent::FetchedUops] = cycles * pt.uopsPerCycle;
+        snap[PerfEvent::L3LoadMisses] = cycles * pt.l3MissesPerCycle;
+        snap[PerfEvent::TlbMisses] = cycles * pt.tlbMissesPerCycle;
+        snap[PerfEvent::DmaOtherAccesses] = cycles * pt.dmaPerCycle;
+        snap[PerfEvent::BusTransactions] = cycles * pt.busTxPerCycle;
+        snap[PerfEvent::PrefetchTransactions] =
+            cycles * pt.prefetchPerCycle;
+        snap[PerfEvent::UncacheableAccesses] =
+            cycles * pt.uncacheablePerCycle;
+        snap[PerfEvent::InterruptsServiced] =
+            pt.interruptsPerSecond / cpus;
+    }
+    s.osInterruptsTotal = pt.interruptsPerSecond;
+    s.osDiskInterrupts = pt.diskIrqPerSecond;
+    s.osDeviceInterrupts = pt.deviceIrqPerSecond;
+    s.measuredWatts = watts;
+    return s;
+}
+
+/**
+ * Build a trace by sweeping a load factor u in [0, 1] through a
+ * user-supplied generator.
+ */
+inline SampleTrace
+sweepTrace(int samples,
+           const std::function<AlignedSample(double, int)> &generator)
+{
+    SampleTrace trace;
+    for (int i = 0; i < samples; ++i) {
+        const double u =
+            samples > 1 ? static_cast<double>(i) / (samples - 1) : 0.0;
+        trace.add(generator(u, i));
+    }
+    return trace;
+}
+
+} // namespace tdp
+
+#endif // TDP_TESTS_CORE_SYNTHETIC_TRACE_HH

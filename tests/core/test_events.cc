@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the event-vector derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/events.hh"
+
+#include "synthetic_trace.hh"
+
+namespace tdp {
+namespace {
+
+TEST(EventVector, DerivesRatesFromCounters)
+{
+    SyntheticPoint pt;
+    pt.activeFraction = 0.75;
+    pt.uopsPerCycle = 1.5;
+    pt.l3MissesPerCycle = 0.004;
+    pt.busTxPerCycle = 0.012;
+    const AlignedSample s = makeSyntheticSample(pt, {});
+    const EventVector ev = EventVector::fromSample(s);
+    ASSERT_EQ(ev.cpu.size(), 4u);
+    EXPECT_NEAR(ev.cpu[0].percentActive, 0.75, 1e-12);
+    EXPECT_NEAR(ev.cpu[0].uopsPerCycle, 1.5, 1e-12);
+    EXPECT_NEAR(ev.cpu[0].l3MissesPerCycle, 0.004, 1e-12);
+    EXPECT_NEAR(ev.cpu[0].busTxPerMcycle, 0.012 * 1e6, 1e-6);
+}
+
+TEST(EventVector, InterruptSharesSplitAcrossCpus)
+{
+    SyntheticPoint pt;
+    pt.diskIrqPerSecond = 800.0;
+    pt.deviceIrqPerSecond = 1200.0;
+    const AlignedSample s = makeSyntheticSample(pt, {});
+    const EventVector ev = EventVector::fromSample(s);
+    // 800 interrupts over 4 CPUs at 2.8e9 cycles each.
+    EXPECT_NEAR(ev.cpu[0].diskInterruptsPerCycle, 200.0 / 2.8e9,
+                1e-15);
+    // Totals reconstruct the system-wide rate.
+    EXPECT_NEAR(ev.total(&CpuEventRates::diskInterruptsPerCycle) *
+                    2.8e9,
+                800.0, 1e-6);
+}
+
+TEST(EventVector, TotalsAndSquares)
+{
+    SyntheticPoint pt;
+    pt.uopsPerCycle = 2.0;
+    const AlignedSample s = makeSyntheticSample(pt, {}, 4);
+    const EventVector ev = EventVector::fromSample(s);
+    EXPECT_NEAR(ev.total(&CpuEventRates::uopsPerCycle), 8.0, 1e-12);
+    EXPECT_NEAR(ev.totalSquared(&CpuEventRates::uopsPerCycle), 16.0,
+                1e-12);
+}
+
+TEST(EventVector, ZeroCyclesFatal)
+{
+    AlignedSample s = makeSyntheticSample(SyntheticPoint{}, {});
+    s.perCpu[0][PerfEvent::Cycles] = 0.0;
+    EXPECT_THROW(EventVector::fromSample(s), FatalError);
+}
+
+TEST(EventVector, NoCpusFatal)
+{
+    AlignedSample s;
+    s.interval = 1.0;
+    EXPECT_THROW(EventVector::fromSample(s), FatalError);
+}
+
+TEST(EventVector, TraceConversion)
+{
+    const SampleTrace trace = sweepTrace(5, [](double u, int i) {
+        SyntheticPoint pt;
+        pt.uopsPerCycle = u;
+        return makeSyntheticSample(pt, {}, 2, i);
+    });
+    const auto vectors = eventVectors(trace);
+    ASSERT_EQ(vectors.size(), 5u);
+    EXPECT_NEAR(vectors[4].cpu[0].uopsPerCycle, 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the subsystem power models: coefficient recovery on
+ * synthetic data, estimation semantics and error discipline.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/model.hh"
+
+#include "synthetic_trace.hh"
+
+namespace tdp {
+namespace {
+
+/** CPU-rail trace following the paper's Equation 1 exactly. */
+SampleTrace
+cpuTrace(int samples = 60)
+{
+    return sweepTrace(samples, [](double u, int i) {
+        SyntheticPoint pt;
+        pt.activeFraction = 0.02 + 0.98 * u;
+        pt.uopsPerCycle = 2.0 * u * (1.0 + 0.1 * ((i % 3) - 1));
+        std::array<double, numRails> watts{};
+        watts[static_cast<size_t>(Rail::Cpu)] =
+            4.0 * (9.25 + 26.45 * pt.activeFraction +
+                   4.31 * pt.uopsPerCycle);
+        return makeSyntheticSample(pt, watts, 4, i);
+    });
+}
+
+TEST(CpuPowerModel, RecoversEquationOneCoefficients)
+{
+    CpuPowerModel model;
+    model.train(cpuTrace());
+    const auto coeffs = model.coefficients();
+    ASSERT_EQ(coeffs.size(), 3u);
+    EXPECT_NEAR(coeffs[0], 4.0 * 9.25, 0.1);  // intercept = N x idle
+    EXPECT_NEAR(coeffs[1], 26.45, 0.05);
+    EXPECT_NEAR(coeffs[2], 4.31, 0.05);
+}
+
+TEST(CpuPowerModel, EstimateMatchesGroundTruth)
+{
+    CpuPowerModel model;
+    model.train(cpuTrace());
+    SyntheticPoint pt;
+    pt.activeFraction = 0.5;
+    pt.uopsPerCycle = 1.0;
+    const EventVector ev =
+        EventVector::fromSample(makeSyntheticSample(pt, {}));
+    EXPECT_NEAR(model.estimate(ev),
+                4.0 * (9.25 + 26.45 * 0.5 + 4.31), 0.2);
+}
+
+TEST(CpuPowerModel, PerCpuAttributionSumsToTotal)
+{
+    CpuPowerModel model;
+    model.train(cpuTrace());
+    SyntheticPoint pt;
+    pt.activeFraction = 0.8;
+    pt.uopsPerCycle = 1.2;
+    const EventVector ev =
+        EventVector::fromSample(makeSyntheticSample(pt, {}));
+    double per_cpu_sum = 0.0;
+    for (int i = 0; i < 4; ++i)
+        per_cpu_sum += model.estimateCpu(ev, i);
+    EXPECT_NEAR(per_cpu_sum, model.estimate(ev), 1e-9);
+    EXPECT_THROW(model.estimateCpu(ev, 4), PanicError);
+}
+
+TEST(CpuPowerModel, UntrainedEstimatePanics)
+{
+    CpuPowerModel model;
+    const EventVector ev = EventVector::fromSample(
+        makeSyntheticSample(SyntheticPoint{}, {}));
+    EXPECT_THROW(model.estimate(ev), PanicError);
+}
+
+TEST(QuadraticEventModel, RecoversQuadraticCoefficients)
+{
+    // Memory rail following 28 + 500*x + 4000*x^2 per CPU in bus
+    // transactions per cycle... expressed per Mcycle to match the
+    // model's input scale.
+    const SampleTrace trace = sweepTrace(80, [](double u, int i) {
+        SyntheticPoint pt;
+        pt.busTxPerCycle = 0.03 * u;
+        const double x_mcycle = pt.busTxPerCycle * 1e6; // per CPU
+        std::array<double, numRails> watts{};
+        watts[static_cast<size_t>(Rail::Memory)] =
+            28.0 + 4.0 * (3e-4 * x_mcycle + 4e-9 * x_mcycle * x_mcycle);
+        return makeSyntheticSample(pt, watts, 4, i);
+    });
+    auto model = makeMemoryBusModel();
+    model->train(trace);
+    const auto coeffs = model->coefficients();
+    EXPECT_NEAR(coeffs[0], 28.0, 0.05);
+    EXPECT_NEAR(coeffs[1], 3e-4, 1e-5);
+    EXPECT_NEAR(coeffs[2], 4e-9, 2e-10);
+}
+
+TEST(QuadraticEventModel, FallsBackToLinearOnCollinearData)
+{
+    // Two-valued input: x and x^2 are perfectly collinear. The fit
+    // must fall back to the linear form instead of dying.
+    const SampleTrace trace = sweepTrace(40, [](double u, int i) {
+        SyntheticPoint pt;
+        pt.deviceIrqPerSecond = u > 0.5 ? 2000.0 : 0.0;
+        std::array<double, numRails> watts{};
+        watts[static_cast<size_t>(Rail::Io)] =
+            32.7 + (u > 0.5 ? 1.5 : 0.0);
+        return makeSyntheticSample(pt, watts, 4, i);
+    });
+    auto model = makeIoInterruptModel();
+    model->train(trace);
+    ASSERT_TRUE(model->trained());
+    EXPECT_DOUBLE_EQ(model->coefficients()[2], 0.0);
+    // Still predicts both levels correctly.
+    SyntheticPoint hot;
+    hot.deviceIrqPerSecond = 2000.0;
+    EXPECT_NEAR(model->estimate(EventVector::fromSample(
+                    makeSyntheticSample(hot, {}))),
+                34.2, 0.05);
+}
+
+TEST(DiskPowerModel, RecoversTwoInputQuadratic)
+{
+    const SampleTrace trace = sweepTrace(120, [](double u, int i) {
+        SyntheticPoint pt;
+        // Decorrelate the two inputs with an index-based phase.
+        const double v = 0.5 + 0.5 * std::sin(i * 1.7);
+        pt.diskIrqPerSecond = 2000.0 * u;
+        pt.dmaPerCycle = 0.002 * v;
+        std::array<double, numRails> watts{};
+        const double irq_cycle = pt.diskIrqPerSecond / 4.0 / 2.8e9;
+        watts[static_cast<size_t>(Rail::Disk)] =
+            21.6 + 4.0 * (1e6 * irq_cycle + 80.0 * pt.dmaPerCycle);
+        return makeSyntheticSample(pt, watts, 4, i);
+    });
+    DiskPowerModel model;
+    model.train(trace);
+    const auto coeffs = model.coefficients();
+    ASSERT_EQ(coeffs.size(), 5u);
+    EXPECT_NEAR(coeffs[0], 21.6, 0.05);
+    EXPECT_NEAR(coeffs[1], 1e6, 2e4);
+    EXPECT_NEAR(coeffs[3], 80.0, 2.0);
+}
+
+TEST(ChipsetPowerModel, FitsTheMean)
+{
+    const SampleTrace trace = sweepTrace(30, [](double u, int i) {
+        std::array<double, numRails> watts{};
+        watts[static_cast<size_t>(Rail::Chipset)] =
+            19.9 + (u - 0.5) * 0.2;
+        return makeSyntheticSample(SyntheticPoint{}, watts, 4, i);
+    });
+    ChipsetPowerModel model;
+    model.train(trace);
+    EXPECT_NEAR(model.coefficients()[0], 19.9, 0.01);
+    // Constant regardless of events.
+    SyntheticPoint wild;
+    wild.uopsPerCycle = 3.0;
+    EXPECT_NEAR(model.estimate(EventVector::fromSample(
+                    makeSyntheticSample(wild, {}))),
+                19.9, 0.01);
+}
+
+TEST(Models, SetCoefficientsValidatesArity)
+{
+    CpuPowerModel cpu;
+    EXPECT_THROW(cpu.setCoefficients({1.0}), FatalError);
+    DiskPowerModel disk;
+    EXPECT_THROW(disk.setCoefficients({1, 2, 3}), FatalError);
+    ChipsetPowerModel chipset;
+    EXPECT_THROW(chipset.setCoefficients({}), FatalError);
+    auto mem = makeMemoryBusModel();
+    EXPECT_THROW(mem->setCoefficients({1, 2}), FatalError);
+}
+
+TEST(Models, DescribeIncludesCoefficients)
+{
+    CpuPowerModel model;
+    model.setCoefficients({37.0, 26.45, 4.31});
+    const std::string text = model.describe();
+    EXPECT_NE(text.find("26.45"), std::string::npos);
+    EXPECT_NE(text.find("4.31"), std::string::npos);
+}
+
+TEST(Models, TrainingOnEmptyTraceFatal)
+{
+    CpuPowerModel model;
+    EXPECT_THROW(model.train(SampleTrace{}), FatalError);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the validator (Equation 6 reporting) and the event
+ * selector (correlation ranking).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/selector.hh"
+#include "core/validator.hh"
+
+#include "synthetic_trace.hh"
+
+namespace tdp {
+namespace {
+
+SystemPowerEstimator
+perfectChipsetOnlyEstimator(double chipset_value)
+{
+    SystemPowerEstimator est = SystemPowerEstimator::makePaperModelSet();
+    est.model(Rail::Cpu).setCoefficients({37.0, 26.45, 4.31});
+    est.model(Rail::Memory).setCoefficients({28.0, 0.0, 0.0});
+    est.model(Rail::Disk).setCoefficients({21.6, 0.0, 0.0, 0.0, 0.0});
+    est.model(Rail::Io).setCoefficients({32.9, 0.0, 0.0});
+    est.model(Rail::Chipset).setCoefficients({chipset_value});
+    return est;
+}
+
+SampleTrace
+flatTrace(const std::array<double, numRails> &watts, int n = 10)
+{
+    return sweepTrace(n, [&](double, int i) {
+        return makeSyntheticSample(SyntheticPoint{}, watts, 4, i);
+    });
+}
+
+TEST(Validator, ZeroErrorForPerfectModel)
+{
+    std::array<double, numRails> watts{};
+    watts[static_cast<size_t>(Rail::Cpu)] =
+        4.0 * (9.25 + 26.45 * 1.0 + 4.31 * 1.0);
+    watts[static_cast<size_t>(Rail::Chipset)] = 19.9;
+    watts[static_cast<size_t>(Rail::Memory)] = 28.0;
+    watts[static_cast<size_t>(Rail::Io)] = 32.9;
+    watts[static_cast<size_t>(Rail::Disk)] = 21.6;
+    const auto est = perfectChipsetOnlyEstimator(19.9);
+    Validator validator(est, 0.0);
+    const auto result = validator.validate("flat", flatTrace(watts));
+    for (int r = 0; r < numRails; ++r)
+        EXPECT_NEAR(result.error(static_cast<Rail>(r)), 0.0, 1e-9);
+}
+
+TEST(Validator, KnownChipsetError)
+{
+    std::array<double, numRails> watts{};
+    watts[static_cast<size_t>(Rail::Cpu)] = 160.0;
+    watts[static_cast<size_t>(Rail::Chipset)] = 17.3; // vortex-like
+    watts[static_cast<size_t>(Rail::Memory)] = 28.0;
+    watts[static_cast<size_t>(Rail::Io)] = 32.9;
+    watts[static_cast<size_t>(Rail::Disk)] = 21.6;
+    const auto est = perfectChipsetOnlyEstimator(19.9);
+    Validator validator(est, 0.0);
+    const auto result = validator.validate("vortexish",
+                                           flatTrace(watts));
+    EXPECT_NEAR(result.error(Rail::Chipset), (19.9 - 17.3) / 17.3,
+                1e-9);
+}
+
+TEST(Validator, DiskDcOffsetChangesMetric)
+{
+    std::array<double, numRails> watts{};
+    watts[static_cast<size_t>(Rail::Cpu)] = 160.0;
+    watts[static_cast<size_t>(Rail::Chipset)] = 19.9;
+    watts[static_cast<size_t>(Rail::Memory)] = 28.0;
+    watts[static_cast<size_t>(Rail::Io)] = 32.9;
+    watts[static_cast<size_t>(Rail::Disk)] = 22.1; // +0.5 dynamic
+    const auto est = perfectChipsetOnlyEstimator(19.9);
+    // Model predicts flat 21.6 -> raw error small, DC-relative large.
+    Validator raw(est, 0.0);
+    Validator dc(est, 21.6);
+    const auto trace = flatTrace(watts);
+    const double raw_err =
+        raw.validate("d", trace).error(Rail::Disk);
+    const double dc_err = dc.validate("d", trace).error(Rail::Disk);
+    EXPECT_NEAR(raw_err, 0.5 / 22.1, 1e-9);
+    EXPECT_NEAR(dc_err, 1.0, 1e-9); // |0 - 0.5| / 0.5
+}
+
+TEST(Validator, AverageAcrossResults)
+{
+    ValidationResult a, b;
+    a.workload = "a";
+    b.workload = "b";
+    a.averageError[0] = 0.10;
+    b.averageError[0] = 0.30;
+    const auto avg = Validator::average({a, b}, "avg");
+    EXPECT_EQ(avg.workload, "avg");
+    EXPECT_NEAR(avg.averageError[0], 0.20, 1e-12);
+    const auto empty = Validator::average({}, "none");
+    EXPECT_DOUBLE_EQ(empty.averageError[0], 0.0);
+}
+
+TEST(Validator, EmptyTraceFatal)
+{
+    const auto est = perfectChipsetOnlyEstimator(19.9);
+    Validator validator(est, 0.0);
+    EXPECT_THROW(validator.validate("empty", SampleTrace{}),
+                 FatalError);
+}
+
+TEST(EventSelector, RanksTheGeneratingEventFirst)
+{
+    // Power driven purely by bus transactions.
+    const SampleTrace trace = sweepTrace(50, [](double u, int i) {
+        SyntheticPoint pt;
+        pt.busTxPerCycle = 0.02 * u;
+        pt.uopsPerCycle = 0.5; // constant: uncorrelated
+        std::array<double, numRails> watts{};
+        watts[static_cast<size_t>(Rail::Memory)] =
+            28.0 + 500.0 * pt.busTxPerCycle;
+        return makeSyntheticSample(pt, watts, 4, i);
+    });
+    const auto ranking = EventSelector::rank(trace, Rail::Memory);
+    ASSERT_FALSE(ranking.empty());
+    EXPECT_EQ(ranking.front().metric, "bus_tx_per_mcycle");
+    EXPECT_NEAR(ranking.front().correlation, 1.0, 1e-6);
+}
+
+TEST(EventSelector, MetricColumnMatchesRates)
+{
+    const SampleTrace trace = sweepTrace(5, [](double u, int i) {
+        SyntheticPoint pt;
+        pt.uopsPerCycle = u;
+        return makeSyntheticSample(pt, {}, 4, i);
+    });
+    const auto column =
+        EventSelector::metricColumn(trace, "uops_per_cycle");
+    ASSERT_EQ(column.size(), 5u);
+    EXPECT_NEAR(column.back(), 4.0, 1e-12); // summed across 4 CPUs
+}
+
+TEST(EventSelector, UnknownMetricFatal)
+{
+    const SampleTrace trace = sweepTrace(5, [](double, int i) {
+        return makeSyntheticSample(SyntheticPoint{}, {}, 4, i);
+    });
+    EXPECT_THROW(EventSelector::metricColumn(trace, "bogus"),
+                 FatalError);
+}
+
+TEST(EventSelector, ShortTraceFatal)
+{
+    const SampleTrace trace = sweepTrace(2, [](double, int i) {
+        return makeSyntheticSample(SyntheticPoint{}, {}, 4, i);
+    });
+    EXPECT_THROW(EventSelector::rank(trace, Rail::Cpu), FatalError);
+}
+
+TEST(EventSelector, MetricNamesListedOnce)
+{
+    const auto names = EventSelector::metricNames();
+    EXPECT_GE(names.size(), 10u);
+    for (size_t i = 0; i < names.size(); ++i)
+        for (size_t j = i + 1; j < names.size(); ++j)
+            EXPECT_NE(names[i], names[j]);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the CPU complex using the fully wired Server platform
+ * (the complex needs the OS, bus and I/O objects around it).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "platform/server.hh"
+
+namespace tdp {
+namespace {
+
+TEST(CpuComplex, IdleSystemPowerNearFourIdlePackages)
+{
+    Server server(1);
+    server.run(2.0);
+    // 4 packages at ~9.5 W each plus timer-wake overhead.
+    EXPECT_NEAR(server.cpus().lastPower(), 38.5, 2.0);
+}
+
+TEST(CpuComplex, CoreAccessBoundsChecked)
+{
+    Server server(1);
+    EXPECT_EQ(server.cpus().coreCount(), 4);
+    EXPECT_NO_THROW(server.cpus().core(3));
+    EXPECT_THROW(server.cpus().core(4), PanicError);
+    EXPECT_THROW(server.cpus().core(-1), PanicError);
+}
+
+TEST(CpuComplex, WorkRaisesPowerAndCounters)
+{
+    Server server(2);
+    server.runner().launchStaggered("vortex", 8, 0.5, 0.0);
+    server.run(5.0);
+    EXPECT_GT(server.cpus().lastPower(), 120.0);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_GT(server.cpus().core(i).counters().lifetime(
+                      PerfEvent::FetchedUops),
+                  1e9);
+    }
+}
+
+TEST(CpuComplex, DmaSnoopSharesSumToTotal)
+{
+    Server server(3);
+    server.runner().launchStaggered("diskload", 4, 0.5, 0.0);
+    server.run(20.0);
+    double snooped = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        snooped += server.cpus().core(i).counters().lifetime(
+            PerfEvent::DmaOtherAccesses);
+    }
+    const double dma_total =
+        server.bus().lifetimeOfKind(BusTxKind::Dma);
+    EXPECT_GT(dma_total, 0.0);
+    // Per-CPU attributions must sum to the true bus total (modulo the
+    // one-quantum lag between deposit and snoop accounting).
+    EXPECT_NEAR(snooped / dma_total, 1.0, 0.01);
+}
+
+TEST(CpuComplex, ChipsetCrosstalkFollowsWorkloadMix)
+{
+    Server vortex_server(4), idle_server(4);
+    vortex_server.runner().launchStaggered("vortex", 8, 0.5, 0.0);
+    // Long enough for all eight instances to finish loading their
+    // datasets (init reads block threads at startup).
+    vortex_server.run(15.0);
+    idle_server.run(15.0);
+    // vortex profiles carry -2.6 W of chipset crosstalk.
+    EXPECT_NEAR(vortex_server.cpus().lastChipsetCrosstalk(), -2.6,
+                0.3);
+    EXPECT_NEAR(idle_server.cpus().lastChipsetCrosstalk(), 0.0, 0.05);
+}
+
+TEST(CpuComplex, MmioSourcesExecuteAsUncacheable)
+{
+    Server server(5);
+    server.runner().launchStaggered("diskload", 4, 0.5, 0.0);
+    server.run(20.0);
+    double uncacheable = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        uncacheable += server.cpus().core(i).counters().lifetime(
+            PerfEvent::UncacheableAccesses);
+    }
+    // Disk driver doorbells (6 MMIOs per request) must show up.
+    EXPECT_GT(uncacheable,
+              6.0 * static_cast<double>(
+                        server.disks().completedRequests()) *
+                  0.9);
+}
+
+TEST(CpuComplex, GeometryMismatchRejected)
+{
+    Server::Params params;
+    params.cpuCount = 2; // scheduler will be built with 2 cores
+    Server server(6, params);
+    EXPECT_EQ(server.cpus().coreCount(), 2);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the PMU counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "cpu/perf_counters.hh"
+
+namespace tdp {
+namespace {
+
+TEST(PerfCounters, StartsAtZero)
+{
+    PerfCounters pmu;
+    for (int e = 0; e < numPerfEvents; ++e)
+        EXPECT_DOUBLE_EQ(pmu.count(static_cast<PerfEvent>(e)), 0.0);
+}
+
+TEST(PerfCounters, IncrementAndCount)
+{
+    PerfCounters pmu;
+    pmu.increment(PerfEvent::Cycles, 100.0);
+    pmu.increment(PerfEvent::Cycles, 50.0);
+    EXPECT_DOUBLE_EQ(pmu.count(PerfEvent::Cycles), 150.0);
+}
+
+TEST(PerfCounters, ReadAndClearSemantics)
+{
+    PerfCounters pmu;
+    pmu.increment(PerfEvent::FetchedUops, 42.0);
+    const CounterSnapshot snap = pmu.readAndClear();
+    EXPECT_DOUBLE_EQ(snap[PerfEvent::FetchedUops], 42.0);
+    EXPECT_DOUBLE_EQ(pmu.count(PerfEvent::FetchedUops), 0.0);
+    // Lifetime survives the clear (like the hardware's total).
+    EXPECT_DOUBLE_EQ(pmu.lifetime(PerfEvent::FetchedUops), 42.0);
+}
+
+TEST(PerfCounters, PeekDoesNotClear)
+{
+    PerfCounters pmu;
+    pmu.increment(PerfEvent::TlbMisses, 7.0);
+    const CounterSnapshot snap = pmu.peek();
+    EXPECT_DOUBLE_EQ(snap[PerfEvent::TlbMisses], 7.0);
+    EXPECT_DOUBLE_EQ(pmu.count(PerfEvent::TlbMisses), 7.0);
+}
+
+TEST(PerfCounters, NegativeIncrementPanics)
+{
+    PerfCounters pmu;
+    EXPECT_THROW(pmu.increment(PerfEvent::Cycles, -1.0), PanicError);
+}
+
+TEST(PerfCounters, SnapshotAddition)
+{
+    CounterSnapshot a, b;
+    a[PerfEvent::Cycles] = 10.0;
+    b[PerfEvent::Cycles] = 5.0;
+    b[PerfEvent::L3LoadMisses] = 2.0;
+    a += b;
+    EXPECT_DOUBLE_EQ(a[PerfEvent::Cycles], 15.0);
+    EXPECT_DOUBLE_EQ(a[PerfEvent::L3LoadMisses], 2.0);
+}
+
+TEST(PerfCounters, EventNamesDistinct)
+{
+    for (int a = 0; a < numPerfEvents; ++a) {
+        for (int b = a + 1; b < numPerfEvents; ++b) {
+            EXPECT_STRNE(perfEventName(static_cast<PerfEvent>(a)),
+                         perfEventName(static_cast<PerfEvent>(b)));
+        }
+    }
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the disk controller: striping, completion interrupts, DMA
+ * issue, MMIO accounting - the trickle-down chain of Equation 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "disk/disk_controller.hh"
+#include "memory/bus.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+namespace {
+
+struct Fixture
+{
+    Fixture()
+        : pic(sys, "pic", 4),
+          chips(sys, "iochips", pic, IoChipComplex::Params{}),
+          bus(sys, "fsb", FrontSideBus::Params{}),
+          dma(sys, "dma", bus, DmaEngine::Params{}),
+          hba(sys, "hba", chips, dma, pic, DiskController::Params{})
+    {
+    }
+
+    System sys{11};
+    InterruptController pic;
+    IoChipComplex chips;
+    FrontSideBus bus;
+    DmaEngine dma;
+    DiskController hba;
+};
+
+TEST(DiskController, CompletionInvokesCallbackAndInterrupt)
+{
+    Fixture f;
+    int completions = 0;
+    f.hba.submit(true, 64.0 * 1024.0, 0.5,
+                 [&](uint64_t) { ++completions; });
+    f.sys.runFor(0.100);
+    EXPECT_EQ(completions, 1);
+    EXPECT_EQ(f.hba.completedRequests(), 1u);
+    EXPECT_DOUBLE_EQ(f.pic.lifetimeCount(f.hba.vector()), 1.0);
+    EXPECT_EQ(f.hba.outstanding(), 0u);
+}
+
+TEST(DiskController, DmaCarriesThePayload)
+{
+    Fixture f;
+    const double bytes = 256.0 * 1024.0;
+    f.hba.submit(false, bytes, 0.4);
+    f.sys.runFor(0.300);
+    EXPECT_NEAR(f.dma.lifetimeBytes(), bytes, 1.0);
+    EXPECT_GT(f.bus.lifetimeOfKind(BusTxKind::Dma), 0.0);
+}
+
+TEST(DiskController, RoundRobinAcrossDisks)
+{
+    Fixture f;
+    for (int i = 0; i < 6; ++i)
+        f.hba.submit(false, 4096.0, 0.5);
+    f.sys.runFor(0.300);
+    ASSERT_EQ(f.hba.disks().size(), 2u);
+    EXPECT_EQ(f.hba.disks()[0]->completedRequests(), 3u);
+    EXPECT_EQ(f.hba.disks()[1]->completedRequests(), 3u);
+}
+
+TEST(DiskController, MmioPerRequestDrains)
+{
+    Fixture f;
+    f.hba.submit(true, 4096.0, 0.5);
+    f.hba.submit(true, 4096.0, 0.6);
+    const double mmio = f.hba.drainPendingMmio();
+    EXPECT_DOUBLE_EQ(mmio, 2.0 * DiskController::Params{}.mmioPerRequest);
+    EXPECT_DOUBLE_EQ(f.hba.drainPendingMmio(), 0.0);
+}
+
+TEST(DiskController, PowerAggregatesDisks)
+{
+    Fixture f;
+    f.sys.runFor(0.002);
+    EXPECT_DOUBLE_EQ(f.hba.lastPower(), f.hba.idlePower());
+    EXPECT_NEAR(f.hba.idlePower(), 21.6, 1e-9);
+}
+
+TEST(DiskController, SubmitWithoutCallbackWorks)
+{
+    Fixture f;
+    f.hba.submit(false, 4096.0, 0.2);
+    f.sys.runFor(0.100);
+    EXPECT_EQ(f.hba.completedRequests(), 1u);
+}
+
+TEST(DiskController, UniqueTags)
+{
+    Fixture f;
+    const uint64_t a = f.hba.submit(false, 4096.0, 0.2);
+    const uint64_t b = f.hba.submit(false, 4096.0, 0.3);
+    EXPECT_NE(a, b);
+}
+
+TEST(DiskController, ZeroSizeRequestPanics)
+{
+    Fixture f;
+    EXPECT_THROW(f.hba.submit(false, 0.0, 0.5), PanicError);
+}
+
+TEST(DiskController, BadDiskCountRejected)
+{
+    System sys(1);
+    InterruptController pic(sys, "pic", 2);
+    IoChipComplex chips(sys, "iochips", pic, IoChipComplex::Params{});
+    FrontSideBus bus(sys, "fsb", FrontSideBus::Params{});
+    DmaEngine dma(sys, "dma", bus, DmaEngine::Params{});
+    DiskController::Params p;
+    p.diskCount = 0;
+    EXPECT_THROW(DiskController(sys, "hba", chips, dma, pic, p),
+                 FatalError);
+}
+
+} // namespace
+} // namespace tdp

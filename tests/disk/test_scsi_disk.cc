@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the SCSI disk service model and its Zedlewski-style power
+ * states.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "disk/scsi_disk.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+namespace {
+
+DiskRequest
+request(bool write, double bytes, double pos, uint64_t tag = 0)
+{
+    DiskRequest r;
+    r.isWrite = write;
+    r.bytes = bytes;
+    r.position = pos;
+    r.tag = tag;
+    return r;
+}
+
+TEST(ScsiDisk, IdlePowerIsRotationPlusElectronics)
+{
+    System sys(1);
+    ScsiDisk disk(sys, "disk0", ScsiDisk::Params{});
+    sys.runFor(0.010);
+    EXPECT_DOUBLE_EQ(disk.lastPower(), disk.idlePower());
+    EXPECT_DOUBLE_EQ(disk.idlePower(), 9.3 + 1.5);
+}
+
+TEST(ScsiDisk, RequestCompletesWithCallback)
+{
+    System sys(1);
+    ScsiDisk disk(sys, "disk0", ScsiDisk::Params{});
+    uint64_t completed_tag = 0;
+    disk.setCompletionHandler(
+        [&](const DiskRequest &r) { completed_tag = r.tag; });
+    disk.submit(request(true, 64.0 * 1024.0, 0.5, 42));
+    sys.runFor(0.100);
+    EXPECT_EQ(completed_tag, 42u);
+    EXPECT_EQ(disk.completedRequests(), 1u);
+    EXPECT_DOUBLE_EQ(disk.lifetimeBytes(), 64.0 * 1024.0);
+    EXPECT_EQ(disk.queueDepth(), 0u);
+}
+
+TEST(ScsiDisk, SeekRaisesPower)
+{
+    System sys(1);
+    ScsiDisk disk(sys, "disk0", ScsiDisk::Params{});
+    // Far seek: first quantum is all seek time.
+    disk.submit(request(false, 512.0, 0.99));
+    sys.runFor(0.001);
+    EXPECT_GT(disk.lastSeekFraction(), 0.9);
+    EXPECT_GT(disk.lastPower(), disk.idlePower() + 2.0);
+}
+
+TEST(ScsiDisk, SequentialRequestsSkipSeek)
+{
+    System sys(1);
+    ScsiDisk disk(sys, "disk0", ScsiDisk::Params{});
+    // Park the head at 0.5 first.
+    disk.submit(request(false, 512.0, 0.5));
+    sys.runFor(0.050);
+    ASSERT_EQ(disk.completedRequests(), 1u);
+    // Sequential continuation: position within the threshold.
+    disk.submit(request(false, 64.0 * 1024.0, 0.5001));
+    sys.runFor(0.001);
+    EXPECT_DOUBLE_EQ(disk.lastSeekFraction(), 0.0);
+    EXPECT_GT(disk.lastTransferFraction(), 0.0);
+}
+
+TEST(ScsiDisk, TransferTimeMatchesRate)
+{
+    System sys(1);
+    ScsiDisk::Params p;
+    ScsiDisk disk(sys, "disk0", p);
+    disk.setCompletionHandler([](const DiskRequest &) {});
+    // Sequential request (head starts at 0.3): pure transfer.
+    const double bytes = p.transferBytesPerSec * 0.004; // 4 ms worth
+    disk.submit(request(false, bytes, 0.3));
+    sys.runFor(0.003);
+    EXPECT_EQ(disk.completedRequests(), 0u);
+    sys.runFor(0.002);
+    EXPECT_EQ(disk.completedRequests(), 1u);
+}
+
+TEST(ScsiDisk, QueueServesInOrder)
+{
+    System sys(1);
+    ScsiDisk disk(sys, "disk0", ScsiDisk::Params{});
+    std::vector<uint64_t> order;
+    disk.setCompletionHandler(
+        [&](const DiskRequest &r) { order.push_back(r.tag); });
+    disk.submit(request(false, 4096.0, 0.2, 1));
+    disk.submit(request(true, 4096.0, 0.8, 2));
+    disk.submit(request(false, 4096.0, 0.4, 3));
+    sys.runFor(0.200);
+    EXPECT_EQ(order, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(ScsiDisk, PowerNeverBelowIdle)
+{
+    System sys(3);
+    ScsiDisk disk(sys, "disk0", ScsiDisk::Params{});
+    for (int i = 0; i < 20; ++i)
+        disk.submit(request(i % 2, 8192.0, (i % 10) / 10.0));
+    for (int q = 0; q < 300; ++q) {
+        sys.runFor(0.001);
+        EXPECT_GE(disk.lastPower(), disk.idlePower() - 1e-9);
+        EXPECT_LE(disk.lastPower(),
+                  disk.idlePower() + 2.8 + 0.9 + 1e-9);
+    }
+}
+
+TEST(ScsiDisk, NegativeRequestPanics)
+{
+    System sys(1);
+    ScsiDisk disk(sys, "disk0", ScsiDisk::Params{});
+    EXPECT_THROW(disk.submit(request(false, -5.0, 0.1)), PanicError);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the DMA engine: buffering/low-pass behaviour and
+ * write-combining efficiency - the two properties the paper blames
+ * for DMA counts being a poor I/O power proxy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "io/dma_engine.hh"
+#include "memory/bus.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+namespace {
+
+struct Fixture
+{
+    explicit Fixture(DmaEngine::Params p = DmaEngine::Params{})
+        : dma(sys, "dma", bus, p)
+    {
+    }
+
+    System sys{1};
+    FrontSideBus bus{sys, "fsb", FrontSideBus::Params{}};
+    DmaEngine dma;
+};
+
+TEST(DmaEngine, BulkTransferLineEfficiency)
+{
+    // Generous drain so the whole submission moves in one quantum.
+    DmaEngine::Params p;
+    p.drainBytesPerSec = 400e6;
+    Fixture f(p);
+    // 64 KB in 4 KB chunks: bulk path, ~95% line utilisation.
+    f.dma.submit(64.0 * 1024.0, 4096.0);
+    f.sys.runFor(0.001);
+    const double expected_tx = 64.0 * 1024.0 / (64.0 * 0.95);
+    EXPECT_NEAR(f.dma.lastQuantumTransactions(), expected_tx, 1.0);
+    EXPECT_NEAR(f.bus.prevOfKind(BusTxKind::Dma), expected_tx, 1.0);
+}
+
+TEST(DmaEngine, SmallTransfersInflateTransactionCount)
+{
+    Fixture bulk, small;
+    bulk.dma.submit(16.0 * 1024.0, 4096.0);
+    small.dma.submit(16.0 * 1024.0, 64.0);
+    bulk.sys.runFor(0.001);
+    small.sys.runFor(0.001);
+    // Same bytes, far more bus events for the small transfers: the
+    // overestimation hazard of section 4.2.4.
+    EXPECT_GT(small.dma.lastQuantumTransactions(),
+              2.0 * bulk.dma.lastQuantumTransactions());
+}
+
+TEST(DmaEngine, DrainRateBoundsLowPass)
+{
+    DmaEngine::Params p;
+    p.drainBytesPerSec = 10e6; // 10 KB per 1 ms quantum
+    Fixture f(p);
+    f.dma.submit(100.0 * 1024.0, 4096.0); // 10x the per-quantum drain
+    f.sys.runFor(0.001);
+    const double buffered_after_one = f.dma.bufferedBytes();
+    EXPECT_GT(buffered_after_one, 80.0 * 1024.0);
+    // Keeps draining across later quanta with no new submissions: the
+    // low-pass smearing.
+    f.sys.runFor(0.005);
+    EXPECT_LT(f.dma.bufferedBytes(), buffered_after_one);
+    EXPECT_GT(f.dma.lifetimeTransactions(), 0.0);
+}
+
+TEST(DmaEngine, AllBytesEventuallyDrain)
+{
+    DmaEngine::Params p;
+    p.drainBytesPerSec = 10e6;
+    Fixture f(p);
+    const double bytes = 50.0 * 1024.0;
+    f.dma.submit(bytes, 4096.0);
+    f.sys.runFor(0.050);
+    EXPECT_NEAR(f.dma.bufferedBytes(), 0.0, 1.0);
+    // Total bus transactions account for every byte at bulk
+    // efficiency.
+    EXPECT_NEAR(f.dma.lifetimeTransactions() * 64.0 * 0.95, bytes,
+                64.0);
+}
+
+TEST(DmaEngine, MixedEfficiencyIsByteWeighted)
+{
+    Fixture f;
+    f.dma.submit(32.0 * 1024.0, 4096.0); // bulk
+    f.dma.submit(32.0 * 1024.0, 64.0);   // small
+    f.sys.runFor(0.001);
+    const double tx = f.dma.lastQuantumTransactions();
+    const double bulk_only = 32.0 * 1024.0 / (64.0 * 0.95);
+    const double small_only = 32.0 * 1024.0 / (64.0 * 0.25);
+    // Mixed drain must land between the two pure cases.
+    EXPECT_GT(tx, bulk_only);
+    EXPECT_LT(tx, bulk_only + small_only + 1.0);
+}
+
+TEST(DmaEngine, ZeroSubmitIsNoop)
+{
+    Fixture f;
+    f.dma.submit(0.0, 4096.0);
+    f.sys.runFor(0.001);
+    EXPECT_DOUBLE_EQ(f.dma.lifetimeTransactions(), 0.0);
+}
+
+TEST(DmaEngine, NegativeSubmitPanics)
+{
+    Fixture f;
+    EXPECT_THROW(f.dma.submit(-1.0, 64.0), PanicError);
+}
+
+TEST(DmaEngine, BadParamsRejected)
+{
+    System sys(1);
+    FrontSideBus bus(sys, "fsb", FrontSideBus::Params{});
+    DmaEngine::Params p;
+    p.drainBytesPerSec = 0.0;
+    EXPECT_THROW(DmaEngine(sys, "dma", bus, p), FatalError);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the interrupt controller and its per-vector accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "io/interrupt_controller.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+namespace {
+
+TEST(InterruptController, VectorRegistration)
+{
+    System sys(1);
+    InterruptController pic(sys, "pic", 4);
+    const IrqVector a = pic.registerVector("disk");
+    const IrqVector b = pic.registerVector("nic");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(pic.vectorCount(), 2);
+    EXPECT_EQ(pic.vectorDevice(a), "disk");
+    EXPECT_EQ(pic.vectorDevice(b), "nic");
+}
+
+TEST(InterruptController, TargetedDelivery)
+{
+    System sys(1);
+    InterruptController pic(sys, "pic", 4);
+    const IrqVector timer = pic.registerVector("timer");
+    pic.raise(timer, 3.0, 2);
+    EXPECT_DOUBLE_EQ(pic.pendingForCpu(2), 3.0);
+    EXPECT_DOUBLE_EQ(pic.pendingForCpu(0), 0.0);
+    EXPECT_DOUBLE_EQ(pic.lifetimeCount(timer), 3.0);
+}
+
+TEST(InterruptController, BalancedDeliverySumsToTotal)
+{
+    System sys(1);
+    InterruptController pic(sys, "pic", 4);
+    const IrqVector disk = pic.registerVector("disk");
+    pic.raise(disk, 8.0);
+    double total = 0.0;
+    for (int cpu = 0; cpu < 4; ++cpu)
+        total += pic.pendingForCpu(cpu);
+    EXPECT_NEAR(total, 8.0, 1e-12);
+    EXPECT_DOUBLE_EQ(pic.pendingForCpu(0), 2.0);
+}
+
+TEST(InterruptController, DeviceLifetimeExcludesTimers)
+{
+    System sys(1);
+    InterruptController pic(sys, "pic", 2);
+    const IrqVector timer = pic.registerVector("timer");
+    const IrqVector disk = pic.registerVector("disk");
+    pic.raise(timer, 100.0, 0);
+    pic.raise(timer, 100.0, 1);
+    pic.raise(disk, 7.0);
+    EXPECT_DOUBLE_EQ(pic.lifetimeTotal(), 207.0);
+    EXPECT_DOUBLE_EQ(pic.lifetimeDeviceTotal(), 7.0);
+}
+
+TEST(InterruptController, QuantumClearsPending)
+{
+    System sys(1);
+    InterruptController pic(sys, "pic", 2);
+    const IrqVector disk = pic.registerVector("disk");
+    pic.raise(disk, 4.0);
+    sys.runFor(0.001);
+    EXPECT_DOUBLE_EQ(pic.pendingForCpu(0), 0.0);
+    // Lifetime survives the clear.
+    EXPECT_DOUBLE_EQ(pic.lifetimeCount(disk), 4.0);
+}
+
+TEST(InterruptController, ZeroCountIsNoop)
+{
+    System sys(1);
+    InterruptController pic(sys, "pic", 2);
+    const IrqVector v = pic.registerVector("nic");
+    pic.raise(v, 0.0);
+    EXPECT_DOUBLE_EQ(pic.lifetimeTotal(), 0.0);
+}
+
+TEST(InterruptController, InvalidUsePanics)
+{
+    System sys(1);
+    InterruptController pic(sys, "pic", 2);
+    const IrqVector v = pic.registerVector("nic");
+    EXPECT_THROW(pic.raise(99, 1.0), PanicError);
+    EXPECT_THROW(pic.raise(v, -1.0), PanicError);
+    EXPECT_THROW(pic.raise(v, 1.0, 5), PanicError);
+    EXPECT_THROW(pic.pendingForCpu(7), PanicError);
+    EXPECT_THROW(pic.lifetimeCount(42), PanicError);
+}
+
+TEST(InterruptController, ZeroCpusRejected)
+{
+    System sys(1);
+    EXPECT_THROW(InterruptController(sys, "pic", 0), FatalError);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the I/O chip complex power model and the NIC device.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "io/dma_engine.hh"
+#include "io/interrupt_controller.hh"
+#include "io/io_chip.hh"
+#include "io/nic.hh"
+#include "memory/bus.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+namespace {
+
+struct Fixture
+{
+    System sys{1};
+    InterruptController pic{sys, "pic", 4};
+    IoChipComplex chips{sys, "iochips", pic, IoChipComplex::Params{}};
+};
+
+TEST(IoChipComplex, StaticPowerWhenIdle)
+{
+    Fixture f;
+    f.sys.runFor(0.002);
+    EXPECT_DOUBLE_EQ(f.chips.lastPower(),
+                     IoChipComplex::Params{}.staticPower);
+}
+
+TEST(IoChipComplex, LinkActivityAddsDynamicPower)
+{
+    Fixture f;
+    f.sys.runFor(0.001);
+    const Watts idle = f.chips.lastPower();
+    f.chips.addLinkActivity(1e6, 250.0);
+    f.sys.runFor(0.001);
+    EXPECT_GT(f.chips.lastPower(), idle + 0.05);
+    // Activity is per-quantum; power falls back to static afterwards.
+    f.sys.runFor(0.001);
+    EXPECT_NEAR(f.chips.lastPower(), idle, 1e-9);
+}
+
+TEST(IoChipComplex, DeviceInterruptsAddPower)
+{
+    Fixture f;
+    const IrqVector disk = f.pic.registerVector("disk");
+    f.sys.runFor(0.001);
+    const Watts idle = f.chips.lastPower();
+    f.pic.raise(disk, 10.0);
+    f.sys.runFor(0.001);
+    const double expected =
+        10.0 * IoChipComplex::Params{}.energyPerInterrupt / 1e-3;
+    EXPECT_NEAR(f.chips.lastPower() - idle, expected, 1e-6);
+}
+
+TEST(IoChipComplex, TimerInterruptsDoNotAddPower)
+{
+    // CPU-local timer interrupts never cross the I/O chips.
+    Fixture f;
+    const IrqVector timer = f.pic.registerVector("timer");
+    f.sys.runFor(0.001);
+    const Watts idle = f.chips.lastPower();
+    f.pic.raise(timer, 1000.0, 0);
+    f.sys.runFor(0.001);
+    EXPECT_NEAR(f.chips.lastPower(), idle, 1e-9);
+}
+
+TEST(IoChipComplex, MmioAccessesAddPower)
+{
+    Fixture f;
+    f.sys.runFor(0.001);
+    const Watts idle = f.chips.lastPower();
+    f.chips.addMmioAccesses(5000.0);
+    f.sys.runFor(0.001);
+    EXPECT_GT(f.chips.lastPower(), idle);
+}
+
+TEST(IoChipComplex, NegativeInputsPanic)
+{
+    Fixture f;
+    EXPECT_THROW(f.chips.addLinkActivity(-1.0, 0.0), PanicError);
+    EXPECT_THROW(f.chips.addMmioAccesses(-1.0), PanicError);
+}
+
+TEST(NicDevice, BackgroundChatterIsLight)
+{
+    System sys(7);
+    InterruptController pic(sys, "pic", 4);
+    IoChipComplex chips(sys, "iochips", pic, IoChipComplex::Params{});
+    FrontSideBus bus(sys, "fsb", FrontSideBus::Params{});
+    DmaEngine dma(sys, "dma", bus, DmaEngine::Params{});
+    NicDevice nic(sys, "nic", chips, dma, pic, NicDevice::Params{});
+
+    sys.runFor(2.0);
+    const double packets = nic.lifetimePackets();
+    // ~120 packets/s expected.
+    EXPECT_GT(packets, 120.0);
+    EXPECT_LT(packets, 360.0);
+    // Interrupt coalescing: about a quarter as many interrupts.
+    EXPECT_NEAR(pic.lifetimeCount(nic.vector()),
+                packets / 4.0, packets * 0.2);
+}
+
+TEST(NicDevice, DeterministicAcrossSameSeed)
+{
+    auto run = [](uint64_t seed) {
+        System sys(seed);
+        InterruptController pic(sys, "pic", 2);
+        IoChipComplex chips(sys, "iochips", pic,
+                            IoChipComplex::Params{});
+        FrontSideBus bus(sys, "fsb", FrontSideBus::Params{});
+        DmaEngine dma(sys, "dma", bus, DmaEngine::Params{});
+        NicDevice nic(sys, "nic", chips, dma, pic,
+                      NicDevice::Params{});
+        sys.runFor(1.0);
+        return nic.lifetimePackets();
+    };
+    EXPECT_DOUBLE_EQ(run(5), run(5));
+    EXPECT_NE(run(5), run(6));
+}
+
+} // namespace
+} // namespace tdp

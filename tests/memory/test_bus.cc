@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the front-side bus.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "memory/bus.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+namespace {
+
+FrontSideBus::Params
+busParams(double capacity = 140e6)
+{
+    FrontSideBus::Params p;
+    p.capacityTxPerSec = capacity;
+    return p;
+}
+
+TEST(FrontSideBus, AccumulatesAndFinalizesPerKind)
+{
+    System sys(1);
+    FrontSideBus bus(sys, "fsb", busParams());
+    bus.addTransactions(BusTxKind::DemandFill, 1000.0);
+    bus.addTransactions(BusTxKind::Dma, 250.0);
+    bus.addTransactions(BusTxKind::DemandFill, 500.0);
+    EXPECT_DOUBLE_EQ(bus.pendingOfKind(BusTxKind::DemandFill), 1500.0);
+    EXPECT_DOUBLE_EQ(bus.pendingDma(), 250.0);
+    EXPECT_DOUBLE_EQ(bus.pendingTotal(), 1750.0);
+
+    sys.runFor(0.001);
+    EXPECT_DOUBLE_EQ(bus.prevOfKind(BusTxKind::DemandFill), 1500.0);
+    EXPECT_DOUBLE_EQ(bus.prevOfKind(BusTxKind::Dma), 250.0);
+    EXPECT_DOUBLE_EQ(bus.prevTotal(), 1750.0);
+    EXPECT_DOUBLE_EQ(bus.pendingTotal(), 0.0);
+}
+
+TEST(FrontSideBus, UtilizationComputation)
+{
+    System sys(1);
+    FrontSideBus bus(sys, "fsb", busParams(100e6));
+    // 100e6 tx/s capacity over 1 ms -> 100k tx capacity per quantum.
+    bus.addTransactions(BusTxKind::DemandFill, 50e3);
+    sys.runFor(0.001);
+    EXPECT_NEAR(bus.prevUtilization(), 0.5, 1e-12);
+}
+
+TEST(FrontSideBus, ThrottleIdentityBelowKnee)
+{
+    System sys(1);
+    FrontSideBus bus(sys, "fsb", busParams(100e6));
+    bus.addTransactions(BusTxKind::DemandFill, 80e3);
+    sys.runFor(0.001);
+    EXPECT_NEAR(bus.prevUtilization(), 0.8, 1e-12);
+    EXPECT_DOUBLE_EQ(bus.throttleFactor(), 1.0);
+}
+
+TEST(FrontSideBus, ThrottleReducesAboveKnee)
+{
+    System sys(1);
+    FrontSideBus bus(sys, "fsb", busParams(100e6));
+    bus.addTransactions(BusTxKind::DemandFill, 110e3);
+    sys.runFor(0.001);
+    EXPECT_GT(bus.prevUtilization(), 1.0);
+    EXPECT_LT(bus.throttleFactor(), 1.0);
+    EXPECT_GE(bus.throttleFactor(), 0.4);
+}
+
+TEST(FrontSideBus, LifetimeAccumulates)
+{
+    System sys(1);
+    FrontSideBus bus(sys, "fsb", busParams());
+    for (int i = 0; i < 3; ++i) {
+        bus.addTransactions(BusTxKind::Prefetch, 10.0);
+        sys.runFor(0.001);
+    }
+    EXPECT_DOUBLE_EQ(bus.lifetimeOfKind(BusTxKind::Prefetch), 30.0);
+}
+
+TEST(FrontSideBus, NegativeCountPanics)
+{
+    System sys(1);
+    FrontSideBus bus(sys, "fsb", busParams());
+    EXPECT_THROW(bus.addTransactions(BusTxKind::Dma, -1.0), PanicError);
+}
+
+TEST(FrontSideBus, ZeroCapacityRejected)
+{
+    System sys(1);
+    EXPECT_THROW(FrontSideBus(sys, "fsb", busParams(0.0)), FatalError);
+}
+
+TEST(FrontSideBus, EmptyQuantumHasZeroUtilization)
+{
+    System sys(1);
+    FrontSideBus bus(sys, "fsb", busParams());
+    sys.runFor(0.002);
+    EXPECT_DOUBLE_EQ(bus.prevUtilization(), 0.0);
+    EXPECT_DOUBLE_EQ(bus.throttleFactor(), 1.0);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the OS facade: timer ticks, kernel overhead accounting
+ * and the /proc/interrupts view.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "os/operating_system.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+namespace {
+
+struct Fixture
+{
+    Fixture()
+        : pic(sys, "pic", 4),
+          chips(sys, "iochips", pic, IoChipComplex::Params{}),
+          bus(sys, "fsb", FrontSideBus::Params{}),
+          dma(sys, "dma", bus, DmaEngine::Params{}),
+          hba(sys, "hba", chips, dma, pic, DiskController::Params{}),
+          sched(sys, "sched", 4, 2),
+          cache(sys, "pagecache", hba, PageCache::Params{}),
+          vm(sys, "vm", hba, VirtualMemory::Params{}),
+          os(sys, "os", sched, cache, vm, pic,
+             OperatingSystem::Params{})
+    {
+    }
+
+    System sys{41};
+    InterruptController pic;
+    IoChipComplex chips;
+    FrontSideBus bus;
+    DmaEngine dma;
+    DiskController hba;
+    Scheduler sched;
+    PageCache cache;
+    VirtualMemory vm;
+    OperatingSystem os;
+};
+
+TEST(OperatingSystem, TimerTicksAtHz)
+{
+    Fixture f;
+    f.sys.runFor(1.0);
+    // 1000 Hz per CPU, 4 CPUs, 1 second.
+    EXPECT_NEAR(f.pic.lifetimeCount(f.os.timerVector()), 4000.0, 8.0);
+}
+
+TEST(OperatingSystem, TimerIsCpuLocal)
+{
+    Fixture f;
+    f.sys.runFor(1.0);
+    // Timer interrupts are targeted, never in the device bucket.
+    EXPECT_DOUBLE_EQ(f.pic.lifetimeDeviceTotal(), 0.0);
+}
+
+TEST(OperatingSystem, KernelUopsScaleWithQuantum)
+{
+    Fixture f;
+    const double per_ms = f.os.kernelUopsPerQuantum(1e-3);
+    const double per_2ms = f.os.kernelUopsPerQuantum(2e-3);
+    EXPECT_NEAR(per_2ms, 2.0 * per_ms, 1e-9);
+    // Timer handler dominates: HZ * dt * handler uops.
+    EXPECT_GT(per_ms, 1000.0 * 1e-3 * 2000.0);
+}
+
+TEST(OperatingSystem, ProcInterruptsSnapshot)
+{
+    Fixture f;
+    f.sys.runFor(0.100);
+    const auto entries = f.os.procInterrupts().snapshot();
+    bool found_timer = false;
+    for (const auto &e : entries) {
+        if (e.device == "timer") {
+            found_timer = true;
+            EXPECT_GT(e.count, 0.0);
+        }
+    }
+    EXPECT_TRUE(found_timer);
+    const std::string text = f.os.procInterrupts().render();
+    EXPECT_NE(text.find("timer"), std::string::npos);
+}
+
+TEST(OperatingSystem, FractionalTimerCarry)
+{
+    // With a 0.3 ms quantum, HZ*dt = 0.3: interrupts must still
+    // average to HZ over time via the carry accumulator.
+    System sys(5, 300); // 300-tick (0.3 ms) quantum
+    InterruptController pic(sys, "pic", 1);
+    IoChipComplex chips(sys, "iochips", pic, IoChipComplex::Params{});
+    FrontSideBus bus(sys, "fsb", FrontSideBus::Params{});
+    DmaEngine dma(sys, "dma", bus, DmaEngine::Params{});
+    DiskController hba(sys, "hba", chips, dma, pic,
+                       DiskController::Params{});
+    Scheduler sched(sys, "sched", 1, 2);
+    PageCache cache(sys, "pagecache", hba, PageCache::Params{});
+    VirtualMemory vm(sys, "vm", hba, VirtualMemory::Params{});
+    OperatingSystem os(sys, "os", sched, cache, vm, pic,
+                       OperatingSystem::Params{});
+    sys.runFor(1.0);
+    EXPECT_NEAR(pic.lifetimeCount(os.timerVector()), 1000.0, 3.0);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the page cache: dirty accounting, background writeback,
+ * sync() semantics and read caching - the substrate of the DiskLoad
+ * workload's power signature.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "disk/disk_controller.hh"
+#include "os/page_cache.hh"
+#include "sim/system.hh"
+
+namespace tdp {
+namespace {
+
+struct Fixture
+{
+    explicit Fixture(PageCache::Params p = PageCache::Params{})
+        : pic(sys, "pic", 4),
+          chips(sys, "iochips", pic, IoChipComplex::Params{}),
+          bus(sys, "fsb", FrontSideBus::Params{}),
+          dma(sys, "dma", bus, DmaEngine::Params{}),
+          hba(sys, "hba", chips, dma, pic, DiskController::Params{}),
+          cache(sys, "pagecache", hba, p)
+    {
+    }
+
+    /** Drive the flusher the way the OS facade does. */
+    void
+    runSeconds(double seconds)
+    {
+        const int quanta = static_cast<int>(seconds * 1000.0 + 0.5);
+        for (int i = 0; i < quanta; ++i) {
+            cache.progress(1e-3);
+            sys.runFor(0.001);
+        }
+    }
+
+    System sys{21};
+    InterruptController pic;
+    IoChipComplex chips;
+    FrontSideBus bus;
+    DmaEngine dma;
+    DiskController hba;
+    PageCache cache;
+};
+
+TEST(PageCache, WritesBufferWithoutDiskTraffic)
+{
+    Fixture f;
+    f.cache.writeBytes(10e6);
+    EXPECT_DOUBLE_EQ(f.cache.dirtyBytes(), 10e6);
+    f.sys.runFor(0.010); // no progress() calls -> no flusher
+    EXPECT_EQ(f.hba.completedRequests(), 0u);
+}
+
+TEST(PageCache, BackgroundWritebackKicksInAboveThreshold)
+{
+    PageCache::Params p;
+    p.dirtyBackgroundMB = 1.0;
+    p.writebackBytesPerSec = 50e6;
+    Fixture f(p);
+    f.cache.writeBytes(5e6);
+    f.runSeconds(1.0);
+    EXPECT_GT(f.hba.completedRequests(), 0u);
+    EXPECT_LT(f.cache.dirtyBytes(), 5e6);
+}
+
+TEST(PageCache, NoWritebackBelowThreshold)
+{
+    PageCache::Params p;
+    p.dirtyBackgroundMB = 96.0;
+    Fixture f(p);
+    f.cache.writeBytes(1e6);
+    f.runSeconds(0.5);
+    EXPECT_EQ(f.hba.completedRequests(), 0u);
+    EXPECT_DOUBLE_EQ(f.cache.dirtyBytes(), 1e6);
+}
+
+TEST(PageCache, SyncFlushesAllAndFiresCallback)
+{
+    Fixture f;
+    f.cache.writeBytes(4e6);
+    bool done = false;
+    f.cache.sync([&] { done = true; });
+    EXPECT_TRUE(f.cache.syncInProgress());
+    f.runSeconds(2.0);
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(f.cache.syncInProgress());
+    EXPECT_NEAR(f.cache.dirtyBytes(), 0.0, 1.0);
+    EXPECT_NEAR(f.cache.lifetimeFlushedBytes(), 4e6, 1e3);
+}
+
+TEST(PageCache, SyncWithNothingDirtyCompletesImmediately)
+{
+    Fixture f;
+    bool done = false;
+    f.cache.sync([&] { done = true; });
+    EXPECT_TRUE(done);
+}
+
+TEST(PageCache, OverlappingSyncsCompleteInOrder)
+{
+    Fixture f;
+    std::vector<int> order;
+    f.cache.writeBytes(2e6);
+    f.cache.sync([&] { order.push_back(1); });
+    f.cache.writeBytes(2e6);
+    f.cache.sync([&] { order.push_back(2); });
+    f.runSeconds(3.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(PageCache, CachedReadsCompleteImmediately)
+{
+    Fixture f;
+    bool done = false;
+    f.cache.readBytes(1e6, 1.0, true, [&] { done = true; });
+    EXPECT_TRUE(done);
+    f.sys.runFor(0.010);
+    EXPECT_EQ(f.hba.completedRequests(), 0u);
+}
+
+TEST(PageCache, MissedReadsGoToDiskThenCallback)
+{
+    Fixture f;
+    bool done = false;
+    f.cache.readBytes(256.0 * 1024.0, 0.5, true, [&] { done = true; });
+    EXPECT_FALSE(done);
+    f.runSeconds(1.0);
+    EXPECT_TRUE(done);
+    // Half the bytes missed: two 64 KB read requests.
+    EXPECT_EQ(f.hba.completedRequests(), 2u);
+}
+
+TEST(PageCache, WriteThrottleEngagesAboveHardLimit)
+{
+    PageCache::Params p;
+    p.dirtyHardLimitMB = 1.0;
+    Fixture f(p);
+    EXPECT_DOUBLE_EQ(f.cache.writeThrottle(), 1.0);
+    f.cache.writeBytes(4e6);
+    EXPECT_LT(f.cache.writeThrottle(), 1.0);
+    EXPECT_GE(f.cache.writeThrottle(), 0.15);
+}
+
+TEST(PageCache, NegativeSizesPanic)
+{
+    Fixture f;
+    EXPECT_THROW(f.cache.writeBytes(-1.0), PanicError);
+    EXPECT_THROW(f.cache.readBytes(-1.0, 0.5, true, nullptr),
+                 PanicError);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the VM layer: paging pressure, swap traffic and thread
+ * stalls - the non-CPU memory agent of paper section 4.2.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "disk/disk_controller.hh"
+#include "os/virtual_memory.hh"
+#include "sim/system.hh"
+
+#include "stub_thread.hh"
+
+namespace tdp {
+namespace {
+
+struct Fixture
+{
+    explicit Fixture(VirtualMemory::Params p = VirtualMemory::Params{})
+        : pic(sys, "pic", 4),
+          chips(sys, "iochips", pic, IoChipComplex::Params{}),
+          bus(sys, "fsb", FrontSideBus::Params{}),
+          dma(sys, "dma", bus, DmaEngine::Params{}),
+          hba(sys, "hba", chips, dma, pic, DiskController::Params{}),
+          vm(sys, "vm", hba, p)
+    {
+    }
+
+    System sys{31};
+    InterruptController pic;
+    IoChipComplex chips;
+    FrontSideBus bus;
+    DmaEngine dma;
+    DiskController hba;
+    VirtualMemory vm;
+};
+
+TEST(VirtualMemory, NoPressureWhenFitting)
+{
+    Fixture f;
+    StubThread small("small", {}, 1000.0);
+    small.start();
+    std::vector<ThreadContext *> threads = {&small};
+    f.vm.update(threads, 0.0, 1e-3);
+    EXPECT_DOUBLE_EQ(f.vm.pressure(), 0.0);
+    EXPECT_DOUBLE_EQ(f.vm.stallFactor(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(f.vm.lifetimeSwapBytes(), 0.0);
+}
+
+TEST(VirtualMemory, OvercommitCreatesPressureAndSwap)
+{
+    Fixture f;
+    std::vector<StubThread> threads;
+    threads.reserve(8);
+    for (int i = 0; i < 8; ++i)
+        threads.emplace_back("t" + std::to_string(i), ThreadDemand{},
+                             1200.0);
+    std::vector<ThreadContext *> ptrs;
+    for (StubThread &t : threads) {
+        t.start();
+        ptrs.push_back(&t);
+    }
+    // 9.6 GB resident vs 7.68 GB available.
+    for (int q = 0; q < 2000; ++q)
+        f.vm.update(ptrs, 0.0, 1e-3);
+    EXPECT_GT(f.vm.pressure(), 0.1);
+    EXPECT_GT(f.vm.lifetimeSwapBytes(), 1e6);
+    f.sys.runFor(0.200);
+    EXPECT_GT(f.hba.completedRequests(), 0u);
+}
+
+TEST(VirtualMemory, StallFactorScalesWithBoundness)
+{
+    Fixture f;
+    std::vector<StubThread> threads;
+    for (int i = 0; i < 8; ++i)
+        threads.emplace_back("t" + std::to_string(i), ThreadDemand{},
+                             1500.0);
+    std::vector<ThreadContext *> ptrs;
+    for (StubThread &t : threads) {
+        t.start();
+        ptrs.push_back(&t);
+    }
+    f.vm.update(ptrs, 0.0, 1e-3);
+    ASSERT_GT(f.vm.pressure(), 0.0);
+    EXPECT_LT(f.vm.stallFactor(1.0), f.vm.stallFactor(0.2));
+    EXPECT_DOUBLE_EQ(f.vm.stallFactor(0.0), 1.0);
+    EXPECT_GT(f.vm.stallFactor(1.0), 0.0);
+}
+
+TEST(VirtualMemory, NotStartedThreadsDoNotCount)
+{
+    Fixture f;
+    StubThread huge("huge", {}, 50000.0);
+    std::vector<ThreadContext *> ptrs = {&huge};
+    f.vm.update(ptrs, 0.0, 1e-3);
+    EXPECT_DOUBLE_EQ(f.vm.pressure(), 0.0);
+}
+
+TEST(VirtualMemory, BlockedThreadsStillResident)
+{
+    Fixture f;
+    std::vector<StubThread> threads;
+    for (int i = 0; i < 8; ++i)
+        threads.emplace_back("t" + std::to_string(i), ThreadDemand{},
+                             1500.0);
+    std::vector<ThreadContext *> ptrs;
+    for (StubThread &t : threads) {
+        t.start();
+        t.setState(ThreadState::Blocked);
+        ptrs.push_back(&t);
+    }
+    f.vm.update(ptrs, 0.0, 1e-3);
+    EXPECT_GT(f.vm.pressure(), 0.0);
+}
+
+TEST(VirtualMemory, PageCacheAddsPartialResidency)
+{
+    Fixture f;
+    std::vector<StubThread> threads;
+    for (int i = 0; i < 8; ++i)
+        threads.emplace_back("t" + std::to_string(i), ThreadDemand{},
+                             940.0); // just below the limit alone
+    std::vector<ThreadContext *> ptrs;
+    for (StubThread &t : threads) {
+        t.start();
+        ptrs.push_back(&t);
+    }
+    f.vm.update(ptrs, 0.0, 1e-3);
+    const double without_cache = f.vm.pressure();
+    f.vm.update(ptrs, 2e9, 1e-3); // 2 GB of page cache
+    EXPECT_GT(f.vm.pressure(), without_cache);
+}
+
+TEST(VirtualMemory, BadConfigRejected)
+{
+    System sys(1);
+    InterruptController pic(sys, "pic", 2);
+    IoChipComplex chips(sys, "iochips", pic, IoChipComplex::Params{});
+    FrontSideBus bus(sys, "fsb", FrontSideBus::Params{});
+    DmaEngine dma(sys, "dma", bus, DmaEngine::Params{});
+    DiskController hba(sys, "hba", chips, dma, pic,
+                       DiskController::Params{});
+    VirtualMemory::Params p;
+    p.physicalMB = 100.0;
+    p.osReservedMB = 200.0;
+    EXPECT_THROW(VirtualMemory(sys, "vm", hba, p), FatalError);
+}
+
+} // namespace
+} // namespace tdp

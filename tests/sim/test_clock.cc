@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tests for the clock domain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/clock.hh"
+
+namespace tdp {
+namespace {
+
+TEST(ClockDomain, NominalCycles)
+{
+    ClockDomain clock(2.8e9);
+    EXPECT_DOUBLE_EQ(clock.cycles(ticksPerMs), 2.8e6);
+    EXPECT_DOUBLE_EQ(clock.scale(), 1.0);
+}
+
+TEST(ClockDomain, DvfsScalesCycles)
+{
+    ClockDomain clock(2.0e9);
+    clock.setFrequency(1.0e9);
+    EXPECT_DOUBLE_EQ(clock.frequency(), 1.0e9);
+    EXPECT_DOUBLE_EQ(clock.scale(), 0.5);
+    EXPECT_DOUBLE_EQ(clock.cycles(ticksPerMs), 1.0e6);
+}
+
+TEST(ClockDomain, ClampsAboveNominal)
+{
+    ClockDomain clock(2.0e9);
+    clock.setFrequency(3.0e9);
+    EXPECT_DOUBLE_EQ(clock.frequency(), 2.0e9);
+}
+
+TEST(ClockDomain, ClampsBelowFloor)
+{
+    ClockDomain clock(2.0e9);
+    clock.setFrequency(1.0);
+    EXPECT_DOUBLE_EQ(clock.frequency(), 0.2e9);
+}
+
+TEST(ClockDomain, RejectsNonPositiveFrequency)
+{
+    EXPECT_THROW(ClockDomain(0.0), FatalError);
+    EXPECT_THROW(ClockDomain(-1.0), FatalError);
+}
+
+} // namespace
+} // namespace tdp

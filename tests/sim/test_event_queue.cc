@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace tdp {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleFn("b", 20, [&] { order.push_back(2); });
+    q.scheduleFn("a", 10, [&] { order.push_back(1); });
+    q.scheduleFn("c", 30, [&] { order.push_back(3); });
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, SameTickUsesPriorityThenFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleFn("late", 10, [&] { order.push_back(3); }, 200);
+    q.scheduleFn("first", 10, [&] { order.push_back(1); }, 50);
+    q.scheduleFn("fifo-a", 10, [&] { order.push_back(2); }, 50);
+    q.runUntil(10);
+    // priority 50 events fire first, among them insertion order; but
+    // "first" was inserted before "fifo-a" at equal priority.
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleFn("in", 10, [&] { ++fired; });
+    q.scheduleFn("out", 11, [&] { ++fired; });
+    q.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.nextTick(), 11u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleFn("outer", 5, [&] {
+        q.scheduleFn("inner", 7, [&] { ++fired; });
+    });
+    q.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.processedCount(), 2u);
+}
+
+TEST(EventQueue, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.scheduleFn("now", 10, [] {});
+    q.runUntil(10);
+    EXPECT_THROW(q.scheduleFn("past", 5, [] {}), PanicError);
+}
+
+TEST(EventQueue, SameTickSchedulingAllowed)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleFn("outer", 5, [&] {
+        // Scheduling at the current tick must work (same-instant
+        // follow-up work).
+        q.scheduleFn("inner", 5, [&] { ++fired; });
+    });
+    q.runUntil(5);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EmptyQueueQueries)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_THROW(q.nextTick(), PanicError);
+    EXPECT_THROW(q.step(), PanicError);
+}
+
+TEST(EventQueue, NullEventPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule(nullptr, 1), PanicError);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500u);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the dense matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "stats/matrix.hh"
+
+namespace tdp {
+namespace {
+
+TEST(Matrix, ConstructAndFill)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(Matrix, FromRows)
+{
+    const Matrix m = Matrix::fromRows({{1, 2}, {3, 4}});
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, FromRaggedRowsPanics)
+{
+    EXPECT_THROW(Matrix::fromRows({{1, 2}, {3}}), PanicError);
+}
+
+TEST(Matrix, Identity)
+{
+    const Matrix id = Matrix::identity(3);
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, BoundsCheckedAccess)
+{
+    Matrix m(2, 2);
+    EXPECT_THROW(m.at(2, 0), PanicError);
+    EXPECT_THROW(m.at(0, 2), PanicError);
+    EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, Transpose)
+{
+    const Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Multiply)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    const Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    const Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchPanics)
+{
+    const Matrix a(2, 3);
+    const Matrix b(2, 3);
+    EXPECT_THROW(a * b, PanicError);
+}
+
+TEST(Matrix, MatrixVectorProduct)
+{
+    const Matrix a = Matrix::fromRows({{1, 0, 2}, {0, 3, 0}});
+    const std::vector<double> v = {1, 2, 3};
+    const std::vector<double> out = a * v;
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], 7.0);
+    EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeIdentity)
+{
+    const Matrix a = Matrix::fromRows({{2, -1}, {0.5, 3}});
+    const Matrix out = a * Matrix::identity(2);
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 2; ++c)
+            EXPECT_DOUBLE_EQ(out(r, c), a(r, c));
+}
+
+TEST(Matrix, MaxAbs)
+{
+    const Matrix a = Matrix::fromRows({{1, -9}, {4, 2}});
+    EXPECT_DOUBLE_EQ(a.maxAbs(), 9.0);
+    EXPECT_DOUBLE_EQ(Matrix().maxAbs(), 0.0);
+}
+
+} // namespace
+} // namespace tdp

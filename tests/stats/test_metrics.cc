@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the error metrics, especially the paper's Equation 6.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "stats/metrics.hh"
+
+namespace tdp {
+namespace {
+
+TEST(AverageError, ZeroForPerfectModel)
+{
+    const std::vector<double> v = {10, 20, 30};
+    EXPECT_DOUBLE_EQ(averageError(v, v), 0.0);
+}
+
+TEST(AverageError, KnownValue)
+{
+    // |9-10|/10 = 0.1 and |22-20|/20 = 0.1 -> mean 0.1.
+    EXPECT_NEAR(averageError({9, 22}, {10, 20}), 0.1, 1e-12);
+}
+
+TEST(AverageError, SkipsZeroMeasured)
+{
+    EXPECT_NEAR(averageError({5, 9}, {0, 10}), 0.1, 1e-12);
+}
+
+TEST(AverageError, SymmetricInErrorSign)
+{
+    EXPECT_NEAR(averageError({11, 9}, {10, 10}), 0.1, 1e-12);
+}
+
+TEST(AverageError, LengthMismatchPanics)
+{
+    EXPECT_THROW(averageError({1}, {1, 2}), PanicError);
+}
+
+TEST(AverageErrorAboveDc, SubtractsOffset)
+{
+    // Disk style: measured 22.6 vs modeled 22.1, DC 21.6 ->
+    // |0.5-1.0|/1.0 = 0.5.
+    EXPECT_NEAR(averageErrorAboveDc({22.1}, {22.6}, 21.6), 0.5, 1e-12);
+}
+
+TEST(AverageErrorAboveDc, SkipsAtOrBelowDc)
+{
+    EXPECT_DOUBLE_EQ(averageErrorAboveDc({22.0}, {21.6}, 21.6), 0.0);
+    EXPECT_DOUBLE_EQ(averageErrorAboveDc({22.0}, {21.0}, 21.6), 0.0);
+}
+
+TEST(RmsError, KnownValue)
+{
+    EXPECT_NEAR(rmsError({1, 2}, {2, 4}), std::sqrt(2.5), 1e-12);
+    EXPECT_DOUBLE_EQ(rmsError({}, {}), 0.0);
+}
+
+TEST(Pearson, PerfectAndInverse)
+{
+    EXPECT_NEAR(pearson({1, 2, 3}, {10, 20, 30}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1, 2, 3}, {-1, -2, -3}), -1.0, 1e-12);
+}
+
+TEST(RSquared, PerfectModel)
+{
+    const std::vector<double> v = {1, 5, 9};
+    EXPECT_DOUBLE_EQ(rSquared(v, v), 1.0);
+}
+
+TEST(RSquared, MeanModelIsZero)
+{
+    const std::vector<double> measured = {1, 2, 3};
+    const std::vector<double> mean_model = {2, 2, 2};
+    EXPECT_NEAR(rSquared(mean_model, measured), 0.0, 1e-12);
+}
+
+TEST(RSquared, WorseThanMeanIsNegative)
+{
+    const std::vector<double> measured = {1, 2, 3};
+    const std::vector<double> bad = {3, 2, 1};
+    EXPECT_LT(rSquared(bad, measured), 0.0);
+}
+
+} // namespace
+} // namespace tdp

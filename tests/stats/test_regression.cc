@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the regression fits, including recovery of known
+ * coefficients (the property the paper's methodology depends on).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "stats/regression.hh"
+
+namespace tdp {
+namespace {
+
+TEST(FitOls, RecoversExactLinear)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back(i);
+        y.push_back(4.2 + 1.7 * i);
+    }
+    const FitResult fit = fitOls({x}, y);
+    EXPECT_NEAR(fit.intercept, 4.2, 1e-9);
+    ASSERT_EQ(fit.coefficients.size(), 1u);
+    EXPECT_NEAR(fit.coefficients[0], 1.7, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+    EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+}
+
+TEST(FitOls, RecoversTwoRegressors)
+{
+    Rng rng(7);
+    std::vector<double> x1, x2, y;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(0, 10);
+        const double b = rng.uniform(-5, 5);
+        x1.push_back(a);
+        x2.push_back(b);
+        y.push_back(9.25 + 26.45 * a + 4.31 * b);
+    }
+    const FitResult fit = fitOls({x1, x2}, y);
+    EXPECT_NEAR(fit.intercept, 9.25, 1e-8);
+    EXPECT_NEAR(fit.coefficients[0], 26.45, 1e-8);
+    EXPECT_NEAR(fit.coefficients[1], 4.31, 1e-8);
+}
+
+TEST(FitOls, NoisyRecoveryWithinTolerance)
+{
+    Rng rng(8);
+    std::vector<double> x, y;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = rng.uniform(0, 100);
+        x.push_back(v);
+        y.push_back(3.0 + 0.5 * v + rng.gaussian(0.0, 1.0));
+    }
+    const FitResult fit = fitOls({x}, y);
+    EXPECT_NEAR(fit.intercept, 3.0, 0.1);
+    EXPECT_NEAR(fit.coefficients[0], 0.5, 0.005);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitOls, RejectsEmptyAndMismatched)
+{
+    EXPECT_THROW(fitOls({}, {}), FatalError);
+    EXPECT_THROW(fitOls({{1.0, 2.0}}, {1.0}), FatalError);
+}
+
+TEST(FitOls, RejectsTooFewSamples)
+{
+    EXPECT_THROW(fitOls({{1.0}}, {2.0}), FatalError);
+}
+
+TEST(FitOls, PredictChecksArity)
+{
+    FitResult fit;
+    fit.intercept = 1.0;
+    fit.coefficients = {2.0};
+    EXPECT_THROW(fit.predict({1.0, 2.0}), PanicError);
+    EXPECT_DOUBLE_EQ(fit.predict({3.0}), 7.0);
+}
+
+TEST(FitPolynomial, RecoversQuadratic)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 60; ++i) {
+        const double v = 0.1 * i;
+        x.push_back(v);
+        y.push_back(29.2 - 0.5 * v + 0.8 * v * v);
+    }
+    const FitResult fit = fitPolynomial(x, y, 2);
+    EXPECT_NEAR(fit.intercept, 29.2, 1e-7);
+    EXPECT_NEAR(fit.coefficients[0], -0.5, 1e-7);
+    EXPECT_NEAR(fit.coefficients[1], 0.8, 1e-7);
+}
+
+TEST(FitPolynomial, DegreeOneIsLinear)
+{
+    std::vector<double> x = {0, 1, 2, 3};
+    std::vector<double> y = {1, 3, 5, 7};
+    const FitResult fit = fitPolynomial(x, y, 1);
+    EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-10);
+}
+
+TEST(FitPolynomial, RejectsZeroDegree)
+{
+    EXPECT_THROW(fitPolynomial({1, 2}, {1, 2}, 0), FatalError);
+}
+
+TEST(FitQuadraticPerInput, RecoversPaperEq4Form)
+{
+    // Two inputs, each with linear + quadratic terms, no cross terms:
+    // the paper's disk model shape.
+    Rng rng(17);
+    std::vector<double> irq, dma, y;
+    for (int i = 0; i < 400; ++i) {
+        const double a = rng.uniform(0, 2);
+        const double b = rng.uniform(0, 3);
+        irq.push_back(a);
+        dma.push_back(b);
+        y.push_back(21.6 + 10.6 * a - 1.1 * a * a + 9.18 * b -
+                    4.54 * b * b);
+    }
+    const FitResult fit = fitQuadraticPerInput({irq, dma}, y);
+    EXPECT_NEAR(fit.intercept, 21.6, 1e-7);
+    EXPECT_NEAR(fit.coefficients[0], 10.6, 1e-7);
+    EXPECT_NEAR(fit.coefficients[1], -1.1, 1e-7);
+    EXPECT_NEAR(fit.coefficients[2], 9.18, 1e-7);
+    EXPECT_NEAR(fit.coefficients[3], -4.54, 1e-7);
+}
+
+TEST(FitQuadraticPerInput, FeatureExpansionOrder)
+{
+    const auto features = quadraticPerInputFeatures({2.0, 3.0});
+    ASSERT_EQ(features.size(), 4u);
+    EXPECT_DOUBLE_EQ(features[0], 2.0);
+    EXPECT_DOUBLE_EQ(features[1], 4.0);
+    EXPECT_DOUBLE_EQ(features[2], 3.0);
+    EXPECT_DOUBLE_EQ(features[3], 9.0);
+}
+
+/**
+ * Property sweep: OLS recovers arbitrary coefficient sets across
+ * magnitudes - the conditioning property the standardisation inside
+ * fitOls exists to provide (event rates span 1e-7 to 1e4).
+ */
+class OlsScaleSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(OlsScaleSweep, RecoversAcrossInputScales)
+{
+    const double scale = GetParam();
+    Rng rng(91);
+    std::vector<double> x, x2, y;
+    for (int i = 0; i < 300; ++i) {
+        const double v = rng.uniform(0.0, scale);
+        x.push_back(v);
+        x2.push_back(v * v);
+        y.push_back(10.0 + 3.0 / scale * v + 0.5 / (scale * scale) * v * v);
+    }
+    const FitResult fit = fitOls({x, x2}, y);
+    EXPECT_NEAR(fit.intercept, 10.0, 1e-6 * 10.0);
+    EXPECT_NEAR(fit.coefficients[0] * scale, 3.0, 1e-5);
+    EXPECT_NEAR(fit.coefficients[1] * scale * scale, 0.5, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, OlsScaleSweep,
+                         ::testing::Values(1e-6, 1e-3, 1.0, 1e3, 1e6));
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the linear solvers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "stats/solve.hh"
+
+namespace tdp {
+namespace {
+
+TEST(SolveLinear, TwoByTwo)
+{
+    const Matrix a = Matrix::fromRows({{2, 1}, {1, 3}});
+    const auto x = solveLinearSystem(a, {5, 10});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, RequiresPivoting)
+{
+    // Zero on the diagonal: naive elimination would fail.
+    const Matrix a = Matrix::fromRows({{0, 1}, {1, 0}});
+    const auto x = solveLinearSystem(a, {2, 3});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularFatal)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {2, 4}});
+    EXPECT_THROW(solveLinearSystem(a, {1, 2}), FatalError);
+}
+
+TEST(SolveLinear, RandomRoundTrip)
+{
+    Rng rng(21);
+    const size_t n = 6;
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (size_t r = 0; r < n; ++r) {
+        x_true[r] = rng.uniform(-5, 5);
+        for (size_t c = 0; c < n; ++c)
+            a(r, c) = rng.uniform(-1, 1);
+        a(r, r) += 4.0; // diagonally dominant, well conditioned
+    }
+    const std::vector<double> b = a * x_true;
+    const auto x = solveLinearSystem(a, b);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(SolveQr, ExactSquareSystem)
+{
+    const Matrix a = Matrix::fromRows({{1, 1}, {1, 2}});
+    const auto x = solveLeastSquaresQr(a, {3, 5});
+    EXPECT_NEAR(x[0], 1.0, 1e-10);
+    EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(SolveQr, OverdeterminedLeastSquares)
+{
+    // Noisy y ~ 2x + 1; the exact least-squares solution for this
+    // data is intercept 1.06, slope 1.96 (hand-computed).
+    const Matrix a =
+        Matrix::fromRows({{1, 0}, {1, 1}, {1, 2}, {1, 3}});
+    const std::vector<double> b = {1.1, 2.9, 5.1, 6.9};
+    const auto x = solveLeastSquaresQr(a, b);
+    EXPECT_NEAR(x[0], 1.06, 1e-10);
+    EXPECT_NEAR(x[1], 1.96, 1e-10);
+}
+
+TEST(SolveQr, UnderdeterminedFatal)
+{
+    const Matrix a(1, 2);
+    EXPECT_THROW(solveLeastSquaresQr(a, {1.0}), FatalError);
+}
+
+TEST(SolveQr, RankDeficientFatal)
+{
+    const Matrix a =
+        Matrix::fromRows({{1, 2}, {2, 4}, {3, 6}});
+    EXPECT_THROW(solveLeastSquaresQr(a, {1, 2, 3}), FatalError);
+}
+
+TEST(SolveQr, ColumnAlreadyTriangular)
+{
+    // First column has a single nonzero entry at the diagonal - the
+    // Householder reflection degenerates; the sign convention must
+    // keep it stable.
+    const Matrix a = Matrix::fromRows({{3, 1}, {0, 2}});
+    const auto x = solveLeastSquaresQr(a, {9, 4});
+    EXPECT_NEAR(x[0], 7.0 / 3.0, 1e-10);
+    EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(SolveQr, MatchesNormalEquationsOnRandomProblem)
+{
+    Rng rng(31);
+    const size_t m = 40, n = 4;
+    Matrix a(m, n);
+    std::vector<double> coef = {3.0, -1.5, 0.25, 2.0};
+    std::vector<double> b(m);
+    for (size_t r = 0; r < m; ++r) {
+        double acc = 0.0;
+        for (size_t c = 0; c < n; ++c) {
+            a(r, c) = rng.uniform(-2, 2);
+            acc += a(r, c) * coef[c];
+        }
+        b[r] = acc; // exact, so both methods agree to round-off
+    }
+    const auto x = solveLeastSquaresQr(a, b);
+    for (size_t c = 0; c < n; ++c)
+        EXPECT_NEAR(x[c], coef[c], 1e-9);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the workload profile registry and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workloads/profile.hh"
+#include "workloads/suite.hh"
+
+namespace tdp {
+namespace {
+
+TEST(WorkloadProfiles, PaperSuiteComplete)
+{
+    const auto order = paperWorkloadOrder();
+    ASSERT_EQ(order.size(), 12u);
+    for (const std::string &name : order)
+        EXPECT_NO_THROW(findWorkloadProfile(name));
+}
+
+TEST(WorkloadProfiles, UnknownNameFatal)
+{
+    EXPECT_THROW(findWorkloadProfile("nonexistent"), FatalError);
+}
+
+TEST(WorkloadProfiles, AllRegisteredProfilesValid)
+{
+    for (const std::string &name : workloadProfileNames())
+        EXPECT_NO_THROW(validateProfile(findWorkloadProfile(name)));
+}
+
+TEST(WorkloadProfiles, FloatingPointFlagsMatchGrouping)
+{
+    for (const std::string &name : floatingPointWorkloads())
+        EXPECT_TRUE(findWorkloadProfile(name).isFloatingPoint) << name;
+    for (const std::string &name : integerWorkloads())
+        EXPECT_FALSE(findWorkloadProfile(name).isFloatingPoint) << name;
+}
+
+TEST(WorkloadProfiles, DiskloadHasSyncBehaviour)
+{
+    const WorkloadProfile &p = findWorkloadProfile("diskload");
+    ASSERT_FALSE(p.phases.empty());
+    EXPECT_GT(p.phases[0].syncEverySeconds, 0.0);
+    EXPECT_GT(p.phases[0].fileWriteBytesPerSec, 1e6);
+    EXPECT_GT(p.phases[0].fileRegionBytes, 0.0);
+}
+
+TEST(WorkloadProfiles, McfIsTheMemoryHog)
+{
+    const WorkloadProfile &mcf = findWorkloadProfile("mcf");
+    const WorkloadProfile &vortex = findWorkloadProfile("vortex");
+    EXPECT_GT(mcf.footprintMB, 4.0 * vortex.footprintMB);
+    EXPECT_GT(mcf.phases[0].demand.l3MissPerKuop,
+              vortex.phases[0].demand.l3MissPerKuop);
+    EXPECT_GT(mcf.phases[0].demand.specUopsEquiv, 0.5);
+}
+
+TEST(WorkloadProfiles, ValidationCatchesBadPhases)
+{
+    WorkloadProfile p = findWorkloadProfile("gcc"); // copy
+    p.phases[0].duration = 0.0;
+    EXPECT_THROW(validateProfile(p), FatalError);
+
+    p = findWorkloadProfile("gcc");
+    p.phases[0].demand.dutyCycle = 1.5;
+    EXPECT_THROW(validateProfile(p), FatalError);
+
+    p = findWorkloadProfile("gcc");
+    p.phases[0].demand.l3MissPerKuop = -1.0;
+    EXPECT_THROW(validateProfile(p), FatalError);
+
+    p = findWorkloadProfile("gcc");
+    p.phases.clear();
+    EXPECT_THROW(validateProfile(p), FatalError);
+
+    p = findWorkloadProfile("gcc");
+    p.phases[0].readCachedFraction = 2.0;
+    EXPECT_THROW(validateProfile(p), FatalError);
+}
+
+TEST(WorkloadProfiles, IdleDemandsNothing)
+{
+    const WorkloadProfile &idle = findWorkloadProfile("idle");
+    EXPECT_DOUBLE_EQ(idle.phases[0].demand.uopsPerCycle, 0.0);
+    EXPECT_DOUBLE_EQ(idle.footprintMB, 0.0);
+}
+
+TEST(WorkloadProfiles, Dbt2IsLowDutyWithBlockingReads)
+{
+    const WorkloadProfile &dbt2 = findWorkloadProfile("dbt2");
+    EXPECT_LT(dbt2.phases[0].demand.dutyCycle, 0.2);
+    EXPECT_TRUE(dbt2.phases[0].readsBlock);
+    EXPECT_FALSE(dbt2.phases[0].readSequential);
+}
+
+} // namespace
+} // namespace tdp

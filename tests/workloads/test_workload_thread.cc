@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the profile-driven workload thread, using the wired
+ * Server so page-cache interactions are real.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "platform/server.hh"
+#include "workloads/workload_thread.hh"
+
+namespace tdp {
+namespace {
+
+TEST(WorkloadThread, LifecycleFromProfile)
+{
+    Server server(1);
+    auto threads =
+        server.runner().launchStaggered("vortex", 1, 0.5, 0.0);
+    ASSERT_EQ(threads.size(), 1u);
+    WorkloadThread *t = threads[0];
+    EXPECT_EQ(t->state(), ThreadState::NotStarted);
+    server.run(0.4);
+    EXPECT_EQ(t->state(), ThreadState::NotStarted);
+    server.run(0.2);
+    // vortex reads a dataset first: Blocked until the init read lands.
+    EXPECT_NE(t->state(), ThreadState::NotStarted);
+    server.run(10.0);
+    EXPECT_EQ(t->state(), ThreadState::Runnable);
+    EXPECT_GT(t->lifetimeUops(), 1e8);
+}
+
+TEST(WorkloadThread, PhasesAdvanceAndLoop)
+{
+    Server server(2);
+    auto threads =
+        server.runner().launchStaggered("specjbb", 1, 0.1, 0.0);
+    WorkloadThread *t = threads[0];
+    server.run(5.0);
+    EXPECT_EQ(t->phaseIndex(), 0u); // transact phase, 7 s long
+    server.run(3.5);
+    EXPECT_EQ(t->phaseIndex(), 1u); // gc phase
+    server.run(2.0);
+    EXPECT_EQ(t->phaseIndex(), 0u); // looped
+}
+
+TEST(WorkloadThread, DiskloadIssuesSyncs)
+{
+    Server server(3);
+    auto threads =
+        server.runner().launchStaggered("diskload", 1, 0.1, 0.0);
+    WorkloadThread *t = threads[0];
+    server.run(30.0);
+    EXPECT_GE(t->syncCount(), 1);
+    EXPECT_GT(server.pageCache().lifetimeFlushedBytes(), 10e6);
+    EXPECT_GT(server.disks().completedRequests(), 50u);
+}
+
+TEST(WorkloadThread, DemandWanderStaysBounded)
+{
+    Server server(4);
+    auto threads = server.runner().launchStaggered("gcc", 1, 0.1, 0.0);
+    WorkloadThread *t = threads[0];
+    const double base =
+        findWorkloadProfile("gcc").phases[0].demand.uopsPerCycle;
+    server.run(2.0);
+    for (int i = 0; i < 50; ++i) {
+        server.run(0.2);
+        if (t->state() != ThreadState::Runnable)
+            continue;
+        const double u = t->demand().uopsPerCycle;
+        EXPECT_GT(u, 0.3 * base);
+        EXPECT_LT(u, 2.0 * base);
+    }
+}
+
+TEST(WorkloadThread, DoubleStartPanics)
+{
+    Server server(5);
+    auto threads =
+        server.runner().launchStaggered("specjbb", 1, 0.1, 0.0);
+    server.run(0.5);
+    ASSERT_EQ(threads[0]->state(), ThreadState::Runnable);
+    EXPECT_THROW(threads[0]->start(), PanicError);
+}
+
+TEST(WorkloadRunner, StaggeredStartsAreStaggered)
+{
+    Server server(6);
+    auto threads =
+        server.runner().launchStaggered("specjbb", 3, 1.0, 2.0);
+    server.run(1.5);
+    EXPECT_EQ(threads[0]->state(), ThreadState::Runnable);
+    EXPECT_EQ(threads[1]->state(), ThreadState::NotStarted);
+    server.run(2.0);
+    EXPECT_EQ(threads[1]->state(), ThreadState::Runnable);
+    EXPECT_EQ(threads[2]->state(), ThreadState::NotStarted);
+    server.run(2.0);
+    EXPECT_EQ(threads[2]->state(), ThreadState::Runnable);
+}
+
+TEST(WorkloadRunner, ThreadNamesUnique)
+{
+    Server server(7);
+    server.runner().launchStaggered("gcc", 2, 0.1, 0.0);
+    server.runner().launchStaggered("mcf", 2, 0.1, 0.0);
+    const auto &threads = server.runner().threads();
+    ASSERT_EQ(threads.size(), 4u);
+    for (size_t i = 0; i < threads.size(); ++i)
+        for (size_t j = i + 1; j < threads.size(); ++j)
+            EXPECT_NE(threads[i]->threadName(),
+                      threads[j]->threadName());
+}
+
+TEST(WorkloadRunner, NegativeInstancesRejected)
+{
+    Server server(8);
+    EXPECT_THROW(server.runner().launchStaggered("gcc", -1, 0.0, 0.0),
+                 FatalError);
+}
+
+} // namespace
+} // namespace tdp
