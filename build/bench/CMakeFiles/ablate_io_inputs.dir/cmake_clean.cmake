@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_io_inputs.dir/ablate_io_inputs.cc.o"
+  "CMakeFiles/ablate_io_inputs.dir/ablate_io_inputs.cc.o.d"
+  "ablate_io_inputs"
+  "ablate_io_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_io_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_memory_inputs.dir/ablate_memory_inputs.cc.o"
+  "CMakeFiles/ablate_memory_inputs.dir/ablate_memory_inputs.cc.o.d"
+  "ablate_memory_inputs"
+  "ablate_memory_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_memory_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

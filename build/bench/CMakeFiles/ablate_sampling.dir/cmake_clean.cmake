@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sampling.dir/ablate_sampling.cc.o"
+  "CMakeFiles/ablate_sampling.dir/ablate_sampling.cc.o.d"
+  "ablate_sampling"
+  "ablate_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

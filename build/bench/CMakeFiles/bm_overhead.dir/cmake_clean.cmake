@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_overhead.dir/bm_overhead.cc.o"
+  "CMakeFiles/bm_overhead.dir/bm_overhead.cc.o.d"
+  "bm_overhead"
+  "bm_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

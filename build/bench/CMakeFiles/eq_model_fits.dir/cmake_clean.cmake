@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq_model_fits.dir/eq_model_fits.cc.o"
+  "CMakeFiles/eq_model_fits.dir/eq_model_fits.cc.o.d"
+  "eq_model_fits"
+  "eq_model_fits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq_model_fits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

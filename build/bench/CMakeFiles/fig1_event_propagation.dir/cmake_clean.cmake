@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_event_propagation.dir/fig1_event_propagation.cc.o"
+  "CMakeFiles/fig1_event_propagation.dir/fig1_event_propagation.cc.o.d"
+  "fig1_event_propagation"
+  "fig1_event_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_event_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cpu_model_gcc.dir/fig2_cpu_model_gcc.cc.o"
+  "CMakeFiles/fig2_cpu_model_gcc.dir/fig2_cpu_model_gcc.cc.o.d"
+  "fig2_cpu_model_gcc"
+  "fig2_cpu_model_gcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cpu_model_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

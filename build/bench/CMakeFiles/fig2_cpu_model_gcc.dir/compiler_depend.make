@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_cpu_model_gcc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mem_l3_mesa.dir/fig3_mem_l3_mesa.cc.o"
+  "CMakeFiles/fig3_mem_l3_mesa.dir/fig3_mem_l3_mesa.cc.o.d"
+  "fig3_mem_l3_mesa"
+  "fig3_mem_l3_mesa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mem_l3_mesa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_mem_l3_mesa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_mem_l3_mesa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bus_breakdown_mcf.dir/fig4_bus_breakdown_mcf.cc.o"
+  "CMakeFiles/fig4_bus_breakdown_mcf.dir/fig4_bus_breakdown_mcf.cc.o.d"
+  "fig4_bus_breakdown_mcf"
+  "fig4_bus_breakdown_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bus_breakdown_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

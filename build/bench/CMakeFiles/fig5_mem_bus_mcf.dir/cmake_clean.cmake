@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mem_bus_mcf.dir/fig5_mem_bus_mcf.cc.o"
+  "CMakeFiles/fig5_mem_bus_mcf.dir/fig5_mem_bus_mcf.cc.o.d"
+  "fig5_mem_bus_mcf"
+  "fig5_mem_bus_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mem_bus_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_mem_bus_mcf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_disk_model.dir/fig6_disk_model.cc.o"
+  "CMakeFiles/fig6_disk_model.dir/fig6_disk_model.cc.o.d"
+  "fig6_disk_model"
+  "fig6_disk_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_disk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_io_model.cc" "bench/CMakeFiles/fig7_io_model.dir/fig7_io_model.cc.o" "gcc" "bench/CMakeFiles/fig7_io_model.dir/fig7_io_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tdp_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tdp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tdp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/tdp_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tdp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tdp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/tdp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tdp_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tdp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tdp_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_io_model.dir/fig7_io_model.cc.o"
+  "CMakeFiles/fig7_io_model.dir/fig7_io_model.cc.o.d"
+  "fig7_io_model"
+  "fig7_io_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_io_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_avg_power.dir/table1_avg_power.cc.o"
+  "CMakeFiles/table1_avg_power.dir/table1_avg_power.cc.o.d"
+  "table1_avg_power"
+  "table1_avg_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_avg_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_power_stddev.dir/table2_power_stddev.cc.o"
+  "CMakeFiles/table2_power_stddev.dir/table2_power_stddev.cc.o.d"
+  "table2_power_stddev"
+  "table2_power_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_power_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

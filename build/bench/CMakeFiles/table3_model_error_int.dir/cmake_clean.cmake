@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_model_error_int.dir/table3_model_error_int.cc.o"
+  "CMakeFiles/table3_model_error_int.dir/table3_model_error_int.cc.o.d"
+  "table3_model_error_int"
+  "table3_model_error_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_model_error_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

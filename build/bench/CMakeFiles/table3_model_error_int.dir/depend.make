@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_model_error_int.
+# This may be replaced when dependencies are built.

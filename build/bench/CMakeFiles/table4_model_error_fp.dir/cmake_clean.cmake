@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_model_error_fp.dir/table4_model_error_fp.cc.o"
+  "CMakeFiles/table4_model_error_fp.dir/table4_model_error_fp.cc.o.d"
+  "table4_model_error_fp"
+  "table4_model_error_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_model_error_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_bench_util.dir/common/bench_util.cc.o"
+  "CMakeFiles/tdp_bench_util.dir/common/bench_util.cc.o.d"
+  "libtdp_bench_util.a"
+  "libtdp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

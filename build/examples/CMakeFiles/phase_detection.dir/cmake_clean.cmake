@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_detection.dir/phase_detection.cpp.o"
+  "CMakeFiles/phase_detection.dir/phase_detection.cpp.o.d"
+  "phase_detection"
+  "phase_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

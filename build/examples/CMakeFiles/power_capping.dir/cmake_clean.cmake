@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_capping.dir/power_capping.cpp.o"
+  "CMakeFiles/power_capping.dir/power_capping.cpp.o.d"
+  "power_capping"
+  "power_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_accounting.dir/process_accounting.cpp.o"
+  "CMakeFiles/process_accounting.dir/process_accounting.cpp.o.d"
+  "process_accounting"
+  "process_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("sim")
+subdirs("cpu")
+subdirs("memory")
+subdirs("io")
+subdirs("disk")
+subdirs("os")
+subdirs("workloads")
+subdirs("measure")
+subdirs("core")
+subdirs("platform")

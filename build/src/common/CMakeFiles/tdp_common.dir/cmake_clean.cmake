@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_common.dir/logging.cc.o"
+  "CMakeFiles/tdp_common.dir/logging.cc.o.d"
+  "CMakeFiles/tdp_common.dir/random.cc.o"
+  "CMakeFiles/tdp_common.dir/random.cc.o.d"
+  "CMakeFiles/tdp_common.dir/running_stats.cc.o"
+  "CMakeFiles/tdp_common.dir/running_stats.cc.o.d"
+  "CMakeFiles/tdp_common.dir/strings.cc.o"
+  "CMakeFiles/tdp_common.dir/strings.cc.o.d"
+  "CMakeFiles/tdp_common.dir/table.cc.o"
+  "CMakeFiles/tdp_common.dir/table.cc.o.d"
+  "libtdp_common.a"
+  "libtdp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dvfs.cc" "src/core/CMakeFiles/tdp_core.dir/dvfs.cc.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/dvfs.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/tdp_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/events.cc" "src/core/CMakeFiles/tdp_core.dir/events.cc.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/events.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/tdp_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/model.cc.o.d"
+  "/root/repo/src/core/selector.cc" "src/core/CMakeFiles/tdp_core.dir/selector.cc.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/selector.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/tdp_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/serialize.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/tdp_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/validator.cc" "src/core/CMakeFiles/tdp_core.dir/validator.cc.o" "gcc" "src/core/CMakeFiles/tdp_core.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/tdp_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tdp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tdp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/tdp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tdp_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tdp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tdp_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_core.dir/dvfs.cc.o"
+  "CMakeFiles/tdp_core.dir/dvfs.cc.o.d"
+  "CMakeFiles/tdp_core.dir/estimator.cc.o"
+  "CMakeFiles/tdp_core.dir/estimator.cc.o.d"
+  "CMakeFiles/tdp_core.dir/events.cc.o"
+  "CMakeFiles/tdp_core.dir/events.cc.o.d"
+  "CMakeFiles/tdp_core.dir/model.cc.o"
+  "CMakeFiles/tdp_core.dir/model.cc.o.d"
+  "CMakeFiles/tdp_core.dir/selector.cc.o"
+  "CMakeFiles/tdp_core.dir/selector.cc.o.d"
+  "CMakeFiles/tdp_core.dir/serialize.cc.o"
+  "CMakeFiles/tdp_core.dir/serialize.cc.o.d"
+  "CMakeFiles/tdp_core.dir/trainer.cc.o"
+  "CMakeFiles/tdp_core.dir/trainer.cc.o.d"
+  "CMakeFiles/tdp_core.dir/validator.cc.o"
+  "CMakeFiles/tdp_core.dir/validator.cc.o.d"
+  "libtdp_core.a"
+  "libtdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

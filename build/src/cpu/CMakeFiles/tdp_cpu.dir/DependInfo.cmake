@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu_complex.cc" "src/cpu/CMakeFiles/tdp_cpu.dir/cpu_complex.cc.o" "gcc" "src/cpu/CMakeFiles/tdp_cpu.dir/cpu_complex.cc.o.d"
+  "/root/repo/src/cpu/cpu_core.cc" "src/cpu/CMakeFiles/tdp_cpu.dir/cpu_core.cc.o" "gcc" "src/cpu/CMakeFiles/tdp_cpu.dir/cpu_core.cc.o.d"
+  "/root/repo/src/cpu/perf_counters.cc" "src/cpu/CMakeFiles/tdp_cpu.dir/perf_counters.cc.o" "gcc" "src/cpu/CMakeFiles/tdp_cpu.dir/perf_counters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/tdp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tdp_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tdp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tdp_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_cpu.dir/cpu_complex.cc.o"
+  "CMakeFiles/tdp_cpu.dir/cpu_complex.cc.o.d"
+  "CMakeFiles/tdp_cpu.dir/cpu_core.cc.o"
+  "CMakeFiles/tdp_cpu.dir/cpu_core.cc.o.d"
+  "CMakeFiles/tdp_cpu.dir/perf_counters.cc.o"
+  "CMakeFiles/tdp_cpu.dir/perf_counters.cc.o.d"
+  "libtdp_cpu.a"
+  "libtdp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

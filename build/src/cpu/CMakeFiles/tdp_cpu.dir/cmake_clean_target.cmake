@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdp_cpu.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/disk_controller.cc" "src/disk/CMakeFiles/tdp_disk.dir/disk_controller.cc.o" "gcc" "src/disk/CMakeFiles/tdp_disk.dir/disk_controller.cc.o.d"
+  "/root/repo/src/disk/scsi_disk.cc" "src/disk/CMakeFiles/tdp_disk.dir/scsi_disk.cc.o" "gcc" "src/disk/CMakeFiles/tdp_disk.dir/scsi_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/tdp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tdp_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

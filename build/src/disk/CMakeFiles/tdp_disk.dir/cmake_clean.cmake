@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_disk.dir/disk_controller.cc.o"
+  "CMakeFiles/tdp_disk.dir/disk_controller.cc.o.d"
+  "CMakeFiles/tdp_disk.dir/scsi_disk.cc.o"
+  "CMakeFiles/tdp_disk.dir/scsi_disk.cc.o.d"
+  "libtdp_disk.a"
+  "libtdp_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tdp_disk.
+# This may be replaced when dependencies are built.

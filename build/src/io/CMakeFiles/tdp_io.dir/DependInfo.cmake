@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dma_engine.cc" "src/io/CMakeFiles/tdp_io.dir/dma_engine.cc.o" "gcc" "src/io/CMakeFiles/tdp_io.dir/dma_engine.cc.o.d"
+  "/root/repo/src/io/interrupt_controller.cc" "src/io/CMakeFiles/tdp_io.dir/interrupt_controller.cc.o" "gcc" "src/io/CMakeFiles/tdp_io.dir/interrupt_controller.cc.o.d"
+  "/root/repo/src/io/io_chip.cc" "src/io/CMakeFiles/tdp_io.dir/io_chip.cc.o" "gcc" "src/io/CMakeFiles/tdp_io.dir/io_chip.cc.o.d"
+  "/root/repo/src/io/nic.cc" "src/io/CMakeFiles/tdp_io.dir/nic.cc.o" "gcc" "src/io/CMakeFiles/tdp_io.dir/nic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memory/CMakeFiles/tdp_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

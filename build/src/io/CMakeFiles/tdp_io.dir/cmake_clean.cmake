@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_io.dir/dma_engine.cc.o"
+  "CMakeFiles/tdp_io.dir/dma_engine.cc.o.d"
+  "CMakeFiles/tdp_io.dir/interrupt_controller.cc.o"
+  "CMakeFiles/tdp_io.dir/interrupt_controller.cc.o.d"
+  "CMakeFiles/tdp_io.dir/io_chip.cc.o"
+  "CMakeFiles/tdp_io.dir/io_chip.cc.o.d"
+  "CMakeFiles/tdp_io.dir/nic.cc.o"
+  "CMakeFiles/tdp_io.dir/nic.cc.o.d"
+  "libtdp_io.a"
+  "libtdp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/aligner.cc" "src/measure/CMakeFiles/tdp_measure.dir/aligner.cc.o" "gcc" "src/measure/CMakeFiles/tdp_measure.dir/aligner.cc.o.d"
+  "/root/repo/src/measure/counter_sampler.cc" "src/measure/CMakeFiles/tdp_measure.dir/counter_sampler.cc.o" "gcc" "src/measure/CMakeFiles/tdp_measure.dir/counter_sampler.cc.o.d"
+  "/root/repo/src/measure/daq.cc" "src/measure/CMakeFiles/tdp_measure.dir/daq.cc.o" "gcc" "src/measure/CMakeFiles/tdp_measure.dir/daq.cc.o.d"
+  "/root/repo/src/measure/rail.cc" "src/measure/CMakeFiles/tdp_measure.dir/rail.cc.o" "gcc" "src/measure/CMakeFiles/tdp_measure.dir/rail.cc.o.d"
+  "/root/repo/src/measure/rig.cc" "src/measure/CMakeFiles/tdp_measure.dir/rig.cc.o" "gcc" "src/measure/CMakeFiles/tdp_measure.dir/rig.cc.o.d"
+  "/root/repo/src/measure/trace.cc" "src/measure/CMakeFiles/tdp_measure.dir/trace.cc.o" "gcc" "src/measure/CMakeFiles/tdp_measure.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/tdp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/tdp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tdp_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tdp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tdp_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

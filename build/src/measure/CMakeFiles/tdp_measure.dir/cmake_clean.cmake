@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_measure.dir/aligner.cc.o"
+  "CMakeFiles/tdp_measure.dir/aligner.cc.o.d"
+  "CMakeFiles/tdp_measure.dir/counter_sampler.cc.o"
+  "CMakeFiles/tdp_measure.dir/counter_sampler.cc.o.d"
+  "CMakeFiles/tdp_measure.dir/daq.cc.o"
+  "CMakeFiles/tdp_measure.dir/daq.cc.o.d"
+  "CMakeFiles/tdp_measure.dir/rail.cc.o"
+  "CMakeFiles/tdp_measure.dir/rail.cc.o.d"
+  "CMakeFiles/tdp_measure.dir/rig.cc.o"
+  "CMakeFiles/tdp_measure.dir/rig.cc.o.d"
+  "CMakeFiles/tdp_measure.dir/trace.cc.o"
+  "CMakeFiles/tdp_measure.dir/trace.cc.o.d"
+  "libtdp_measure.a"
+  "libtdp_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/bus.cc" "src/memory/CMakeFiles/tdp_memory.dir/bus.cc.o" "gcc" "src/memory/CMakeFiles/tdp_memory.dir/bus.cc.o.d"
+  "/root/repo/src/memory/controller.cc" "src/memory/CMakeFiles/tdp_memory.dir/controller.cc.o" "gcc" "src/memory/CMakeFiles/tdp_memory.dir/controller.cc.o.d"
+  "/root/repo/src/memory/dram.cc" "src/memory/CMakeFiles/tdp_memory.dir/dram.cc.o" "gcc" "src/memory/CMakeFiles/tdp_memory.dir/dram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_memory.dir/bus.cc.o"
+  "CMakeFiles/tdp_memory.dir/bus.cc.o.d"
+  "CMakeFiles/tdp_memory.dir/controller.cc.o"
+  "CMakeFiles/tdp_memory.dir/controller.cc.o.d"
+  "CMakeFiles/tdp_memory.dir/dram.cc.o"
+  "CMakeFiles/tdp_memory.dir/dram.cc.o.d"
+  "libtdp_memory.a"
+  "libtdp_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

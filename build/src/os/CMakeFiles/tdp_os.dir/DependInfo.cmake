@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/operating_system.cc" "src/os/CMakeFiles/tdp_os.dir/operating_system.cc.o" "gcc" "src/os/CMakeFiles/tdp_os.dir/operating_system.cc.o.d"
+  "/root/repo/src/os/page_cache.cc" "src/os/CMakeFiles/tdp_os.dir/page_cache.cc.o" "gcc" "src/os/CMakeFiles/tdp_os.dir/page_cache.cc.o.d"
+  "/root/repo/src/os/proc_interrupts.cc" "src/os/CMakeFiles/tdp_os.dir/proc_interrupts.cc.o" "gcc" "src/os/CMakeFiles/tdp_os.dir/proc_interrupts.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/os/CMakeFiles/tdp_os.dir/scheduler.cc.o" "gcc" "src/os/CMakeFiles/tdp_os.dir/scheduler.cc.o.d"
+  "/root/repo/src/os/virtual_memory.cc" "src/os/CMakeFiles/tdp_os.dir/virtual_memory.cc.o" "gcc" "src/os/CMakeFiles/tdp_os.dir/virtual_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/tdp_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tdp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tdp_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_os.dir/operating_system.cc.o"
+  "CMakeFiles/tdp_os.dir/operating_system.cc.o.d"
+  "CMakeFiles/tdp_os.dir/page_cache.cc.o"
+  "CMakeFiles/tdp_os.dir/page_cache.cc.o.d"
+  "CMakeFiles/tdp_os.dir/proc_interrupts.cc.o"
+  "CMakeFiles/tdp_os.dir/proc_interrupts.cc.o.d"
+  "CMakeFiles/tdp_os.dir/scheduler.cc.o"
+  "CMakeFiles/tdp_os.dir/scheduler.cc.o.d"
+  "CMakeFiles/tdp_os.dir/virtual_memory.cc.o"
+  "CMakeFiles/tdp_os.dir/virtual_memory.cc.o.d"
+  "libtdp_os.a"
+  "libtdp_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

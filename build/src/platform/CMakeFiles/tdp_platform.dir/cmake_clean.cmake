@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_platform.dir/chipset.cc.o"
+  "CMakeFiles/tdp_platform.dir/chipset.cc.o.d"
+  "CMakeFiles/tdp_platform.dir/server.cc.o"
+  "CMakeFiles/tdp_platform.dir/server.cc.o.d"
+  "libtdp_platform.a"
+  "libtdp_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

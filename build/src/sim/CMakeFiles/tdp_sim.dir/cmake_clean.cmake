@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tdp_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tdp_sim.dir/sim_object.cc.o"
+  "CMakeFiles/tdp_sim.dir/sim_object.cc.o.d"
+  "CMakeFiles/tdp_sim.dir/system.cc.o"
+  "CMakeFiles/tdp_sim.dir/system.cc.o.d"
+  "libtdp_sim.a"
+  "libtdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

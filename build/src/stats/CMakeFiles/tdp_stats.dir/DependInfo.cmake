@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/matrix.cc" "src/stats/CMakeFiles/tdp_stats.dir/matrix.cc.o" "gcc" "src/stats/CMakeFiles/tdp_stats.dir/matrix.cc.o.d"
+  "/root/repo/src/stats/metrics.cc" "src/stats/CMakeFiles/tdp_stats.dir/metrics.cc.o" "gcc" "src/stats/CMakeFiles/tdp_stats.dir/metrics.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/stats/CMakeFiles/tdp_stats.dir/regression.cc.o" "gcc" "src/stats/CMakeFiles/tdp_stats.dir/regression.cc.o.d"
+  "/root/repo/src/stats/solve.cc" "src/stats/CMakeFiles/tdp_stats.dir/solve.cc.o" "gcc" "src/stats/CMakeFiles/tdp_stats.dir/solve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

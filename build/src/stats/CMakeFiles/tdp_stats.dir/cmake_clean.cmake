@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_stats.dir/matrix.cc.o"
+  "CMakeFiles/tdp_stats.dir/matrix.cc.o.d"
+  "CMakeFiles/tdp_stats.dir/metrics.cc.o"
+  "CMakeFiles/tdp_stats.dir/metrics.cc.o.d"
+  "CMakeFiles/tdp_stats.dir/regression.cc.o"
+  "CMakeFiles/tdp_stats.dir/regression.cc.o.d"
+  "CMakeFiles/tdp_stats.dir/solve.cc.o"
+  "CMakeFiles/tdp_stats.dir/solve.cc.o.d"
+  "libtdp_stats.a"
+  "libtdp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/profile.cc" "src/workloads/CMakeFiles/tdp_workloads.dir/profile.cc.o" "gcc" "src/workloads/CMakeFiles/tdp_workloads.dir/profile.cc.o.d"
+  "/root/repo/src/workloads/runner.cc" "src/workloads/CMakeFiles/tdp_workloads.dir/runner.cc.o" "gcc" "src/workloads/CMakeFiles/tdp_workloads.dir/runner.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/tdp_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/tdp_workloads.dir/suite.cc.o.d"
+  "/root/repo/src/workloads/workload_thread.cc" "src/workloads/CMakeFiles/tdp_workloads.dir/workload_thread.cc.o" "gcc" "src/workloads/CMakeFiles/tdp_workloads.dir/workload_thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/tdp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tdp_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tdp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tdp_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

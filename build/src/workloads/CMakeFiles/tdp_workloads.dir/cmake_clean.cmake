@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_workloads.dir/profile.cc.o"
+  "CMakeFiles/tdp_workloads.dir/profile.cc.o.d"
+  "CMakeFiles/tdp_workloads.dir/runner.cc.o"
+  "CMakeFiles/tdp_workloads.dir/runner.cc.o.d"
+  "CMakeFiles/tdp_workloads.dir/suite.cc.o"
+  "CMakeFiles/tdp_workloads.dir/suite.cc.o.d"
+  "CMakeFiles/tdp_workloads.dir/workload_thread.cc.o"
+  "CMakeFiles/tdp_workloads.dir/workload_thread.cc.o.d"
+  "libtdp_workloads.a"
+  "libtdp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_dvfs.cc.o"
+  "CMakeFiles/test_core.dir/core/test_dvfs.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_estimator.cc.o"
+  "CMakeFiles/test_core.dir/core/test_estimator.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_events.cc.o"
+  "CMakeFiles/test_core.dir/core/test_events.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_models.cc.o"
+  "CMakeFiles/test_core.dir/core/test_models.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_validator_selector.cc.o"
+  "CMakeFiles/test_core.dir/core/test_validator_selector.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/cpu/test_cpu_complex.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_cpu_complex.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_cpu_core.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_cpu_core.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_perf_counters.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_perf_counters.cc.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+  "test_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk.dir/disk/test_disk_controller.cc.o"
+  "CMakeFiles/test_disk.dir/disk/test_disk_controller.cc.o.d"
+  "CMakeFiles/test_disk.dir/disk/test_scsi_disk.cc.o"
+  "CMakeFiles/test_disk.dir/disk/test_scsi_disk.cc.o.d"
+  "test_disk"
+  "test_disk.pdb"
+  "test_disk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_full_pipeline.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_full_pipeline.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_trickle_down.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_trickle_down.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_workload_sweep.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_workload_sweep.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io.dir/io/test_dma_engine.cc.o"
+  "CMakeFiles/test_io.dir/io/test_dma_engine.cc.o.d"
+  "CMakeFiles/test_io.dir/io/test_interrupt_controller.cc.o"
+  "CMakeFiles/test_io.dir/io/test_interrupt_controller.cc.o.d"
+  "CMakeFiles/test_io.dir/io/test_io_chip.cc.o"
+  "CMakeFiles/test_io.dir/io/test_io_chip.cc.o.d"
+  "test_io"
+  "test_io.pdb"
+  "test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

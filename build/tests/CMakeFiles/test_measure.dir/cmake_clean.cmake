@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure.dir/measure/test_measurement_pipeline.cc.o"
+  "CMakeFiles/test_measure.dir/measure/test_measurement_pipeline.cc.o.d"
+  "CMakeFiles/test_measure.dir/measure/test_rail.cc.o"
+  "CMakeFiles/test_measure.dir/measure/test_rail.cc.o.d"
+  "CMakeFiles/test_measure.dir/measure/test_trace_csv.cc.o"
+  "CMakeFiles/test_measure.dir/measure/test_trace_csv.cc.o.d"
+  "test_measure"
+  "test_measure.pdb"
+  "test_measure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory.dir/memory/test_bus.cc.o"
+  "CMakeFiles/test_memory.dir/memory/test_bus.cc.o.d"
+  "CMakeFiles/test_memory.dir/memory/test_controller.cc.o"
+  "CMakeFiles/test_memory.dir/memory/test_controller.cc.o.d"
+  "CMakeFiles/test_memory.dir/memory/test_dram.cc.o"
+  "CMakeFiles/test_memory.dir/memory/test_dram.cc.o.d"
+  "test_memory"
+  "test_memory.pdb"
+  "test_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/os/test_operating_system.cc.o"
+  "CMakeFiles/test_os.dir/os/test_operating_system.cc.o.d"
+  "CMakeFiles/test_os.dir/os/test_page_cache.cc.o"
+  "CMakeFiles/test_os.dir/os/test_page_cache.cc.o.d"
+  "CMakeFiles/test_os.dir/os/test_scheduler.cc.o"
+  "CMakeFiles/test_os.dir/os/test_scheduler.cc.o.d"
+  "CMakeFiles/test_os.dir/os/test_virtual_memory.cc.o"
+  "CMakeFiles/test_os.dir/os/test_virtual_memory.cc.o.d"
+  "test_os"
+  "test_os.pdb"
+  "test_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

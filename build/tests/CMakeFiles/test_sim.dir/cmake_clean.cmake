@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_clock.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_clock.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_system.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_system.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

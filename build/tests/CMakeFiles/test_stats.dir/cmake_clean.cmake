@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_matrix.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_matrix.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_metrics.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_metrics.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_regression.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_regression.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_solve.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_solve.cc.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

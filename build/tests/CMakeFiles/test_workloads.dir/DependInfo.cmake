@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/test_profile.cc" "tests/CMakeFiles/test_workloads.dir/workloads/test_profile.cc.o" "gcc" "tests/CMakeFiles/test_workloads.dir/workloads/test_profile.cc.o.d"
+  "/root/repo/tests/workloads/test_workload_thread.cc" "tests/CMakeFiles/test_workloads.dir/workloads/test_workload_thread.cc.o" "gcc" "tests/CMakeFiles/test_workloads.dir/workloads/test_workload_thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tdp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tdp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/tdp_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tdp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tdp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/tdp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tdp_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tdp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tdp_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
