@@ -48,20 +48,24 @@ correlationOn(const SampleTrace &trace, double CpuEventRates::*field)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
+
     std::printf("Ablation A2: I/O model inputs "
                 "(interrupts vs DMA vs uncacheable)\n\n");
 
-    const SampleTrace train = runTrace(trainingRun("diskload"));
     // Validate on a bursty variant (synchronised sync() flushes):
     // burstiness is what separates the candidates - the chip buffers
     // low-pass the DMA stream while interrupts stay aligned with the
-    // device activity.
+    // device activity. Training and validation runs share the pool.
     RunSpec valid_spec = characterizationRun("diskload");
     valid_spec.instances = 3;
     valid_spec.stagger = 0.0;
-    const SampleTrace valid = runTrace(valid_spec);
+    const std::vector<SampleTrace> traces =
+        runTraces({trainingRun("diskload"), valid_spec});
+    const SampleTrace &train = traces[0];
+    const SampleTrace &valid = traces[1];
 
     QuadraticEventModel irq("io-interrupt", Rail::Io,
                             &CpuEventRates::deviceInterruptsPerCycle);

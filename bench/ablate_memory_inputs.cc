@@ -54,12 +54,22 @@ errorOn(SubsystemModel &model, const SampleTrace &trace,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
+
     std::printf("Ablation A1: memory model inputs "
                 "(L3 misses vs bus tx w/o DMA vs bus tx + DMA)\n\n");
 
-    const SampleTrace mcf_train = runTrace(trainingRun("mcf"));
+    // The training run and the twelve validation runs are all
+    // independent; fan the whole batch across the pool.
+    const std::vector<std::string> names = paperWorkloadOrder();
+    std::vector<RunSpec> specs = {trainingRun("mcf")};
+    for (const std::string &name : names)
+        specs.push_back(characterizationRun(name));
+    const std::vector<SampleTrace> traces = runTraces(specs);
+
+    const SampleTrace &mcf_train = traces[0];
 
     auto l3 = makeMemoryL3Model();
     l3->train(mcf_train);
@@ -82,8 +92,9 @@ main()
 
     TableWriter table({"workload", "L3-miss (Eq2)", "bus w/o DMA",
                        "bus + DMA (Eq3)"});
-    for (const std::string &name : paperWorkloadOrder()) {
-        const SampleTrace trace = runTrace(characterizationRun(name));
+    for (size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const SampleTrace &trace = traces[w + 1];
         table.addRow({name,
                       TableWriter::pct(errorOn(*l3, trace, false)),
                       TableWriter::pct(errorOn(no_dma, trace, true)),

@@ -12,6 +12,7 @@
 
 #include "common/table.hh"
 #include "core/validator.hh"
+#include "exp/experiment_pool.hh"
 
 #include "common/bench_util.hh"
 
@@ -40,39 +41,60 @@ traceWithPeriod(RunSpec spec, double period)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
+
     std::printf("Ablation A4: sampling-period sensitivity "
                 "(paper uses 1 s)\n\n");
+
+    // Every (run, period) pair is an independent system; flatten the
+    // whole sweep into one batch for the pool. Per period, in order:
+    // four training runs, then the three validation runs.
+    const std::vector<double> periods = {0.25, 0.5, 1.0, 2.0, 4.0};
+    struct Job
+    {
+        RunSpec spec;
+        double period;
+    };
+    std::vector<Job> batch;
+    for (double period : periods) {
+        batch.push_back({trainingRun("gcc"), period});
+        batch.push_back({trainingRun("mcf"), period});
+        batch.push_back({trainingRun("diskload"), period});
+        batch.push_back({trainingRun("idle"), period});
+        batch.push_back({characterizationRun("gcc"), period});
+        batch.push_back({characterizationRun("mcf"), period});
+        batch.push_back({characterizationRun("diskload"), period});
+    }
+    ExperimentPool pool(tdp::bench::jobs());
+    const std::vector<SampleTrace> traces =
+        pool.map<SampleTrace>(batch.size(), [&](size_t i) {
+            return traceWithPeriod(batch[i].spec, batch[i].period);
+        });
 
     TableWriter table({"period", "CPU err (gcc)", "Mem err (mcf)",
                        "I/O err (diskload)", "Disk err (diskload)"});
 
-    for (double period : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    for (size_t p = 0; p < periods.size(); ++p) {
+        const double period = periods[p];
+        const size_t base = p * 7;
         SystemPowerEstimator estimator =
             SystemPowerEstimator::makePaperModelSet();
 
-        RunSpec gcc_t = trainingRun("gcc");
-        RunSpec mcf_t = trainingRun("mcf");
-        RunSpec dl_t = trainingRun("diskload");
-        RunSpec idle_t = trainingRun("idle");
-        estimator.model(Rail::Cpu).train(traceWithPeriod(gcc_t, period));
-        estimator.model(Rail::Memory)
-            .train(traceWithPeriod(mcf_t, period));
-        const SampleTrace dl_trace = traceWithPeriod(dl_t, period);
-        estimator.model(Rail::Disk).train(dl_trace);
-        estimator.model(Rail::Io).train(dl_trace);
-        estimator.model(Rail::Chipset)
-            .train(traceWithPeriod(idle_t, period));
+        estimator.model(Rail::Cpu).train(traces[base + 0]);
+        estimator.model(Rail::Memory).train(traces[base + 1]);
+        estimator.model(Rail::Disk).train(traces[base + 2]);
+        estimator.model(Rail::Io).train(traces[base + 2]);
+        estimator.model(Rail::Chipset).train(traces[base + 3]);
 
         Validator validator(estimator, 0.0);
-        const auto gcc_v = validator.validate(
-            "gcc", traceWithPeriod(characterizationRun("gcc"), period));
-        const auto mcf_v = validator.validate(
-            "mcf", traceWithPeriod(characterizationRun("mcf"), period));
-        const auto dl_v = validator.validate(
-            "diskload",
-            traceWithPeriod(characterizationRun("diskload"), period));
+        const auto gcc_v =
+            validator.validate("gcc", traces[base + 4]);
+        const auto mcf_v =
+            validator.validate("mcf", traces[base + 5]);
+        const auto dl_v =
+            validator.validate("diskload", traces[base + 6]);
 
         table.addRow({TableWriter::num(period, 2) + " s",
                       TableWriter::pct(gcc_v.error(Rail::Cpu)),

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Microbenchmarks for the DES kernel hot path (google-benchmark, same
+ * JSON shape as bm_overhead): events scheduled + processed per second
+ * and allocator behaviour of the pooled LambdaEvent path.
+ *
+ * Reported counters:
+ *  - items_per_second: events processed per wall second;
+ *  - allocs_per_event: LambdaEvent pool growth divided by events
+ *    processed (steady-state target: ~0, vs 1 heap event + 1
+ *    shared_ptr control block per event in the pre-pool queue);
+ *  - pool_slots: final pool size, i.e. the peak number of in-flight
+ *    lambda events the scenario ever had.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace tdp;
+
+/**
+ * A self-rescheduling timer: the simulator's dominant pattern
+ * (samplers, DAQ pulses, launch events). Copies itself into the next
+ * scheduling until the shared budget runs out.
+ */
+struct ChainTimer
+{
+    EventQueue *q;
+    uint64_t *budget;
+
+    void
+    operator()() const
+    {
+        if (*budget == 0)
+            return;
+        --*budget;
+        q->scheduleFn("chain.tick", q->now() + 10, *this);
+    }
+};
+
+/**
+ * Self-rescheduling timer chains. One event in flight per chain; the
+ * pool should stabilise at `chains` slots.
+ */
+void
+BM_TimerChainChurn(benchmark::State &state)
+{
+    const int chains = static_cast<int>(state.range(0));
+    const uint64_t events_per_iter = 1000;
+
+    EventQueue q;
+    for (auto _ : state) {
+        uint64_t budget = events_per_iter;
+        for (int c = 0; c < chains; ++c) {
+            q.scheduleFn("chain.tick",
+                         q.now() + 10 + static_cast<Tick>(c),
+                         ChainTimer{&q, &budget});
+        }
+        while (!q.empty())
+            q.step();
+    }
+
+    state.SetItemsProcessed(
+        static_cast<int64_t>(q.processedCount()));
+    state.counters["allocs_per_event"] = benchmark::Counter(
+        static_cast<double>(q.lambdaSlotsAllocated()) /
+        static_cast<double>(q.processedCount()));
+    state.counters["pool_slots"] =
+        benchmark::Counter(static_cast<double>(q.lambdaPoolSize()));
+}
+BENCHMARK(BM_TimerChainChurn)->Arg(1)->Arg(16)->Arg(256);
+
+/**
+ * Burst scheduling: K events queued, then drained, repeatedly. This
+ * is the experiment-startup pattern (staggered thread launches).
+ */
+void
+BM_BurstScheduleDrain(benchmark::State &state)
+{
+    const int burst = static_cast<int>(state.range(0));
+
+    EventQueue q;
+    uint64_t sink = 0;
+    for (auto _ : state) {
+        const Tick base = q.now() + 1;
+        for (int i = 0; i < burst; ++i) {
+            // Mixed offsets exercise heap reordering, not just FIFO.
+            const Tick when = base + static_cast<Tick>(
+                (i * 7919) % burst);
+            q.scheduleFn("burst", when, [&sink] { ++sink; });
+        }
+        q.runUntil(base + static_cast<Tick>(burst));
+        benchmark::DoNotOptimize(sink);
+    }
+
+    state.SetItemsProcessed(
+        static_cast<int64_t>(q.processedCount()));
+    state.counters["allocs_per_event"] = benchmark::Counter(
+        static_cast<double>(q.lambdaSlotsAllocated()) /
+        static_cast<double>(q.processedCount()));
+    state.counters["pool_slots"] =
+        benchmark::Counter(static_cast<double>(q.lambdaPoolSize()));
+}
+BENCHMARK(BM_BurstScheduleDrain)->Arg(64)->Arg(1024)->Arg(8192);
+
+/** Externally-owned Event subclass path (schedule()). */
+void
+BM_OwnedEventSchedule(benchmark::State &state)
+{
+    class CountEvent : public Event
+    {
+      public:
+        explicit CountEvent(uint64_t &sink)
+            : Event("count"), sink_(sink)
+        {
+        }
+        void process() override { ++sink_; }
+
+      private:
+        uint64_t &sink_;
+    };
+
+    EventQueue q;
+    uint64_t sink = 0;
+    for (auto _ : state) {
+        const Tick base = q.now() + 1;
+        for (int i = 0; i < 256; ++i) {
+            q.schedule(std::make_unique<CountEvent>(sink),
+                       base + static_cast<Tick>(i % 16));
+        }
+        q.runUntil(base + 16);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(q.processedCount()));
+}
+BENCHMARK(BM_OwnedEventSchedule);
+
+} // namespace
+
+BENCHMARK_MAIN();

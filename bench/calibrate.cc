@@ -49,19 +49,31 @@ const Target targets[] = {
 int
 main(int argc, char **argv)
 {
-    std::string only = argc > 1 ? argv[1] : "";
+    initBench(argc, argv);
+    const std::vector<std::string> positional =
+        positionalArgs(argc, argv);
+    const std::string only = positional.empty() ? "" : positional[0];
+
+    std::vector<const Target *> selected;
+    std::vector<RunSpec> specs;
+    for (const Target &t : targets) {
+        if (!only.empty() && only != t.name)
+            continue;
+        selected.push_back(&t);
+        specs.push_back(characterizationRun(t.name));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<SampleTrace> traces = runTraces(specs);
+    const auto t1 = std::chrono::steady_clock::now();
 
     TableWriter table({"workload", "CPU", "(tgt)", "Chipset", "(tgt)",
                        "Memory", "(tgt)", "I/O", "(tgt)", "Disk",
                        "(tgt)", "busTx/s", "uops/cyc", "act", "irq/s"});
 
-    for (const Target &t : targets) {
-        if (!only.empty() && only != t.name)
-            continue;
-        const auto t0 = std::chrono::steady_clock::now();
-        const SampleTrace trace =
-            runTrace(characterizationRun(t.name));
-        const auto t1 = std::chrono::steady_clock::now();
+    for (size_t w = 0; w < selected.size(); ++w) {
+        const Target &t = *selected[w];
+        const SampleTrace &trace = traces[w];
 
         RunningStats rails[numRails];
         RunningStats bus_rate, uops, active, irq;
@@ -95,11 +107,13 @@ main(int argc, char **argv)
                       TableWriter::num(active.mean(), 2),
                       TableWriter::num(irq.mean(), 0)});
 
-        const double wall =
-            std::chrono::duration<double>(t1 - t0).count();
-        std::fprintf(stderr, "[%s: %zu samples, %.1fs wall]\n", t.name,
-                     trace.size(), wall);
+        std::fprintf(stderr, "[%s: %zu samples]\n", t.name,
+                     trace.size());
     }
+
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    std::fprintf(stderr, "[%zu runs in %.1fs wall, %d jobs]\n",
+                 traces.size(), wall, tdp::bench::jobs());
 
     table.render(std::cout);
     return 0;

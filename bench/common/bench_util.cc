@@ -5,13 +5,93 @@
 
 #include "bench_util.hh"
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "exp/experiment_pool.hh"
 
 namespace tdp {
 namespace bench {
+
+namespace {
+
+/** 0 until resolved; set by initBench()/setJobs(). */
+int configuredJobs = 0;
+
+int
+parseJobsValue(const char *text)
+{
+    const int parsed = std::atoi(text);
+    if (parsed <= 0)
+        fatal("--jobs expects a positive integer, got '%s'", text);
+    return parsed;
+}
+
+} // namespace
+
+void
+setJobs(int jobs_count)
+{
+    if (jobs_count <= 0)
+        fatal("setJobs: worker count must be positive, got %d",
+              jobs_count);
+    configuredJobs = jobs_count;
+}
+
+int
+jobs()
+{
+    if (configuredJobs == 0)
+        configuredJobs = ExperimentPool::defaultJobs();
+    return configuredJobs;
+}
+
+void
+initBench(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0 ||
+            std::strcmp(arg, "-j") == 0) {
+            if (i + 1 >= argc)
+                fatal("%s expects a worker count", arg);
+            setJobs(parseJobsValue(argv[++i]));
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            setJobs(parseJobsValue(arg + 7));
+        } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+            setJobs(parseJobsValue(arg + 2));
+        }
+    }
+}
+
+std::vector<std::string>
+positionalArgs(int argc, char **argv)
+{
+    std::vector<std::string> out;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0 ||
+            std::strcmp(arg, "-j") == 0) {
+            ++i; // skip the value
+        } else if (std::strncmp(arg, "--jobs=", 7) != 0 &&
+                   !(std::strncmp(arg, "-j", 2) == 0 &&
+                     arg[2] != '\0')) {
+            out.push_back(arg);
+        }
+    }
+    return out;
+}
+
+std::vector<SampleTrace>
+runTraces(const std::vector<RunSpec> &specs)
+{
+    ExperimentPool pool(jobs());
+    return pool.map<SampleTrace>(
+        specs.size(), [&](size_t i) { return runTrace(specs[i]); });
+}
 
 RunSpec
 characterizationRun(const std::string &workload)
@@ -94,13 +174,18 @@ trainPaperEstimator(uint64_t seed)
         return spec;
     };
 
+    // The four training runs are independent systems; fan them across
+    // the experiment pool.
+    const std::vector<SampleTrace> traces =
+        runTraces({spec_for("gcc"), spec_for("mcf"),
+                   spec_for("diskload"), spec_for("idle")});
+
     ModelTrainer trainer;
-    trainer.setTrainingTrace(Rail::Cpu, runTrace(spec_for("gcc")));
-    trainer.setTrainingTrace(Rail::Memory, runTrace(spec_for("mcf")));
-    const SampleTrace diskload = runTrace(spec_for("diskload"));
-    trainer.setTrainingTrace(Rail::Disk, diskload);
-    trainer.setTrainingTrace(Rail::Io, diskload);
-    trainer.setTrainingTrace(Rail::Chipset, runTrace(spec_for("idle")));
+    trainer.setTrainingTrace(Rail::Cpu, traces[0]);
+    trainer.setTrainingTrace(Rail::Memory, traces[1]);
+    trainer.setTrainingTrace(Rail::Disk, traces[2]);
+    trainer.setTrainingTrace(Rail::Io, traces[2]);
+    trainer.setTrainingTrace(Rail::Chipset, traces[3]);
     trainer.train(estimator);
     return estimator;
 }
@@ -114,12 +199,17 @@ printErrorTable(const SystemPowerEstimator &estimator,
     // DC-subtracted disk metric is only used for the Figure 6 trace.
     Validator validator(estimator, 0.0);
 
-    std::vector<ValidationResult> results;
+    std::vector<RunSpec> specs;
     for (const std::string &name : workloads) {
         RunSpec spec = characterizationRun(name);
         spec.seed = seed;
-        results.push_back(validator.validate(name, runTrace(spec)));
+        specs.push_back(spec);
     }
+    const std::vector<SampleTrace> traces = runTraces(specs);
+
+    std::vector<ValidationResult> results;
+    for (size_t i = 0; i < workloads.size(); ++i)
+        results.push_back(validator.validate(workloads[i], traces[i]));
 
     TableWriter table(
         {"workload", "CPU", "Chipset", "Memory", "I/O", "Disk"});

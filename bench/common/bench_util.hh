@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/estimator.hh"
 #include "core/trainer.hh"
@@ -23,6 +24,28 @@ namespace bench {
 
 /** Default master seed for all experiments (reproducible runs). */
 constexpr uint64_t defaultSeed = 0x5eed2007;
+
+/**
+ * Parse the shared bench flags (currently `--jobs N` / `-j N` /
+ * `--jobs=N`) and configure the experiment worker count. Call first
+ * thing in every bench main. Unrecognised arguments are left alone
+ * for the binary's own parsing. Without a flag the count comes from
+ * TDP_JOBS, else the hardware concurrency.
+ */
+void initBench(int argc, char **argv);
+
+/** Override the worker count used by the parallel helpers. */
+void setJobs(int jobs);
+
+/** Worker count the parallel helpers will use (>= 1). */
+int jobs();
+
+/**
+ * The arguments that remain after dropping the shared flags consumed
+ * by initBench(); binaries with their own positional arguments parse
+ * this instead of raw argv.
+ */
+std::vector<std::string> positionalArgs(int argc, char **argv);
 
 /** How a workload is launched for an experiment. */
 struct RunSpec
@@ -57,6 +80,14 @@ RunSpec trainingRun(const std::string &workload);
 
 /** Execute a run and return the aligned trace (post-skip). */
 SampleTrace runTrace(const RunSpec &spec);
+
+/**
+ * Execute several independent runs across the experiment pool and
+ * return their traces in spec order. Each run builds its own Server
+ * seeded from its spec, so results are bit-identical to running the
+ * specs serially, whatever the worker count.
+ */
+std::vector<SampleTrace> runTraces(const std::vector<RunSpec> &specs);
 
 /** Execute a run and return both the server (for inspection) and trace. */
 SampleTrace runTrace(const RunSpec &spec, std::unique_ptr<Server> &out);

@@ -39,14 +39,19 @@ selfError(SubsystemModel &model, const SampleTrace &trace)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
+
     std::printf("Equations 1-5: fitted subsystem power models\n\n");
 
-    const SampleTrace gcc = runTrace(trainingRun("gcc"));
-    const SampleTrace mcf = runTrace(trainingRun("mcf"));
-    const SampleTrace diskload = runTrace(trainingRun("diskload"));
-    const SampleTrace idle = runTrace(trainingRun("idle"));
+    const std::vector<SampleTrace> traces =
+        runTraces({trainingRun("gcc"), trainingRun("mcf"),
+                   trainingRun("diskload"), trainingRun("idle")});
+    const SampleTrace &gcc = traces[0];
+    const SampleTrace &mcf = traces[1];
+    const SampleTrace &diskload = traces[2];
+    const SampleTrace &idle = traces[3];
 
     // Equation 1 (CPU, linear; paper: 9.25 + 26.45*active + 4.31*uops
     // per CPU, trained on gcc).

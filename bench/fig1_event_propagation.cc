@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <iterator>
 
 #include "common/running_stats.hh"
 #include "common/table.hh"
@@ -22,13 +23,19 @@ namespace {
 using namespace tdp;
 using namespace tdp::bench;
 
-/** Mean rail power over a workload run. */
-std::array<double, numRails>
-railMeans(const std::string &workload)
+/** The figure's shortened characterisation run for one workload. */
+RunSpec
+probeRun(const std::string &workload)
 {
     RunSpec spec = characterizationRun(workload);
     spec.duration = 120.0;
-    const SampleTrace trace = runTrace(spec);
+    return spec;
+}
+
+/** Mean rail power over a collected trace. */
+std::array<double, numRails>
+railMeans(const SampleTrace &trace)
+{
     std::array<double, numRails> means{};
     for (const AlignedSample &s : trace.samples())
         for (int r = 0; r < numRails; ++r)
@@ -42,14 +49,14 @@ railMeans(const std::string &workload)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
+
     std::printf(
         "Figure 1: Propagation of Performance Events (live system)\n"
         "Each row perturbs one event source; '+x.x' marks the rails\n"
         "that moved versus idle (the trickle-down paths of Fig. 1).\n\n");
-
-    const auto idle = railMeans("idle");
 
     struct Probe
     {
@@ -63,10 +70,19 @@ main()
         {"DMA + interrupts -> I/O, disk (diskload)", "diskload"},
     };
 
+    // Idle baseline plus the three probes, fanned across the pool.
+    std::vector<RunSpec> specs = {probeRun("idle")};
+    for (const Probe &probe : probes)
+        specs.push_back(probeRun(probe.workload));
+    const std::vector<SampleTrace> traces = runTraces(specs);
+
+    const auto idle = railMeans(traces[0]);
+
     TableWriter table({"event source", "CPU", "Chipset", "Memory",
                        "I/O", "Disk"});
-    for (const Probe &probe : probes) {
-        const auto loaded = railMeans(probe.workload);
+    for (size_t p = 0; p < std::size(probes); ++p) {
+        const Probe &probe = probes[p];
+        const auto loaded = railMeans(traces[p + 1]);
         std::vector<std::string> row = {probe.label};
         for (int r = 0; r < numRails; ++r) {
             const double delta = loaded[static_cast<size_t>(r)] -

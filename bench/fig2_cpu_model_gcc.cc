@@ -15,10 +15,12 @@
 #include "common/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tdp;
     using namespace tdp::bench;
+
+    initBench(argc, argv);
 
     std::printf("Figure 2: Four CPU Power Model - gcc "
                 "(paper: average error 3.1%%)\n\n");

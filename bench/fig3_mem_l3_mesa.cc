@@ -16,10 +16,12 @@
 #include "common/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tdp;
     using namespace tdp::bench;
+
+    initBench(argc, argv);
 
     std::printf("Figure 3: Memory Power Model (L3 Misses) - mesa "
                 "(paper: average error ~1%%)\n\n");

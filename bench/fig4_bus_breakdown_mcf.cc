@@ -16,27 +16,33 @@
 #include "common/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tdp;
     using namespace tdp::bench;
+
+    initBench(argc, argv);
 
     std::printf("Figure 4: Prefetch and Non-Prefetch Bus Transactions "
                 "- mcf\n(paper: L3-miss model fails once non-CPU "
                 "traffic grows; prefetch rises, demand flattens)\n\n");
 
     // Train the L3-miss model on mesa (the Figure 3 setup), then
-    // watch it fail as mcf instances stack up.
+    // watch it fail as mcf instances stack up. The two runs are
+    // independent, so they share the pool.
     RunSpec mesa_spec = trainingRun("mesa");
     mesa_spec.stagger = 45.0;
     mesa_spec.duration = 500.0;
-    auto l3_model = makeMemoryL3Model();
-    l3_model->train(runTrace(mesa_spec));
 
     RunSpec spec = trainingRun("mcf");
     spec.seed = defaultSeed;
     spec.duration = 420.0;
-    const SampleTrace trace = runTrace(spec);
+
+    const std::vector<SampleTrace> traces =
+        runTraces({mesa_spec, spec});
+    auto l3_model = makeMemoryL3Model();
+    l3_model->train(traces[0]);
+    const SampleTrace &trace = traces[1];
 
     std::printf("%8s  %14s  %14s  %12s  %10s  %10s  %8s\n", "seconds",
                 "nonprefetch/s", "prefetch/s", "dma/s", "measured",

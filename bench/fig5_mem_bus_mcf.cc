@@ -13,24 +13,30 @@
 #include "common/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tdp;
     using namespace tdp::bench;
+
+    initBench(argc, argv);
 
     std::printf("Figure 5: Memory Power Model (Bus Transactions) - mcf "
                 "(paper: average error 2.2%%)\n\n");
 
     // Train on the staggered mcf training realisation, validate on a
-    // different seed of the same protocol (the paper's setup).
-    auto model = makeMemoryBusModel();
-    model->train(runTrace(trainingRun("mcf")));
-    std::printf("%s\n\n", model->describe().c_str());
-
+    // different seed of the same protocol (the paper's setup). The
+    // two independent runs share the pool.
     RunSpec spec = trainingRun("mcf");
     spec.seed = defaultSeed;
     spec.duration = 420.0;
-    const SampleTrace trace = runTrace(spec);
+    const std::vector<SampleTrace> traces =
+        runTraces({trainingRun("mcf"), spec});
+
+    auto model = makeMemoryBusModel();
+    model->train(traces[0]);
+    std::printf("%s\n\n", model->describe().c_str());
+
+    const SampleTrace &trace = traces[1];
 
     std::printf("%8s  %10s  %10s\n", "seconds", "measured", "modeled");
     std::vector<double> modeled, measured;

@@ -14,23 +14,28 @@
 #include "common/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tdp;
     using namespace tdp::bench;
+
+    initBench(argc, argv);
 
     std::printf("Figure 7: I/O Power Model (Interrupt) - synthetic "
                 "disk workload\n(paper: <1%% average error; 32%% after "
                 "subtracting the DC term)\n\n");
 
-    auto model = makeIoInterruptModel();
-    model->train(runTrace(trainingRun("diskload")));
-    std::printf("%s\n\n", model->describe().c_str());
-
     RunSpec spec = characterizationRun("diskload");
     spec.duration = 190.0;
     spec.skip = 0.0;
-    const SampleTrace trace = runTrace(spec);
+    const std::vector<SampleTrace> traces =
+        runTraces({trainingRun("diskload"), spec});
+
+    auto model = makeIoInterruptModel();
+    model->train(traces[0]);
+    std::printf("%s\n\n", model->describe().c_str());
+
+    const SampleTrace &trace = traces[1];
 
     std::printf("%8s  %10s  %10s\n", "seconds", "measured", "modeled");
     std::vector<double> modeled, measured;

@@ -14,20 +14,29 @@
 #include "common/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tdp;
     using namespace tdp::bench;
+
+    initBench(argc, argv);
 
     std::printf("Table 1: Subsystem Average Power (Watts)\n"
                 "(paper totals: idle 141, gcc 271, mcf 281, vortex 282, "
                 "art 269, lucas 257,\n mesa 271, mgrid 265, wupwise 287, "
                 "dbt-2 152, SPECjbb 223, DiskLoad 243)\n\n");
 
+    const std::vector<std::string> names = paperWorkloadOrder();
+    std::vector<RunSpec> specs;
+    for (const std::string &name : names)
+        specs.push_back(characterizationRun(name));
+    const std::vector<SampleTrace> traces = runTraces(specs);
+
     TableWriter table({"workload", "CPU", "Chipset", "Memory", "I/O",
                        "Disk", "Total"});
-    for (const std::string &name : paperWorkloadOrder()) {
-        const SampleTrace trace = runTrace(characterizationRun(name));
+    for (size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const SampleTrace &trace = traces[w];
         RunningStats rails[numRails];
         for (const AlignedSample &s : trace.samples())
             for (int r = 0; r < numRails; ++r)

@@ -17,19 +17,28 @@
 #include "common/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tdp;
     using namespace tdp::bench;
+
+    initBench(argc, argv);
 
     std::printf("Table 2: Subsystem Power Standard Deviation (Watts)\n"
                 "(paper highlights: SPECjbb CPU 26.2 is the largest; "
                 "idle/art/mgrid nearly flat)\n\n");
 
+    const std::vector<std::string> names = paperWorkloadOrder();
+    std::vector<RunSpec> specs;
+    for (const std::string &name : names)
+        specs.push_back(characterizationRun(name));
+    const std::vector<SampleTrace> traces = runTraces(specs);
+
     TableWriter table(
         {"workload", "CPU", "Chipset", "Memory", "I/O", "Disk"});
-    for (const std::string &name : paperWorkloadOrder()) {
-        const SampleTrace trace = runTrace(characterizationRun(name));
+    for (size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const SampleTrace &trace = traces[w];
         RunningStats rails[numRails];
         for (const AlignedSample &s : trace.samples())
             for (int r = 0; r < numRails; ++r)

@@ -14,10 +14,12 @@
 #include "common/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tdp;
     using namespace tdp::bench;
+
+    initBench(argc, argv);
 
     std::printf("Table 3: Integer Average Model Error "
                 "(paper: CPU 7.06%%, chipset 6.18%%, memory 6.22%%, "

@@ -11,10 +11,12 @@
 #include "common/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tdp;
     using namespace tdp::bench;
+
+    initBench(argc, argv);
 
     std::printf("Table 4: Floating-Point Average Model Error "
                 "(paper: CPU 6.13%%, chipset 5.67%%, memory 12.41%%, "

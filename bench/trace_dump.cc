@@ -23,13 +23,16 @@ main(int argc, char **argv)
     using namespace tdp;
     using namespace tdp::bench;
 
+    initBench(argc, argv);
+    const std::vector<std::string> args = positionalArgs(argc, argv);
+
     RunSpec spec;
-    spec.workload = argc > 1 ? argv[1] : "gcc";
-    spec.instances = argc > 2 ? std::atoi(argv[2]) : 8;
-    spec.duration = argc > 3 ? std::atof(argv[3]) : 120.0;
-    spec.stagger = argc > 4 ? std::atof(argv[4]) : 0.0;
-    spec.seed = argc > 5
-                    ? std::strtoull(argv[5], nullptr, 0)
+    spec.workload = args.size() > 0 ? args[0] : "gcc";
+    spec.instances = args.size() > 1 ? std::atoi(args[1].c_str()) : 8;
+    spec.duration = args.size() > 2 ? std::atof(args[2].c_str()) : 120.0;
+    spec.stagger = args.size() > 3 ? std::atof(args[3].c_str()) : 0.0;
+    spec.seed = args.size() > 4
+                    ? std::strtoull(args[4].c_str(), nullptr, 0)
                     : defaultSeed;
     spec.skip = 0.0;
     if (spec.workload == "idle")

@@ -83,9 +83,9 @@ CpuComplex::tickUpdate(Tick /* now */, Tick quantum)
     double traffic_weight = 0.0;
 
     for (int i = 0; i < n; ++i) {
-        CoreQuantumInputs in;
-        in.threads = scheduler_.runnableOnCore(i);
-        in.stallFactors.reserve(in.threads.size());
+        CoreQuantumInputs &in = inputsScratch_;
+        scheduler_.runnableOnCore(i, in.threads);
+        in.stallFactors.clear();
         for (const ThreadContext *t : in.threads) {
             in.stallFactors.push_back(
                 vm_.stallFactor(t->demand().memBoundness));

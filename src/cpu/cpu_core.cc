@@ -38,8 +38,10 @@ CpuCore::executeQuantum(const CoreQuantumInputs &inputs, Tick quantum)
         n_threads > 2 ? 2.0 / static_cast<double>(n_threads) : 1.0;
 
     // Pass 1: effective per-thread fetch rates before the width cap.
-    std::vector<ThreadDemand> demands(n_threads);
-    std::vector<double> eff(n_threads, 0.0);
+    demandScratch_.resize(n_threads);
+    effScratch_.assign(n_threads, 0.0);
+    std::vector<ThreadDemand> &demands = demandScratch_;
+    std::vector<double> &eff = effScratch_;
     double total_demand = 0.0;
     for (size_t i = 0; i < n_threads; ++i) {
         demands[i] = inputs.threads[i]->demand();

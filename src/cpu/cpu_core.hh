@@ -160,6 +160,10 @@ class CpuCore
     ClockDomain clock_;
     Rng rng_;
     PerfCounters counters_;
+    // Per-quantum scratch, hoisted so the hot loop reuses capacity
+    // instead of reallocating every quantum.
+    std::vector<ThreadDemand> demandScratch_;
+    std::vector<double> effScratch_;
     Watts lastPower_ = 0.0;
     double lastActiveFraction_ = 0.0;
     double lastUopsPerCycle_ = 0.0;

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Implementation of the parallel experiment engine.
+ */
+
+#include "exp/experiment_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+ExperimentPool::ExperimentPool(int jobs)
+    : jobs_(jobs > 0 ? jobs : defaultJobs())
+{
+}
+
+int
+ExperimentPool::defaultJobs()
+{
+    if (const char *env = std::getenv("TDP_JOBS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0)
+            return parsed;
+        warn("TDP_JOBS='%s' is not a positive integer; ignoring", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+ExperimentPool::forEach(size_t n,
+                        const std::function<void(size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+
+    const size_t workers =
+        std::min(static_cast<size_t>(jobs_), n);
+    if (workers <= 1) {
+        // Reference serial path: same job order, same thread.
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> cursor{0};
+    std::mutex failure_mutex;
+    size_t first_failed = n;
+    std::exception_ptr first_error;
+
+    auto worker = [&] {
+        while (true) {
+            const size_t i = cursor.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(failure_mutex);
+                if (i < first_failed) {
+                    first_failed = i;
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (size_t w = 1; w < workers; ++w)
+        threads.emplace_back(worker);
+    worker();
+    for (std::thread &t : threads)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace tdp

@@ -55,6 +55,14 @@ class Scheduler : public SimObject
     /** Runnable threads on a core this instant. */
     std::vector<ThreadContext *> runnableOnCore(int core) const;
 
+    /**
+     * Fill `out` with the runnable threads on a core (clearing it
+     * first). Allocation-free once `out` has capacity; the per-quantum
+     * CPU path uses this with a reused buffer.
+     */
+    void runnableOnCore(int core,
+                        std::vector<ThreadContext *> &out) const;
+
     /** Number of physical cores. */
     int coreCount() const { return coreCount_; }
 

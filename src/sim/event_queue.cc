@@ -1,61 +1,115 @@
 /**
  * @file
- * Implementation of the discrete-event queue.
+ * Implementation of the discrete-event queue: the out-of-line pieces
+ * of the hot path (heap sifts, pool growth) and the cold error paths.
  */
 
 #include "sim/event_queue.hh"
+
+#include <algorithm>
 
 #include "common/logging.hh"
 
 namespace tdp {
 
 void
+EventQueue::pastScheduleError(std::string_view name, Tick when) const
+{
+    panic("EventQueue::schedule: event '%s' scheduled at %llu, "
+          "before current tick %llu",
+          std::string(name).c_str(),
+          static_cast<unsigned long long>(when),
+          static_cast<unsigned long long>(now_));
+}
+
+void
+EventQueue::emptyQueueError(const char *what) const
+{
+    panic("EventQueue::%s on empty queue", what);
+}
+
+// 4-ary implicit heap: children of i are 4i+1..4i+4. Half the depth
+// of a binary heap, and the four siblings compared per sift-down sit
+// in adjacent cache lines. Entries are trivially copyable, so every
+// move below is a plain 32-byte copy.
+
+void
+EventQueue::siftUp(size_t hole)
+{
+    const Entry entry = heap_[hole];
+    while (hole > 0) {
+        const size_t parent = (hole - 1) / 4;
+        if (!after(heap_[parent], entry))
+            break;
+        heap_[hole] = heap_[parent];
+        hole = parent;
+    }
+    heap_[hole] = entry;
+}
+
+void
+EventQueue::siftDown(size_t hole)
+{
+    const size_t n = heap_.size();
+    const Entry entry = heap_[hole];
+    for (;;) {
+        const size_t first = hole * 4 + 1;
+        if (first >= n)
+            break;
+        const size_t limit = std::min(first + 4, n);
+        size_t best = first;
+        for (size_t c = first + 1; c < limit; ++c) {
+            if (after(heap_[best], heap_[c]))
+                best = c;
+        }
+        if (!after(entry, heap_[best]))
+            break;
+        heap_[hole] = heap_[best];
+        hole = best;
+    }
+    heap_[hole] = entry;
+}
+
+int32_t
+EventQueue::growPool()
+{
+    pool_.push_back(std::make_unique<LambdaEvent>());
+    ++slotsAllocated_;
+    return static_cast<int32_t>(pool_.size() - 1);
+}
+
+void
 EventQueue::schedule(std::unique_ptr<Event> ev, Tick when, int priority)
 {
     if (!ev)
         panic("EventQueue::schedule: null event");
-    if (when < now_) {
-        panic("EventQueue::schedule: event '%s' scheduled at %llu, "
-              "before current tick %llu",
-              ev->name().c_str(), static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(now_));
+    if (when < now_)
+        pastScheduleError(ev->name(), when);
+    int32_t idx;
+    if (freeOwned_.empty()) {
+        idx = static_cast<int32_t>(owned_.size());
+        owned_.push_back(std::move(ev));
+    } else {
+        idx = freeOwned_.back();
+        freeOwned_.pop_back();
+        owned_[static_cast<size_t>(idx)] = std::move(ev);
     }
-    heap_.push(Entry{when, priority, nextSequence_++,
-                     std::shared_ptr<Event>(std::move(ev))});
-}
-
-void
-EventQueue::scheduleFn(std::string name, Tick when,
-                       std::function<void()> fn, int priority)
-{
-    schedule(std::make_unique<LambdaEvent>(std::move(name), std::move(fn)),
-             when, priority);
+    push(Entry{when, priority, -1 - idx, nextSequence_++,
+               owned_[static_cast<size_t>(idx)].get()});
 }
 
 Tick
 EventQueue::nextTick() const
 {
     if (heap_.empty())
-        panic("EventQueue::nextTick on empty queue");
-    return heap_.top().when;
-}
-
-void
-EventQueue::step()
-{
-    if (heap_.empty())
-        panic("EventQueue::step on empty queue");
-    Entry entry = heap_.top();
-    heap_.pop();
-    now_ = entry.when;
-    ++processed_;
-    entry.event->process();
+        emptyQueueError("nextTick");
+    return heap_.front().when;
 }
 
 void
 EventQueue::runUntil(Tick until_tick)
 {
-    while (!heap_.empty() && heap_.top().when <= until_tick)
+    while (!heap_.empty() && heap_.front().when <= until_tick)
         step();
     if (now_ < until_tick)
         now_ = until_tick;

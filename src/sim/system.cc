@@ -27,7 +27,10 @@ System::makeRng(const std::string &stream_name) const
 void
 System::registerObject(SimObject *obj)
 {
-    if (findObject(obj->name())) {
+    const auto [it, inserted] =
+        objectsByName_.emplace(obj->name(), obj);
+    (void)it;
+    if (!inserted) {
         fatal("System: duplicate object name '%s'", obj->name().c_str());
     }
     objects_.push_back(obj);
@@ -40,21 +43,28 @@ System::addTicked(Ticked *ticked, TickPhase phase)
         panic("System::addTicked: null participant");
     tickeds_.push_back(
         TickedEntry{ticked, static_cast<int>(phase), tickeds_.size()});
-    std::stable_sort(tickeds_.begin(), tickeds_.end(),
-                     [](const TickedEntry &a, const TickedEntry &b) {
-                         if (a.phase != b.phase)
-                             return a.phase < b.phase;
-                         return a.order < b.order;
-                     });
+    // Ordering is deferred to the next quantum so registering N
+    // participants costs O(N), not O(N^2 log N).
+    tickedsDirty_ = true;
+}
+
+void
+System::sortTickeds()
+{
+    std::sort(tickeds_.begin(), tickeds_.end(),
+              [](const TickedEntry &a, const TickedEntry &b) {
+                  if (a.phase != b.phase)
+                      return a.phase < b.phase;
+                  return a.order < b.order;
+              });
+    tickedsDirty_ = false;
 }
 
 SimObject *
 System::findObject(const std::string &name) const
 {
-    for (SimObject *obj : objects_)
-        if (obj->name() == name)
-            return obj;
-    return nullptr;
+    const auto it = objectsByName_.find(name);
+    return it == objectsByName_.end() ? nullptr : it->second;
 }
 
 void
@@ -66,11 +76,17 @@ System::ensureStarted()
     // startup() may construct further objects; iterate by index.
     for (size_t i = 0; i < objects_.size(); ++i)
         objects_[i]->startup();
+    if (tickedsDirty_)
+        sortTickeds();
 }
 
 void
 System::executeQuantum(Tick start)
 {
+    // startup() (or a component mid-run) may have registered more
+    // participants since the last quantum.
+    if (tickedsDirty_)
+        sortTickeds();
     for (const TickedEntry &entry : tickeds_)
         entry.ticked->tickUpdate(start, quantum_);
     ++quantaExecuted_;

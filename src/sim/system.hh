@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.hh"
@@ -81,11 +82,13 @@ class System
   private:
     void ensureStarted();
     void executeQuantum(Tick start);
+    void sortTickeds();
 
     uint64_t masterSeed_;
     Tick quantum_;
     EventQueue events_;
     std::vector<SimObject *> objects_;
+    std::unordered_map<std::string, SimObject *> objectsByName_;
     struct TickedEntry
     {
         Ticked *ticked;
@@ -93,6 +96,7 @@ class System
         uint64_t order;
     };
     std::vector<TickedEntry> tickeds_;
+    bool tickedsDirty_ = false;
     bool started_ = false;
     Tick nextQuantumStart_ = 0;
     uint64_t quantaExecuted_ = 0;

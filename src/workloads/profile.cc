@@ -5,6 +5,8 @@
 
 #include "workloads/profile.hh"
 
+#include <unordered_map>
+
 #include "common/logging.hh"
 #include "workloads/suite.hh"
 
@@ -61,10 +63,20 @@ validateProfile(const WorkloadProfile &profile)
 const WorkloadProfile &
 findWorkloadProfile(const std::string &name)
 {
-    for (const WorkloadProfile &p : workloadSuite())
-        if (p.name == name)
-            return p;
-    fatal("unknown workload profile '%s'", name.c_str());
+    // Index built once over the immutable suite; the magic static
+    // makes concurrent first lookups from parallel experiment workers
+    // safe.
+    static const std::unordered_map<std::string, const WorkloadProfile *>
+        index = [] {
+            std::unordered_map<std::string, const WorkloadProfile *> m;
+            for (const WorkloadProfile &p : workloadSuite())
+                m.emplace(p.name, &p);
+            return m;
+        }();
+    const auto it = index.find(name);
+    if (it == index.end())
+        fatal("unknown workload profile '%s'", name.c_str());
+    return *it->second;
 }
 
 std::vector<std::string>

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: scheduling semantics of
+ * ExperimentPool and the determinism contract — a multi-worker sweep
+ * must produce bit-identical results to the serial one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hh"
+#include "core/validator.hh"
+#include "exp/experiment_pool.hh"
+#include "platform/server.hh"
+#include "workloads/suite.hh"
+
+namespace tdp {
+namespace {
+
+TEST(ExperimentPool, MapReturnsResultsInIndexOrder)
+{
+    ExperimentPool pool(4);
+    const std::vector<int> out =
+        pool.map<int>(23, [](size_t i) { return static_cast<int>(i) * 3 + 1; });
+    ASSERT_EQ(out.size(), 23u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3 + 1);
+}
+
+TEST(ExperimentPool, ForEachVisitsEveryIndexExactlyOnce)
+{
+    ExperimentPool pool(4);
+    std::vector<std::atomic<int>> visits(100);
+    pool.forEach(visits.size(),
+                 [&](size_t i) { visits[i].fetch_add(1); });
+    for (const std::atomic<int> &v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ExperimentPool, MoreWorkersThanJobsIsFine)
+{
+    ExperimentPool pool(16);
+    const std::vector<int> out =
+        pool.map<int>(3, [](size_t i) { return static_cast<int>(i); });
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ExperimentPool, ZeroJobsRunsNothing)
+{
+    ExperimentPool pool(4);
+    int calls = 0;
+    pool.forEach(0, [&](size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ExperimentPool, DefaultJobsIsPositive)
+{
+    EXPECT_GE(ExperimentPool::defaultJobs(), 1);
+    EXPECT_GE(ExperimentPool().jobs(), 1);
+    EXPECT_EQ(ExperimentPool(3).jobs(), 3);
+}
+
+TEST(ExperimentPool, LowestIndexExceptionWinsAndOthersComplete)
+{
+    ExperimentPool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        pool.forEach(8, [&](size_t i) {
+            if (i == 5 || i == 2)
+                throw std::runtime_error("job " + std::to_string(i));
+            completed.fetch_add(1);
+        });
+        FAIL() << "expected the job exception to propagate";
+    } catch (const std::runtime_error &e) {
+        // Deterministic pick: the failure with the lowest job index.
+        EXPECT_STREQ(e.what(), "job 2");
+    }
+    // A failure must not abort the rest of the sweep.
+    EXPECT_EQ(completed.load(), 6);
+}
+
+TEST(ExperimentPool, SerialPathPropagatesExceptions)
+{
+    ExperimentPool pool(1);
+    EXPECT_THROW(pool.forEach(3,
+                              [](size_t i) {
+                                  if (i == 1)
+                                      throw std::runtime_error("boom");
+                              }),
+                 std::runtime_error);
+}
+
+/**
+ * Run the paper's 12-workload characterisation sweep with the given
+ * worker count and return the per-workload, per-rail model-error
+ * table. Jobs are index-addressed, so any worker count must yield
+ * bit-identical numbers.
+ */
+std::vector<ValidationResult>
+sweepModelErrors(int workers)
+{
+    const std::vector<std::string> names = paperWorkloadOrder();
+
+    // Fixed plausible coefficients: the sweep compares worker counts
+    // against each other, not against the paper, so training runs
+    // would only add simulation time.
+    SystemPowerEstimator est = SystemPowerEstimator::makePaperModelSet();
+    est.model(Rail::Cpu).setCoefficients({37.0, 26.45, 4.31});
+    est.model(Rail::Memory).setCoefficients({27.9, 5.2e-4, 4.8e-9});
+    est.model(Rail::Disk).setCoefficients({21.6, 2.5e6, 0.0, 5.3e3, 0.0});
+    est.model(Rail::Io).setCoefficients({32.6, 3.1e7, 0.0});
+    est.model(Rail::Chipset).setCoefficients({19.9});
+
+    ExperimentPool pool(workers);
+    const std::vector<SampleTrace> traces =
+        pool.map<SampleTrace>(names.size(), [&](size_t i) {
+            Server server(0x5eed2007);
+            if (names[i] != "idle")
+                server.runner().launchStaggered(names[i], 4, 0.25, 0.5);
+            server.run(12.0);
+            return server.rig().collect().slice(2.0, 13.0);
+        });
+
+    const Validator validator(est, 0.0);
+    std::vector<ValidationResult> results;
+    results.reserve(names.size());
+    for (size_t i = 0; i < names.size(); ++i)
+        results.push_back(validator.validate(names[i], traces[i]));
+    return results;
+}
+
+TEST(ExperimentPool, TwelveWorkloadSweepIsBitIdenticalAcrossWorkerCounts)
+{
+    const std::vector<ValidationResult> serial = sweepModelErrors(1);
+    const std::vector<ValidationResult> parallel = sweepModelErrors(4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), paperWorkloadOrder().size());
+    for (size_t w = 0; w < serial.size(); ++w) {
+        EXPECT_EQ(serial[w].workload, parallel[w].workload);
+        for (int r = 0; r < numRails; ++r) {
+            const Rail rail = static_cast<Rail>(r);
+            // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is
+            // bit-identical, not merely close.
+            EXPECT_EQ(serial[w].error(rail), parallel[w].error(rail))
+                << serial[w].workload << " rail " << r;
+        }
+    }
+}
+
+} // namespace
+} // namespace tdp

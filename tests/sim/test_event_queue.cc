@@ -102,5 +102,115 @@ TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
     EXPECT_EQ(q.now(), 500u);
 }
 
+TEST(EventQueue, LambdaSlotReusedAcrossSequentialEvents)
+{
+    // One event in flight at a time: the pool must stabilise at a
+    // single slot however many events fire.
+    EventQueue q;
+    int fired = 0;
+    for (Tick t = 1; t <= 1000; ++t) {
+        q.scheduleFn("seq", t, [&] { ++fired; });
+        q.runUntil(t);
+    }
+    EXPECT_EQ(fired, 1000);
+    EXPECT_EQ(q.processedCount(), 1000u);
+    EXPECT_EQ(q.lambdaSlotsAllocated(), 1u);
+    EXPECT_EQ(q.lambdaPoolSize(), 1u);
+    EXPECT_EQ(q.lambdaPoolFree(), 1u);
+}
+
+TEST(EventQueue, PoolGrowsToPeakInFlightThenStopsAllocating)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int round = 0; round < 10; ++round) {
+        const Tick base = q.now() + 1;
+        for (int i = 0; i < 16; ++i)
+            q.scheduleFn("burst", base + i, [&] { ++fired; });
+        q.runUntil(base + 16);
+    }
+    EXPECT_EQ(fired, 160);
+    // 16 were in flight at once; later rounds recycle those slots.
+    EXPECT_EQ(q.lambdaSlotsAllocated(), 16u);
+    EXPECT_EQ(q.lambdaPoolSize(), 16u);
+    EXPECT_EQ(q.lambdaPoolFree(), 16u);
+}
+
+TEST(EventQueue, InFlightSlotNotReusedByNestedScheduling)
+{
+    // While an event is being processed its slot is still in flight;
+    // a nested scheduleFn must get a different slot, and both events
+    // must run with their own callable.
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleFn("outer", 5, [&] {
+        q.scheduleFn("inner", 6, [&] { order.push_back(2); });
+        order.push_back(1);
+    });
+    q.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.lambdaSlotsAllocated(), 2u);
+}
+
+TEST(EventQueue, OrderingPreservedAcrossSlotReuse)
+{
+    // Recycled slots must not perturb (tick, priority, fifo) order.
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleFn("warm-a", 1, [&] { order.push_back(0); });
+    q.scheduleFn("warm-b", 1, [&] { order.push_back(0); });
+    q.runUntil(1);
+    order.clear();
+
+    q.scheduleFn("late", 10, [&] { order.push_back(3); }, 200);
+    q.scheduleFn("first", 10, [&] { order.push_back(1); }, 50);
+    q.scheduleFn("fifo", 10, [&] { order.push_back(2); }, 50);
+    q.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    // Only the peak of three in flight ever allocated (two warm slots
+    // recycled, one grown).
+    EXPECT_EQ(q.lambdaSlotsAllocated(), 3u);
+}
+
+TEST(EventQueue, OwnedEventsBypassLambdaPool)
+{
+    class Marker : public Event
+    {
+      public:
+        explicit Marker(int &hits) : Event("marker"), hits_(hits) {}
+        void process() override { ++hits_; }
+
+      private:
+        int &hits_;
+    };
+
+    EventQueue q;
+    int hits = 0;
+    q.schedule(std::make_unique<Marker>(hits), 3);
+    q.schedule(std::make_unique<Marker>(hits), 4);
+    q.runUntil(5);
+    EXPECT_EQ(hits, 2);
+    EXPECT_EQ(q.lambdaSlotsAllocated(), 0u);
+    EXPECT_EQ(q.lambdaPoolSize(), 0u);
+}
+
+TEST(EventQueue, HeapOrderingSurvivesInterleavedPopsAndPushes)
+{
+    // Mixed schedule/step traffic with recycled slots must fire in
+    // strict (tick, priority, sequence) order.
+    EventQueue q;
+    std::vector<Tick> fired;
+    for (int i = 0; i < 50; ++i) {
+        const Tick when = static_cast<Tick>(1 + (i * 37) % 97);
+        q.scheduleFn("mix", when, [&fired, &q] {
+            fired.push_back(q.now());
+        });
+    }
+    q.runUntil(200);
+    ASSERT_EQ(fired.size(), 50u);
+    for (size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LE(fired[i - 1], fired[i]);
+}
+
 } // namespace
 } // namespace tdp
