@@ -143,7 +143,9 @@ trainingRun(const std::string &workload)
 SampleTrace
 runTrace(const RunSpec &spec, std::unique_ptr<Server> &out)
 {
-    out = std::make_unique<Server>(spec.seed);
+    Server::Params params;
+    params.rig.faults = spec.faults;
+    out = std::make_unique<Server>(spec.seed, params);
     if (spec.instances > 0) {
         out->runner().launchStaggered(spec.workload, spec.instances,
                                       spec.firstStart, spec.stagger);
@@ -187,6 +189,36 @@ trainPaperEstimator(uint64_t seed)
     trainer.setTrainingTrace(Rail::Io, traces[2]);
     trainer.setTrainingTrace(Rail::Chipset, traces[3]);
     trainer.train(estimator);
+    return estimator;
+}
+
+SystemPowerEstimator
+trainDegradableEstimator(uint64_t seed, const FaultPlan &faults,
+                         TrainingReport *report)
+{
+    SystemPowerEstimator estimator =
+        SystemPowerEstimator::makeDegradableModelSet();
+
+    auto spec_for = [seed, &faults](const std::string &name) {
+        RunSpec spec = trainingRun(name);
+        spec.seed ^= seed;
+        spec.faults = faults;
+        return spec;
+    };
+
+    const std::vector<SampleTrace> traces =
+        runTraces({spec_for("gcc"), spec_for("mcf"),
+                   spec_for("diskload"), spec_for("idle")});
+
+    ModelTrainer trainer;
+    trainer.setTrainingTrace(Rail::Cpu, traces[0]);
+    trainer.setTrainingTrace(Rail::Memory, traces[1]);
+    trainer.setTrainingTrace(Rail::Disk, traces[2]);
+    trainer.setTrainingTrace(Rail::Io, traces[2]);
+    trainer.setTrainingTrace(Rail::Chipset, traces[3]);
+    const TrainingReport scrubbed = trainer.train(estimator);
+    if (report)
+        *report = scrubbed;
     return estimator;
 }
 

@@ -16,6 +16,7 @@
 #include "core/estimator.hh"
 #include "core/trainer.hh"
 #include "core/validator.hh"
+#include "fault/fault_plan.hh"
 #include "measure/trace.hh"
 #include "platform/server.hh"
 
@@ -70,6 +71,13 @@ struct RunSpec
 
     /** Master seed. */
     uint64_t seed = defaultSeed;
+
+    /**
+     * Measurement faults injected into the run. Disabled by default;
+     * a disabled plan leaves the run bit-identical to one with no
+     * fault machinery.
+     */
+    FaultPlan faults;
 };
 
 /** The paper's characterisation run (Table 1/2): all threads at once. */
@@ -98,6 +106,16 @@ SampleTrace runTrace(const RunSpec &spec, std::unique_ptr<Server> &out);
  * constant on idle.
  */
 SystemPowerEstimator trainPaperEstimator(uint64_t seed = defaultSeed);
+
+/**
+ * Like trainPaperEstimator, but the models carry graceful-degradation
+ * fallback chains (makeDegradableModelSet) and the training runs are
+ * executed under the given fault plan. The trainer's scrub report is
+ * returned through *report when given.
+ */
+SystemPowerEstimator trainDegradableEstimator(
+    uint64_t seed, const FaultPlan &faults,
+    TrainingReport *report = nullptr);
 
 /** Idle disk power used as the DC offset in disk error reporting. */
 constexpr double diskIdleDcWatts = 21.6;

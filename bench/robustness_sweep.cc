@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Robustness sweep: Equation 6 model error versus measurement-fault
+ * intensity, across the full 12-workload suite.
+ *
+ * For each intensity the sweep scales FaultPlan::allFaults() - PMU
+ * counter wraparound, dropped readings, missed/duplicated/late sync
+ * pulses, DAQ block dropouts and glitch spikes, unavailable events -
+ * retrains the degradable model set on faulted training runs, and
+ * validates on faulted characterisation runs of every workload. It
+ * reports, per intensity: the per-subsystem average error, the
+ * injected-fault ground truth, the pipeline's recovery counters, the
+ * training scrub counts and the estimator health (which rails ran on
+ * fallback rungs and why).
+ *
+ * Intensity 0 is asserted bit-identical to the fault-free baseline
+ * path (trainPaperEstimator + clean runs): the fault machinery must
+ * be a true no-op when disabled.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/bench_util.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "exp/experiment_pool.hh"
+#include "fault/fault_injector.hh"
+
+namespace {
+
+using namespace tdp;
+using namespace tdp::bench;
+
+const std::vector<std::string> suite = {
+    "idle", "gcc",   "mcf",     "vortex", "dbt2",    "specjbb",
+    "art",  "lucas", "mesa",    "mgrid",  "wupwise", "diskload"};
+
+const std::vector<double> intensities = {0.0, 0.25, 0.5, 1.0};
+
+/** One characterisation run's trace plus its pipeline counters. */
+struct RunResult
+{
+    SampleTrace trace;
+    FaultInjector::Stats injected;
+    uint64_t aligned = 0;
+    uint64_t orphanWindows = 0;
+    uint64_t orphanReadings = 0;
+    uint64_t duplicatePulses = 0;
+    uint64_t resyncedWindows = 0;
+    uint64_t emptyWindows = 0;
+    uint64_t glitchDiscards = 0;
+};
+
+RunResult
+runWithStats(const RunSpec &spec)
+{
+    RunResult result;
+    std::unique_ptr<Server> server;
+    result.trace = runTrace(spec, server);
+    const TraceAligner &aligner = server->rig().aligner();
+    result.aligned = aligner.alignedCount();
+    result.orphanWindows = aligner.orphanWindows();
+    result.orphanReadings = aligner.orphanReadings();
+    result.duplicatePulses = aligner.duplicatePulses();
+    result.resyncedWindows = aligner.resyncedWindows();
+    result.emptyWindows = aligner.emptyWindows();
+    result.glitchDiscards = aligner.glitchValuesDiscarded();
+    if (server->rig().faults())
+        result.injected = server->rig().faults()->stats();
+    return result;
+}
+
+/** Per-rail average error of one whole sweep level. */
+struct LevelResult
+{
+    double intensity = 0.0;
+    ValidationResult average;
+    std::vector<ValidationResult> perWorkload;
+};
+
+LevelResult
+runLevel(double intensity)
+{
+    const FaultPlan plan = FaultPlan::allFaults().scaled(intensity);
+
+    TrainingReport scrub;
+    const SystemPowerEstimator estimator =
+        trainDegradableEstimator(defaultSeed, plan, &scrub);
+
+    std::vector<RunSpec> specs;
+    for (const std::string &name : suite) {
+        RunSpec spec = characterizationRun(name);
+        spec.faults = plan;
+        specs.push_back(spec);
+    }
+    ExperimentPool pool(jobs());
+    const std::vector<RunResult> runs = pool.map<RunResult>(
+        specs.size(), [&](size_t i) { return runWithStats(specs[i]); });
+
+    // Validation is serial so the estimator health report accumulates
+    // across the whole suite in workload order.
+    Validator validator(estimator, 0.0);
+    LevelResult level;
+    level.intensity = intensity;
+    FaultInjector::Stats injected;
+    uint64_t aligned = 0, orphan_w = 0, orphan_r = 0, dup = 0,
+             resync = 0, empty = 0, glitch = 0, discarded_pairs = 0;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const RunResult &run = runs[i];
+        if (run.trace.empty())
+            fatal("robustness_sweep: workload %s produced no aligned "
+                  "samples at intensity %.2f",
+                  suite[i].c_str(), intensity);
+        level.perWorkload.push_back(
+            validator.validate(suite[i], run.trace));
+        for (uint64_t d : level.perWorkload.back().discardedPairs)
+            discarded_pairs += d;
+        injected.readingsDropped += run.injected.readingsDropped;
+        injected.pulsesMissed += run.injected.pulsesMissed;
+        injected.pulsesDuplicated += run.injected.pulsesDuplicated;
+        injected.pulsesDelayed += run.injected.pulsesDelayed;
+        injected.blocksDropped += run.injected.blocksDropped;
+        injected.blocksGlitched += run.injected.blocksGlitched;
+        injected.counterWraps += run.injected.counterWraps;
+        injected.eventsMasked += run.injected.eventsMasked;
+        aligned += run.aligned;
+        orphan_w += run.orphanWindows;
+        orphan_r += run.orphanReadings;
+        dup += run.duplicatePulses;
+        resync += run.resyncedWindows;
+        empty += run.emptyWindows;
+        glitch += run.glitchDiscards;
+    }
+    level.average =
+        Validator::average(level.perWorkload, "suite average");
+
+    std::printf("=== intensity %.2f ===\n", intensity);
+    TableWriter table(
+        {"workload", "CPU", "Chipset", "Memory", "I/O", "Disk"});
+    for (const ValidationResult &r : level.perWorkload)
+        table.addRow({r.workload, TableWriter::pct(r.error(Rail::Cpu)),
+                      TableWriter::pct(r.error(Rail::Chipset)),
+                      TableWriter::pct(r.error(Rail::Memory)),
+                      TableWriter::pct(r.error(Rail::Io)),
+                      TableWriter::pct(r.error(Rail::Disk))});
+    const ValidationResult &avg = level.average;
+    table.addRow({avg.workload, TableWriter::pct(avg.error(Rail::Cpu)),
+                  TableWriter::pct(avg.error(Rail::Chipset)),
+                  TableWriter::pct(avg.error(Rail::Memory)),
+                  TableWriter::pct(avg.error(Rail::Io)),
+                  TableWriter::pct(avg.error(Rail::Disk))});
+    table.render(std::cout);
+
+    std::printf(
+        "injected: %llu wraps, %llu dropped readings, %llu missed + "
+        "%llu duplicated + %llu delayed pulses, %llu dropped + %llu "
+        "glitched blocks, %llu masked events\n",
+        static_cast<unsigned long long>(injected.counterWraps),
+        static_cast<unsigned long long>(injected.readingsDropped),
+        static_cast<unsigned long long>(injected.pulsesMissed),
+        static_cast<unsigned long long>(injected.pulsesDuplicated),
+        static_cast<unsigned long long>(injected.pulsesDelayed),
+        static_cast<unsigned long long>(injected.blocksDropped),
+        static_cast<unsigned long long>(injected.blocksGlitched),
+        static_cast<unsigned long long>(injected.eventsMasked));
+    std::printf(
+        "recovered: %llu aligned, %llu orphan windows, %llu orphan "
+        "readings, %llu duplicate pulses merged, %llu resynced "
+        "windows, %llu empty windows, %llu glitch values excluded, "
+        "%llu validation pairs discarded\n",
+        static_cast<unsigned long long>(aligned),
+        static_cast<unsigned long long>(orphan_w),
+        static_cast<unsigned long long>(orphan_r),
+        static_cast<unsigned long long>(dup),
+        static_cast<unsigned long long>(resync),
+        static_cast<unsigned long long>(empty),
+        static_cast<unsigned long long>(glitch),
+        static_cast<unsigned long long>(discarded_pairs));
+    if (scrub.totalDiscarded() > 0)
+        std::printf("training scrub:\n%s", scrub.describe().c_str());
+    std::printf("health:\n%s\n", estimator.health().describe().c_str());
+    return level;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+
+    std::printf("Robustness sweep: Equation 6 error vs measurement "
+                "fault intensity (12 workloads, plan = allFaults() "
+                "scaled)\n\n");
+
+    std::vector<LevelResult> levels;
+    for (double intensity : intensities)
+        levels.push_back(runLevel(intensity));
+
+    // The disabled plan must be a true no-op: the intensity-0 sweep
+    // level has to reproduce the fault-free paper baseline exactly,
+    // bit for bit, per workload and per subsystem.
+    {
+        const SystemPowerEstimator baseline =
+            trainPaperEstimator(defaultSeed);
+        Validator validator(baseline, 0.0);
+        std::vector<RunSpec> specs;
+        for (const std::string &name : suite)
+            specs.push_back(characterizationRun(name));
+        const std::vector<SampleTrace> traces = runTraces(specs);
+        for (size_t i = 0; i < suite.size(); ++i) {
+            const ValidationResult clean =
+                validator.validate(suite[i], traces[i]);
+            const ValidationResult &zero = levels[0].perWorkload[i];
+            for (int r = 0; r < numRails; ++r) {
+                const size_t idx = static_cast<size_t>(r);
+                if (clean.averageError[idx] != zero.averageError[idx])
+                    fatal("robustness_sweep: intensity 0 is not "
+                          "bit-identical to the fault-free baseline "
+                          "(%s, rail %s: %.17g vs %.17g)",
+                          suite[i].c_str(),
+                          railName(static_cast<Rail>(r)),
+                          clean.averageError[idx],
+                          zero.averageError[idx]);
+            }
+        }
+        std::printf("intensity 0.00 verified bit-identical to the "
+                    "fault-free baseline\n\n");
+    }
+
+    std::printf("summary: average error vs fault intensity\n");
+    TableWriter summary(
+        {"intensity", "CPU", "Chipset", "Memory", "I/O", "Disk"});
+    for (const LevelResult &level : levels) {
+        const ValidationResult &avg = level.average;
+        summary.addRow({formatString("%.2f", level.intensity),
+                        TableWriter::pct(avg.error(Rail::Cpu)),
+                        TableWriter::pct(avg.error(Rail::Chipset)),
+                        TableWriter::pct(avg.error(Rail::Memory)),
+                        TableWriter::pct(avg.error(Rail::Io)),
+                        TableWriter::pct(avg.error(Rail::Disk))});
+    }
+    summary.render(std::cout);
+    return 0;
+}

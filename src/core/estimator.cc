@@ -5,9 +5,61 @@
 
 #include "core/estimator.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "common/logging.hh"
 
 namespace tdp {
+
+namespace {
+
+/** Named event-rate fields, for degradation diagnostics. */
+struct RateField
+{
+    const char *name;
+    double CpuEventRates::*field;
+};
+
+constexpr std::array<RateField, 12> rateFields{{
+    {"cycles", &CpuEventRates::cycles},
+    {"percentActive", &CpuEventRates::percentActive},
+    {"uopsPerCycle", &CpuEventRates::uopsPerCycle},
+    {"l3MissesPerCycle", &CpuEventRates::l3MissesPerCycle},
+    {"tlbMissesPerCycle", &CpuEventRates::tlbMissesPerCycle},
+    {"busTxPerMcycle", &CpuEventRates::busTxPerMcycle},
+    {"dmaPerCycle", &CpuEventRates::dmaPerCycle},
+    {"uncacheablePerCycle", &CpuEventRates::uncacheablePerCycle},
+    {"interruptsPerCycle", &CpuEventRates::interruptsPerCycle},
+    {"prefetchPerMcycle", &CpuEventRates::prefetchPerMcycle},
+    {"diskInterruptsPerCycle", &CpuEventRates::diskInterruptsPerCycle},
+    {"deviceInterruptsPerCycle",
+     &CpuEventRates::deviceInterruptsPerCycle},
+}};
+
+/** Comma-joined names of the non-finite rate fields of a sample. */
+std::string
+nonFiniteRates(const EventVector &events)
+{
+    std::string names;
+    for (const RateField &rf : rateFields) {
+        bool bad = false;
+        for (const CpuEventRates &rates : events.cpu)
+            bad = bad || !std::isfinite(rates.*rf.field);
+        if (bad) {
+            if (!names.empty())
+                names += ", ";
+            names += rf.name;
+        }
+    }
+    return names;
+}
+
+/** Upper bound on distinct degradation reasons kept per rail. */
+constexpr size_t maxReasons = 8;
+
+} // namespace
 
 Watts
 PowerBreakdown::total() const
@@ -16,6 +68,39 @@ PowerBreakdown::total() const
     for (Watts w : watts)
         acc += w;
     return acc;
+}
+
+bool
+HealthReport::degraded() const
+{
+    for (const RailHealth &rail : rails)
+        if (!rail.healthy())
+            return true;
+    return false;
+}
+
+std::string
+HealthReport::describe() const
+{
+    std::string text;
+    for (const RailHealth &rail : rails) {
+        text += formatString(
+            "%-8s %s: %llu estimates, %llu degraded, %llu unestimable",
+            rail.rail.c_str(), rail.healthy() ? "healthy " : "DEGRADED",
+            static_cast<unsigned long long>(rail.estimates),
+            static_cast<unsigned long long>(rail.degraded),
+            static_cast<unsigned long long>(rail.unestimable));
+        for (size_t r = 0; r < rail.rungNames.size(); ++r) {
+            if (rail.rungUses.size() > r && rail.rungUses[r] > 0)
+                text += formatString(
+                    " [%s: %llu]", rail.rungNames[r].c_str(),
+                    static_cast<unsigned long long>(rail.rungUses[r]));
+        }
+        text += '\n';
+        for (const std::string &reason : rail.reasons)
+            text += "         - " + reason + '\n';
+    }
+    return text;
 }
 
 SystemPowerEstimator
@@ -30,6 +115,18 @@ SystemPowerEstimator::makePaperModelSet()
     return est;
 }
 
+SystemPowerEstimator
+SystemPowerEstimator::makeDegradableModelSet()
+{
+    SystemPowerEstimator est = makePaperModelSet();
+    est.addFallback(std::make_unique<ConstantPowerModel>(Rail::Cpu));
+    est.addFallback(makeMemoryL3Model());
+    est.addFallback(std::make_unique<ConstantPowerModel>(Rail::Memory));
+    est.addFallback(std::make_unique<ConstantPowerModel>(Rail::Disk));
+    est.addFallback(std::make_unique<ConstantPowerModel>(Rail::Io));
+    return est;
+}
+
 void
 SystemPowerEstimator::setModel(std::unique_ptr<SubsystemModel> model)
 {
@@ -38,13 +135,52 @@ SystemPowerEstimator::setModel(std::unique_ptr<SubsystemModel> model)
     models_[static_cast<size_t>(model->rail())] = std::move(model);
 }
 
+void
+SystemPowerEstimator::addFallback(std::unique_ptr<SubsystemModel> model)
+{
+    if (!model)
+        fatal("SystemPowerEstimator: null fallback model");
+    const size_t idx = static_cast<size_t>(model->rail());
+    if (!models_[idx])
+        fatal("SystemPowerEstimator: fallback %s for rail %s needs a "
+              "primary model first; call setModel() before "
+              "addFallback()",
+              model->name().c_str(), railName(model->rail()));
+    fallbacks_[idx].push_back(std::move(model));
+}
+
+namespace {
+
+/** Comma-joined rail names with installed models, or "none". */
+std::string
+installedRails(
+    const std::array<std::unique_ptr<SubsystemModel>, numRails> &models)
+{
+    std::string names;
+    for (int r = 0; r < numRails; ++r) {
+        if (!models[static_cast<size_t>(r)])
+            continue;
+        if (!names.empty())
+            names += ", ";
+        names += railName(static_cast<Rail>(r));
+        names += " (";
+        names += models[static_cast<size_t>(r)]->name();
+        names += ")";
+    }
+    return names.empty() ? std::string("none") : names;
+}
+
+} // namespace
+
 SubsystemModel &
 SystemPowerEstimator::model(Rail rail)
 {
     auto &m = models_[static_cast<size_t>(rail)];
     if (!m)
-        fatal("SystemPowerEstimator: no model for rail %s",
-              railName(rail));
+        fatal("SystemPowerEstimator: no model installed for rail %s; "
+              "installed models: %s. Install one with setModel() or "
+              "start from makePaperModelSet().",
+              railName(rail), installedRails(models_).c_str());
     return *m;
 }
 
@@ -53,8 +189,10 @@ SystemPowerEstimator::model(Rail rail) const
 {
     const auto &m = models_[static_cast<size_t>(rail)];
     if (!m)
-        fatal("SystemPowerEstimator: no model for rail %s",
-              railName(rail));
+        fatal("SystemPowerEstimator: no model installed for rail %s; "
+              "installed models: %s. Install one with setModel() or "
+              "start from makePaperModelSet().",
+              railName(rail), installedRails(models_).c_str());
     return *m;
 }
 
@@ -70,22 +208,125 @@ SystemPowerEstimator::ready() const
 void
 SystemPowerEstimator::trainAll(const SampleTrace &trace)
 {
-    for (auto &m : models_)
-        if (m)
-            m->train(trace);
+    for (int r = 0; r < numRails; ++r)
+        if (models_[static_cast<size_t>(r)])
+            trainRail(static_cast<Rail>(r), trace);
+}
+
+void
+SystemPowerEstimator::trainRail(Rail rail, const SampleTrace &trace)
+{
+    const size_t i = static_cast<size_t>(rail);
+    auto &primary = models_[i];
+    if (!primary)
+        fatal("SystemPowerEstimator: no model installed for rail %s; "
+              "installed models: %s. Install one with setModel() or "
+              "start from makePaperModelSet().",
+              railName(rail), installedRails(models_).c_str());
+    if (fallbacks_[i].empty()) {
+        primary->train(trace);
+        return;
+    }
+    // With fallback rungs below it, a primary whose regressors are
+    // unusable (e.g. its PMU events were unavailable all run,
+    // leaving the columns non-finite) is left untrained and the
+    // chain degrades at estimate time instead of aborting.
+    try {
+        primary->train(trace);
+    } catch (const FatalError &e) {
+        warn("training %s failed (%s); rail %s will rely on its "
+             "fallback chain",
+             primary->name().c_str(), e.what(), railName(rail));
+    }
+    for (auto &rung : fallbacks_[i]) {
+        try {
+            rung->train(trace);
+        } catch (const FatalError &e) {
+            warn("training fallback %s failed (%s); rung skipped",
+                 rung->name().c_str(), e.what());
+        }
+    }
+}
+
+void
+SystemPowerEstimator::recordReason(RailHealthState &state,
+                                   const EventVector &events,
+                                   const std::string &from,
+                                   const std::string &to) const
+{
+    if (state.reasons.size() >= maxReasons)
+        return;
+    std::string reason = from + " -> " + to;
+    const std::string bad = nonFiniteRates(events);
+    reason += bad.empty() ? std::string(": untrained")
+                          : ": non-finite rates (" + bad + ")";
+    if (std::find(state.reasons.begin(), state.reasons.end(), reason) ==
+        state.reasons.end())
+        state.reasons.push_back(reason);
+}
+
+Watts
+SystemPowerEstimator::estimateRail(const EventVector &events,
+                                   Rail rail) const
+{
+    const size_t idx = static_cast<size_t>(rail);
+    const auto &primary = models_[idx];
+    if (!primary)
+        fatal("SystemPowerEstimator: no model installed for rail %s; "
+              "installed models: %s. Install one with setModel() or "
+              "start from makePaperModelSet().",
+              railName(rail), installedRails(models_).c_str());
+
+    auto &state = health_[idx];
+    const auto &chain = fallbacks_[idx];
+    if (state.rungUses.size() != chain.size() + 1)
+        state.rungUses.assign(chain.size() + 1, 0);
+    ++state.estimates;
+
+    // Single-model rails keep the legacy contract exactly: whatever
+    // the model returns (or throws, when untrained) passes through.
+    if (chain.empty()) {
+        const Watts w = primary->estimate(events);
+        if (std::isfinite(w)) {
+            ++state.rungUses[0];
+        } else {
+            ++state.unestimable;
+            recordReason(state, events, primary->name(), "(none)");
+        }
+        return w;
+    }
+
+    for (size_t r = 0; r < chain.size() + 1; ++r) {
+        const SubsystemModel &m =
+            r == 0 ? *primary : *chain[r - 1];
+        const std::string next =
+            r < chain.size() ? chain[r]->name() : "(none)";
+        if (!m.trained()) {
+            recordReason(state, events, m.name(), next);
+            continue;
+        }
+        const Watts w = m.estimate(events);
+        if (!std::isfinite(w)) {
+            recordReason(state, events, m.name(), next);
+            continue;
+        }
+        ++state.rungUses[r];
+        if (r > 0)
+            ++state.degraded;
+        return w;
+    }
+
+    ++state.unestimable;
+    return std::numeric_limits<double>::quiet_NaN();
 }
 
 PowerBreakdown
 SystemPowerEstimator::estimate(const EventVector &events) const
 {
     PowerBreakdown out;
-    for (int r = 0; r < numRails; ++r) {
-        const auto &m = models_[static_cast<size_t>(r)];
-        if (!m)
-            fatal("SystemPowerEstimator: no model for rail %s",
-                  railName(static_cast<Rail>(r)));
-        out.watts[static_cast<size_t>(r)] = m->estimate(events);
-    }
+    for (int r = 0; r < numRails; ++r)
+        out.watts[static_cast<size_t>(r)] =
+            estimateRail(events, static_cast<Rail>(r));
     return out;
 }
 
@@ -105,10 +346,41 @@ SystemPowerEstimator::modeledColumn(const SampleTrace &trace,
 {
     std::vector<double> out;
     out.reserve(trace.size());
-    const SubsystemModel &m = model(rail);
     for (const AlignedSample &sample : trace.samples())
-        out.push_back(m.estimate(EventVector::fromSample(sample)));
+        out.push_back(
+            estimateRail(EventVector::fromSample(sample), rail));
     return out;
+}
+
+HealthReport
+SystemPowerEstimator::health() const
+{
+    HealthReport report;
+    for (int r = 0; r < numRails; ++r) {
+        const size_t i = static_cast<size_t>(r);
+        RailHealth &rail = report.rails[i];
+        const RailHealthState &state = health_[i];
+        rail.rail = railName(static_cast<Rail>(r));
+        if (models_[i]) {
+            rail.rungNames.push_back(models_[i]->name());
+            for (const auto &rung : fallbacks_[i])
+                rail.rungNames.push_back(rung->name());
+        }
+        rail.rungUses = state.rungUses;
+        rail.rungUses.resize(rail.rungNames.size(), 0);
+        rail.estimates = state.estimates;
+        rail.degraded = state.degraded;
+        rail.unestimable = state.unestimable;
+        rail.reasons = state.reasons;
+    }
+    return report;
+}
+
+void
+SystemPowerEstimator::resetHealth()
+{
+    for (auto &state : health_)
+        state = RailHealthState{};
 }
 
 std::string

@@ -3,6 +3,13 @@
  * System power estimator: the runtime artifact the paper enables -
  * five trained subsystem models fed by one per-second counter sample,
  * no power sensing hardware required.
+ *
+ * Production PMUs cannot always schedule every event (multiplexing
+ * pressure), so each rail may carry a *fallback chain* behind its
+ * primary model: e.g. memory Equation 3 (bus transactions) degrades
+ * to Equation 2 (L3 misses) and finally to a trained constant when
+ * the required events read as NaN. Every degraded estimate is
+ * recorded in a Health report naming the rung used and why.
  */
 
 #ifndef TDP_CORE_ESTIMATOR_HH
@@ -34,11 +41,55 @@ struct PowerBreakdown
     Watts total() const;
 };
 
+/** How one rail's estimates have been produced since the last reset. */
+struct RailHealth
+{
+    /** Rail display name. */
+    std::string rail;
+
+    /** Model names, primary first, then the fallback rungs. */
+    std::vector<std::string> rungNames;
+
+    /** Estimates produced by each rung (index-parallel to names). */
+    std::vector<uint64_t> rungUses;
+
+    /** Total estimates for this rail. */
+    uint64_t estimates = 0;
+
+    /** Estimates that came from a fallback rung. */
+    uint64_t degraded = 0;
+
+    /** Estimates where no rung produced a finite value. */
+    uint64_t unestimable = 0;
+
+    /** Unique degradation reasons observed (bounded). */
+    std::vector<std::string> reasons;
+
+    /** True when every estimate came from the primary model. */
+    bool healthy() const { return degraded == 0 && unestimable == 0; }
+};
+
+/** Degradation report across all rails. */
+struct HealthReport
+{
+    /** Per-rail health, in rail order. */
+    std::array<RailHealth, numRails> rails;
+
+    /** True when any rail estimated below its primary model. */
+    bool degraded() const;
+
+    /** Human-readable multi-line summary. */
+    std::string describe() const;
+};
+
 /**
  * Holds one model per subsystem and evaluates them together. The
  * default configuration is the paper's final model set: CPU fetch
  * model, memory bus-transaction model, disk interrupt+DMA model, I/O
  * interrupt model and the chipset constant.
+ *
+ * Health accounting is not synchronised: share one estimator across
+ * threads only for read-free use, or give each thread its own copy.
  */
 class SystemPowerEstimator
 {
@@ -46,23 +97,63 @@ class SystemPowerEstimator
     /** Build with the paper's final model set (untrained). */
     static SystemPowerEstimator makePaperModelSet();
 
+    /**
+     * Build the paper model set with graceful-degradation fallback
+     * chains: memory bus -> L3 miss -> constant; CPU, disk and I/O
+     * each degrade to a trained constant. The chipset primary is
+     * already a constant and needs no fallback.
+     */
+    static SystemPowerEstimator makeDegradableModelSet();
+
     /** Build empty; add models with setModel(). */
     SystemPowerEstimator() = default;
 
-    /** Install (or replace) the model for its rail. */
+    /** Install (or replace) the primary model for its rail. */
     void setModel(std::unique_ptr<SubsystemModel> model);
 
-    /** The model for one rail; fatal() if absent. */
+    /**
+     * Append a fallback rung behind the rail's primary model. The
+     * primary must already be installed; rungs are consulted in
+     * installation order when every earlier rung yields a non-finite
+     * estimate (e.g. its PMU events are unavailable).
+     */
+    void addFallback(std::unique_ptr<SubsystemModel> model);
+
+    /** The fallback chain of one rail (may be empty). */
+    const std::vector<std::unique_ptr<SubsystemModel>> &
+    fallbacks(Rail rail) const
+    {
+        return fallbacks_[static_cast<size_t>(rail)];
+    }
+
+    /** The primary model for one rail; fatal() if absent. */
     SubsystemModel &model(Rail rail);
 
-    /** The model for one rail; fatal() if absent. */
+    /** The primary model for one rail; fatal() if absent. */
     const SubsystemModel &model(Rail rail) const;
 
-    /** True when all five rails have trained models. */
+    /** True when all five rails have trained primary models. */
     bool ready() const;
 
-    /** Train every installed model on one shared training trace. */
+    /** Train every installed model (and rung) on one shared trace. */
     void trainAll(const SampleTrace &trace);
+
+    /**
+     * Train one rail's primary model and fallback rungs on one
+     * trace. When the rail has fallbacks, a rung whose fit fails
+     * (e.g. its PMU events were unavailable all run, leaving the
+     * regressors non-finite) is left untrained with a warning and
+     * the chain degrades at estimate time; a single-model rail
+     * propagates the failure as before.
+     */
+    void trainRail(Rail rail, const SampleTrace &trace);
+
+    /**
+     * Estimate one rail for one sample, walking the fallback chain
+     * until a trained rung yields a finite value. Degradations are
+     * recorded in the health report.
+     */
+    Watts estimateRail(const EventVector &events, Rail rail) const;
 
     /** Estimate all subsystems for one sample. */
     PowerBreakdown estimate(const EventVector &events) const;
@@ -75,11 +166,35 @@ class SystemPowerEstimator
     std::vector<double> modeledColumn(const SampleTrace &trace,
                                       Rail rail) const;
 
+    /** Degradation report accumulated since the last reset. */
+    HealthReport health() const;
+
+    /** Clear the degradation accounting. */
+    void resetHealth();
+
     /** Describe all models (fitted equations). */
     std::string describe() const;
 
   private:
+    /** Mutable per-rail health accumulators. */
+    struct RailHealthState
+    {
+        uint64_t estimates = 0;
+        uint64_t degraded = 0;
+        uint64_t unestimable = 0;
+        std::vector<uint64_t> rungUses;
+        std::vector<std::string> reasons;
+    };
+
+    void recordReason(RailHealthState &state,
+                      const EventVector &events,
+                      const std::string &from,
+                      const std::string &to) const;
+
     std::array<std::unique_ptr<SubsystemModel>, numRails> models_;
+    std::array<std::vector<std::unique_ptr<SubsystemModel>>, numRails>
+        fallbacks_;
+    mutable std::array<RailHealthState, numRails> health_;
 };
 
 } // namespace tdp

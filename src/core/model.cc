@@ -5,6 +5,8 @@
 
 #include "core/model.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 #include "stats/regression.hh"
 
@@ -279,6 +281,65 @@ DiskPowerModel::setCoefficients(const std::vector<double> &coeffs)
     trained_ = true;
 }
 
+// ----------------------------------------------------------- constant
+
+ConstantPowerModel::ConstantPowerModel(Rail rail)
+    : rail_(rail), name_(std::string(railName(rail)) + "-const")
+{
+}
+
+Watts
+ConstantPowerModel::estimate(const EventVector & /* events */) const
+{
+    if (!trained_)
+        panic("%s::estimate before training", name_.c_str());
+    return constant_;
+}
+
+void
+ConstantPowerModel::train(const SampleTrace &trace)
+{
+    if (trace.empty())
+        fatal("%s: empty training trace", name_.c_str());
+    double acc = 0.0;
+    uint64_t used = 0;
+    for (const AlignedSample &sample : trace.samples()) {
+        const double w = sample.measured(rail_);
+        if (!std::isfinite(w))
+            continue;
+        acc += w;
+        ++used;
+    }
+    if (used == 0)
+        fatal("%s: no finite measured samples to train on",
+              name_.c_str());
+    constant_ = acc / static_cast<double>(used);
+    trained_ = true;
+}
+
+std::string
+ConstantPowerModel::describe() const
+{
+    return formatString("P_%s = %.3f (constant)", railName(rail_),
+                        constant_);
+}
+
+std::vector<double>
+ConstantPowerModel::coefficients() const
+{
+    return {constant_};
+}
+
+void
+ConstantPowerModel::setCoefficients(const std::vector<double> &coeffs)
+{
+    if (coeffs.size() != 1)
+        fatal("%s: expected 1 coefficient, got %zu", name_.c_str(),
+              coeffs.size());
+    constant_ = coeffs[0];
+    trained_ = true;
+}
+
 // ------------------------------------------------------------ chipset
 
 ChipsetPowerModel::ChipsetPowerModel() = default;
@@ -297,9 +358,17 @@ ChipsetPowerModel::train(const SampleTrace &trace)
     if (trace.empty())
         fatal("ChipsetPowerModel: empty training trace");
     double acc = 0.0;
-    for (const AlignedSample &sample : trace.samples())
-        acc += sample.measured(Rail::Chipset);
-    constant_ = acc / static_cast<double>(trace.size());
+    uint64_t used = 0;
+    for (const AlignedSample &sample : trace.samples()) {
+        const double w = sample.measured(Rail::Chipset);
+        if (!std::isfinite(w))
+            continue;
+        acc += w;
+        ++used;
+    }
+    if (used == 0)
+        fatal("ChipsetPowerModel: no finite measured samples");
+    constant_ = acc / static_cast<double>(used);
     trained_ = true;
 }
 

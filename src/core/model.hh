@@ -160,6 +160,33 @@ class DiskPowerModel : public SubsystemModel
     bool trained_ = false;
 };
 
+/**
+ * A trained constant for any rail: the mean measured power of the
+ * training trace (finite samples only). The bottom rung of every
+ * graceful-degradation chain - it consumes no counter events, so it
+ * stays usable when the PMU can schedule nothing at all.
+ */
+class ConstantPowerModel : public SubsystemModel
+{
+  public:
+    explicit ConstantPowerModel(Rail rail);
+
+    Rail rail() const override { return rail_; }
+    const std::string &name() const override { return name_; }
+    Watts estimate(const EventVector &events) const override;
+    void train(const SampleTrace &trace) override;
+    bool trained() const override { return trained_; }
+    std::string describe() const override;
+    std::vector<double> coefficients() const override;
+    void setCoefficients(const std::vector<double> &coeffs) override;
+
+  private:
+    Rail rail_;
+    std::string name_;
+    double constant_ = 0.0;
+    bool trained_ = false;
+};
+
 /** The paper's chipset model: a fitted constant (section 4.2.5). */
 class ChipsetPowerModel : public SubsystemModel
 {

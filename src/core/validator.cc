@@ -32,12 +32,15 @@ Validator::validate(const std::string &workload,
             estimator_.modeledColumn(trace, rail);
         const std::vector<double> measured = trace.measuredColumn(rail);
         double err;
+        uint64_t discarded = 0;
         if (rail == Rail::Disk && diskDcOffset_ > 0.0) {
-            err = averageErrorAboveDc(modeled, measured, diskDcOffset_);
+            err = averageErrorAboveDc(modeled, measured, diskDcOffset_,
+                                      &discarded);
         } else {
-            err = averageError(modeled, measured);
+            err = averageError(modeled, measured, &discarded);
         }
         result.averageError[static_cast<size_t>(r)] = err;
+        result.discardedPairs[static_cast<size_t>(r)] = discarded;
     }
     return result;
 }

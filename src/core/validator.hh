@@ -26,6 +26,13 @@ struct ValidationResult
     /** Equation 6 average error per rail. */
     std::array<double, numRails> averageError{};
 
+    /**
+     * Sample pairs per rail excluded from the error for a non-finite
+     * modeled or measured value (glitched window / unestimable
+     * sample).
+     */
+    std::array<uint64_t, numRails> discardedPairs{};
+
     /** Error of one rail. */
     double
     error(Rail rail) const

@@ -38,6 +38,29 @@ perfEventName(PerfEvent event)
     }
 }
 
+double
+counterSpan(int width_bits)
+{
+    if (width_bits < 1 || width_bits > 52)
+        fatal("counterSpan: width must be in [1, 52] bits, got %d",
+              width_bits);
+    return static_cast<double>(uint64_t{1} << width_bits);
+}
+
+double
+wrappedCounterDelta(double previous_raw, double current_raw,
+                    int width_bits)
+{
+    const double span = counterSpan(width_bits);
+    if (previous_raw < 0.0 || previous_raw >= span ||
+        current_raw < 0.0 || current_raw >= span) {
+        fatal("wrappedCounterDelta: raw values (%g, %g) outside "
+              "[0, 2^%d)", previous_raw, current_raw, width_bits);
+    }
+    const double delta = current_raw - previous_raw;
+    return delta < 0.0 ? delta + span : delta;
+}
+
 CounterSnapshot &
 CounterSnapshot::operator+=(const CounterSnapshot &other)
 {

@@ -41,6 +41,21 @@ constexpr int numPerfEvents = static_cast<int>(PerfEvent::NumEvents);
 /** Human-readable event name. */
 const char *perfEventName(PerfEvent event);
 
+/** Usable counter range of a width-limited PMU counter (2^bits). */
+double counterSpan(int width_bits);
+
+/**
+ * Delta between two raw reads of a counter that wraps at
+ * `width_bits` bits. Real PMU counters are 40-48 bits wide; a raw
+ * read that comes back *below* the previous one means the counter
+ * wrapped (at most once, provided the true delta fits in the width),
+ * and the positive delta is recovered by adding back the span.
+ * fatal() when width_bits is outside [1, 52] or a raw value is
+ * negative or beyond the span.
+ */
+double wrappedCounterDelta(double previous_raw, double current_raw,
+                           int width_bits);
+
 /** Snapshot of all counters at a sampling instant. */
 struct CounterSnapshot
 {

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fault injector: executes a FaultPlan at the measurement-layer
+ * boundaries (CounterSampler, DataAcquisition, sync-pulse path).
+ *
+ * All randomness comes from private streams derived from the run's
+ * master seed, so a given (seed, plan) pair injects the exact same
+ * fault sequence whether the experiment runs alone or inside a
+ * many-worker ExperimentPool. The injector also keeps counts of every
+ * fault it injected, which the robustness sweep reports next to the
+ * recovery counters of the hardened consumers.
+ */
+
+#ifndef TDP_FAULT_FAULT_INJECTOR_HH
+#define TDP_FAULT_FAULT_INJECTOR_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "cpu/perf_counters.hh"
+#include "fault/fault_plan.hh"
+
+namespace tdp {
+
+/** Per-run deterministic executor of a FaultPlan. */
+class FaultInjector
+{
+  public:
+    /** What happened to one serial sync byte. */
+    enum class PulseFault
+    {
+        None,      ///< delivered normally
+        Miss,      ///< never arrived
+        Duplicate, ///< received twice
+    };
+
+    /** One rail-level DAQ corruption; rail < 0 means no glitch. */
+    struct Glitch
+    {
+        int rail = -1;
+        double value = 0.0;
+    };
+
+    /** Counts of injected faults (the ground truth for recovery). */
+    struct Stats
+    {
+        uint64_t readingsDropped = 0;
+        uint64_t pulsesMissed = 0;
+        uint64_t pulsesDuplicated = 0;
+        uint64_t pulsesDelayed = 0;
+        uint64_t blocksDropped = 0;
+        uint64_t blocksGlitched = 0;
+        uint64_t counterWraps = 0;
+        uint64_t eventsMasked = 0;
+
+        /** Total faults injected (masked events counted once each). */
+        uint64_t total() const;
+    };
+
+    /**
+     * @param master_seed the run's master seed (System::masterSeed()).
+     * @param name stream-name prefix for the injector's RNG streams.
+     * @param plan the fault plan; validate()d here.
+     */
+    FaultInjector(uint64_t master_seed, const std::string &name,
+                  const FaultPlan &plan);
+
+    /** The validated plan. */
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Injected-fault counts so far. */
+    const Stats &stats() const { return stats_; }
+
+    /**
+     * Pass one just-read PMU snapshot through the fault model: wrap
+     * the raw counters at the configured width (the driver-side
+     * wrappedCounterDelta() reconstruction is applied, mirroring a
+     * real perfctr read) and mask unavailable events to NaN.
+     */
+    void corruptSnapshot(int cpu, CounterSnapshot &snapshot);
+
+    /** True when this reading is lost before reaching the log. */
+    bool dropReading();
+
+    /** Fate of one sync byte. */
+    PulseFault pulseFault();
+
+    /** Extra serial latency on one delivered pulse (s; may be 0). */
+    Seconds pulseLatency();
+
+    /** True when this DAQ block is never recorded. */
+    bool dropBlock();
+
+    /**
+     * Corruption of one DAQ block across `num_rails` rails; returns
+     * rail < 0 when the block survives intact.
+     */
+    Glitch blockGlitch(int num_rails);
+
+  private:
+    FaultPlan plan_;
+    Rng samplerRng_;
+    Rng pulseRng_;
+    Rng daqRng_;
+    std::array<bool, numPerfEvents> unavailable_{};
+    /** Simulated wrapped raw counter values, per CPU. */
+    std::vector<CounterSnapshot> rawCounters_;
+    Stats stats_;
+};
+
+} // namespace tdp
+
+#endif // TDP_FAULT_FAULT_INJECTOR_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Implementation of the fault plan.
+ */
+
+#include "fault/fault_plan.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+namespace {
+
+void
+checkProbability(double p, const char *what)
+{
+    if (p < 0.0 || p > 1.0)
+        fatal("FaultPlan: %s must be in [0, 1], got %g", what, p);
+}
+
+} // namespace
+
+bool
+FaultPlan::enabled() const
+{
+    return counterWidthBits != 0 || dropReadingProb > 0.0 ||
+           missPulseProb > 0.0 || duplicatePulseProb > 0.0 ||
+           pulseLatencyMax > 0.0 || dropBlockProb > 0.0 ||
+           glitchBlockProb > 0.0 || !unavailableEvents.empty();
+}
+
+void
+FaultPlan::validate() const
+{
+    if (counterWidthBits != 0 &&
+        (counterWidthBits < 1 || counterWidthBits > 52)) {
+        fatal("FaultPlan: counterWidthBits must be 0 or in [1, 52], "
+              "got %d", counterWidthBits);
+    }
+    checkProbability(dropReadingProb, "dropReadingProb");
+    checkProbability(missPulseProb, "missPulseProb");
+    checkProbability(duplicatePulseProb, "duplicatePulseProb");
+    checkProbability(dropBlockProb, "dropBlockProb");
+    checkProbability(glitchBlockProb, "glitchBlockProb");
+    if (pulseLatencyMax < 0.0)
+        fatal("FaultPlan: pulseLatencyMax must be >= 0, got %g",
+              pulseLatencyMax);
+    if (glitchSpikeWatts < 0.0)
+        fatal("FaultPlan: glitchSpikeWatts must be >= 0, got %g",
+              glitchSpikeWatts);
+    for (PerfEvent event : unavailableEvents) {
+        const int idx = static_cast<int>(event);
+        if (idx < 0 || idx >= numPerfEvents)
+            fatal("FaultPlan: bad unavailable event index %d", idx);
+        if (event == PerfEvent::Cycles)
+            fatal("FaultPlan: the Cycles counter (timestamp) cannot "
+                  "be made unavailable");
+    }
+}
+
+FaultPlan
+FaultPlan::scaled(double intensity) const
+{
+    if (intensity <= 0.0)
+        return FaultPlan{};
+    const auto scale = [intensity](double p) {
+        return std::min(1.0, p * intensity);
+    };
+    FaultPlan out = *this;
+    out.dropReadingProb = scale(dropReadingProb);
+    out.missPulseProb = scale(missPulseProb);
+    out.duplicatePulseProb = scale(duplicatePulseProb);
+    out.dropBlockProb = scale(dropBlockProb);
+    out.glitchBlockProb = scale(glitchBlockProb);
+    out.pulseLatencyMax = pulseLatencyMax * std::min(intensity, 1.0);
+    return out;
+}
+
+FaultPlan
+FaultPlan::allFaults()
+{
+    FaultPlan plan;
+    // Narrower than the physical 40 bits of the paper-era PMCs so a
+    // 2.8 GHz cycles counter wraps within a few-minute run (2^36
+    // cycles ~ 25 s) and the reconstruction path is actually
+    // exercised.
+    plan.counterWidthBits = 36;
+    plan.dropReadingProb = 0.05;
+    plan.missPulseProb = 0.05;
+    plan.duplicatePulseProb = 0.05;
+    plan.pulseLatencyMax = 2e-3;
+    plan.dropBlockProb = 0.02;
+    plan.glitchBlockProb = 0.01;
+    plan.unavailableEvents = {PerfEvent::BusTransactions,
+                              PerfEvent::PrefetchTransactions};
+    return plan;
+}
+
+} // namespace tdp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fault plan: the declarative description of which measurement
+ * pathologies a run injects, and at what rates.
+ *
+ * The paper's pipeline is a chain of fragile real-world links - a
+ * perfctr-style PMU read per second, a single serial sync byte, a
+ * 10 kHz DAQ - and each link fails in a characteristic way on real
+ * hardware: counters wrap at their physical width, readings are lost
+ * to logging backpressure, serial bytes are dropped or doubled, DAQ
+ * blocks vanish or glitch to absurd values, and PMU multiplexing can
+ * leave whole event classes unprogrammed. A FaultPlan names each of
+ * those pathologies with a rate; a FaultInjector (seeded from the
+ * run's master seed, so injection is deterministic per run and
+ * independent of worker count) executes it at the measurement-layer
+ * boundaries.
+ */
+
+#ifndef TDP_FAULT_FAULT_PLAN_HH
+#define TDP_FAULT_FAULT_PLAN_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "cpu/perf_counters.hh"
+
+namespace tdp {
+
+/** Rates and shapes of the measurement faults injected into one run. */
+struct FaultPlan
+{
+    /**
+     * Physical PMU counter width in bits (1..52); the sampler sees
+     * raw values wrapped modulo 2^width and must reconstruct deltas.
+     * 0 disables wraparound modelling entirely.
+     */
+    int counterWidthBits = 0;
+
+    /**
+     * Probability that a completed counter reading is lost before it
+     * reaches the log (buffer backpressure); the sync pulse was still
+     * sent, so the DAQ records a power window with no counters.
+     */
+    double dropReadingProb = 0.0;
+
+    /** Probability that the serial sync byte never arrives. */
+    double missPulseProb = 0.0;
+
+    /** Probability that the serial sync byte is received twice. */
+    double duplicatePulseProb = 0.0;
+
+    /**
+     * Maximum extra serial/UART latency on a delivered pulse (s),
+     * drawn uniformly per pulse. 0 disables latency injection.
+     */
+    Seconds pulseLatencyMax = 0.0;
+
+    /** Probability that one DAQ block (quantum) is never recorded. */
+    double dropBlockProb = 0.0;
+
+    /**
+     * Probability that one rail of a DAQ block glitches: replaced by
+     * NaN, +/-Inf or a +/-glitchSpikeWatts outlier (uniform choice).
+     */
+    double glitchBlockProb = 0.0;
+
+    /** Magnitude of finite glitch spikes (W). */
+    Watts glitchSpikeWatts = 5000.0;
+
+    /**
+     * Events the PMU could not schedule for this run (multiplexing
+     * pressure): their counts read as NaN. Cycles is never allowed
+     * here - it is the timestamp counter, always available, and the
+     * normalisation base everything else depends on.
+     */
+    std::vector<PerfEvent> unavailableEvents;
+
+    /** True when any fault class is active. */
+    bool enabled() const;
+
+    /** fatal() when any rate or shape parameter is out of range. */
+    void validate() const;
+
+    /**
+     * Scale every probabilistic rate by `intensity` (clamped to
+     * [0, 1] per rate). Intensity <= 0 returns a fully disabled plan,
+     * including wraparound and event unavailability, so intensity 0
+     * is bit-identical to no plan at all.
+     */
+    FaultPlan scaled(double intensity) const;
+
+    /**
+     * A representative plan with every fault class enabled at rates
+     * that stress, but do not starve, a one-second sampling pipeline.
+     * Used by the robustness sweep and the fault tests.
+     */
+    static FaultPlan allFaults();
+};
+
+} // namespace tdp
+
+#endif // TDP_FAULT_FAULT_PLAN_HH

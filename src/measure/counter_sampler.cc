@@ -15,11 +15,12 @@ CounterSampler::CounterSampler(System &system, const std::string &name,
                                IrqVector disk_vector,
                                IrqVector timer_vector,
                                std::function<void()> on_pulse,
-                               const Params &params)
+                               const Params &params,
+                               FaultInjector *faults)
     : SimObject(system, name), params_(params), cpus_(cpus),
       irqController_(irq_controller), diskVector_(disk_vector),
       timerVector_(timer_vector), onPulse_(std::move(on_pulse)),
-      rng_(system.makeRng(name))
+      faults_(faults), rng_(system.makeRng(name))
 {
     if (params_.period <= 0.0)
         fatal("CounterSampler: period must be positive");
@@ -54,8 +55,12 @@ CounterSampler::takeSample()
     reading.time = now;
     reading.interval = now - lastSampleTime_;
     reading.perCpu.reserve(static_cast<size_t>(cpus_.coreCount()));
-    for (int i = 0; i < cpus_.coreCount(); ++i)
-        reading.perCpu.push_back(cpus_.core(i).counters().readAndClear());
+    for (int i = 0; i < cpus_.coreCount(); ++i) {
+        CounterSnapshot snap = cpus_.core(i).counters().readAndClear();
+        if (faults_)
+            faults_->corruptSnapshot(i, snap);
+        reading.perCpu.push_back(snap);
+    }
 
     const double irq_total = irqController_.lifetimeTotal();
     const double irq_disk = irqController_.lifetimeCount(diskVector_);
@@ -71,8 +76,12 @@ CounterSampler::takeSample()
     if (onPulse_)
         onPulse_();
 
+    // A reading can be lost after the pulse went out (logging
+    // backpressure); the aligner detects the resulting orphan window.
+    const bool dropped = faults_ && faults_->dropReading();
+
     // Discard the arming read: it covers no complete window.
-    if (armed_)
+    if (armed_ && !dropped)
         readings_.push_back(std::move(reading));
     armed_ = true;
 

@@ -15,6 +15,7 @@
 
 #include "common/random.hh"
 #include "cpu/cpu_complex.hh"
+#include "fault/fault_injector.hh"
 #include "io/interrupt_controller.hh"
 #include "sim/sim_object.hh"
 #include "sim/system.hh"
@@ -68,13 +69,17 @@ class CounterSampler : public SimObject
      * @param timer_vector vector id of the per-CPU timer.
      * @param on_pulse callback fired at each read (the serial byte to
      *        the DAQ).
+     * @param faults optional fault injector applied at this boundary:
+     *        counter wraparound (with driver-side recovery), PMU
+     *        event unavailability and dropped readings. May be null.
      */
     CounterSampler(System &system, const std::string &name,
                    CpuComplex &cpus,
                    const InterruptController &irq_controller,
                    IrqVector disk_vector, IrqVector timer_vector,
                    std::function<void()> on_pulse,
-                   const Params &params);
+                   const Params &params,
+                   FaultInjector *faults = nullptr);
 
     /** Completed readings awaiting collection (drained by the rig). */
     std::deque<CounterReading> &readings() { return readings_; }
@@ -91,6 +96,7 @@ class CounterSampler : public SimObject
     IrqVector diskVector_;
     IrqVector timerVector_;
     std::function<void()> onPulse_;
+    FaultInjector *faults_;
     Rng rng_;
     std::deque<CounterReading> readings_;
     Seconds lastSampleTime_ = 0.0;

@@ -13,8 +13,9 @@
 namespace tdp {
 
 DataAcquisition::DataAcquisition(System &system, const std::string &name,
-                                 const Params &params)
-    : SimObject(system, name), params_(params)
+                                 const Params &params,
+                                 FaultInjector *faults)
+    : SimObject(system, name), params_(params), faults_(faults)
 {
     if (params_.conversionRateHz <= 0.0)
         fatal("DataAcquisition: conversion rate must be positive");
@@ -57,6 +58,18 @@ DataAcquisition::tickUpdate(Tick now, Tick quantum)
                   railName(static_cast<Rail>(r)));
         block.watts[static_cast<size_t>(r)] = static_cast<float>(
             rail->sampleAverage(dt, conversions));
+    }
+    if (faults_) {
+        // The rail channels sampled above regardless, so the noise
+        // streams stay aligned whether or not this block survives.
+        if (faults_->dropBlock())
+            return;
+        const FaultInjector::Glitch glitch =
+            faults_->blockGlitch(numRails);
+        if (glitch.rail >= 0) {
+            block.watts[static_cast<size_t>(glitch.rail)] =
+                static_cast<float>(glitch.value);
+        }
     }
     blocks_.push_back(block);
 }

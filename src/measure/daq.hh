@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_injector.hh"
 #include "measure/rail.hh"
 #include "sim/sim_object.hh"
 #include "sim/system.hh"
@@ -51,8 +52,13 @@ class DataAcquisition : public SimObject, public Ticked
         std::array<RailChannel::Params, numRails> rail;
     };
 
+    /**
+     * @param faults optional fault injector applied at this boundary:
+     *        dropped blocks and per-rail glitch values. May be null.
+     */
     DataAcquisition(System &system, const std::string &name,
-                    const Params &params);
+                    const Params &params,
+                    FaultInjector *faults = nullptr);
 
     /**
      * Attach the true-power provider of a rail. All five rails must
@@ -79,6 +85,7 @@ class DataAcquisition : public SimObject, public Ticked
 
   private:
     Params params_;
+    FaultInjector *faults_;
     std::array<std::unique_ptr<RailChannel>, numRails> rails_;
     std::deque<DaqBlock> blocks_;
     std::deque<Tick> pulses_;

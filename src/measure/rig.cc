@@ -48,12 +48,51 @@ MeasurementRig::MeasurementRig(System &system, const std::string &name,
                                IrqVector timer_vector,
                                const Params &params)
     : SimObject(system, name),
-      daq_(system, name + ".daq", params.daq),
+      faults_(params.faults.enabled()
+                  ? std::make_unique<FaultInjector>(
+                        system.masterSeed(), name + ".faults",
+                        params.faults)
+                  : nullptr),
+      daq_(system, name + ".daq", params.daq, faults_.get()),
       sampler_(system, name + ".sampler", cpus, irq_controller,
-               disk_vector, timer_vector, [this] { daq_.syncPulse(); },
-               params.sampler),
-      aligner_(daq_)
+               disk_vector, timer_vector, [this] { emitPulse(); },
+               params.sampler, faults_.get()),
+      aligner_(daq_, TraceAligner::Params{params.sampler.period, 0.25,
+                                          0.5})
 {
+}
+
+void
+MeasurementRig::emitPulse()
+{
+    if (!faults_) {
+        daq_.syncPulse();
+        return;
+    }
+    switch (faults_->pulseFault()) {
+      case FaultInjector::PulseFault::Miss:
+        return;
+      case FaultInjector::PulseFault::Duplicate:
+        deliverPulse();
+        deliverPulse();
+        return;
+      case FaultInjector::PulseFault::None:
+        deliverPulse();
+        return;
+    }
+}
+
+void
+MeasurementRig::deliverPulse()
+{
+    const Seconds latency = faults_ ? faults_->pulseLatency() : 0.0;
+    if (latency <= 0.0) {
+        daq_.syncPulse();
+        return;
+    }
+    system().events().scheduleFn(
+        name() + ".pulse", system().now() + secondsToTicks(latency),
+        [this] { daq_.syncPulse(); });
 }
 
 void

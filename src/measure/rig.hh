@@ -13,7 +13,11 @@
 #include <functional>
 #include <string>
 
+#include <memory>
+
 #include "cpu/cpu_complex.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
 #include "io/interrupt_controller.hh"
 #include "measure/aligner.hh"
 #include "measure/counter_sampler.hh"
@@ -36,6 +40,14 @@ class MeasurementRig : public SimObject
 
         /** Counter sampling configuration. */
         CounterSampler::Params sampler;
+
+        /**
+         * Measurement faults injected into this run (sampler, sync
+         * pulse and DAQ boundaries). Disabled by default; a disabled
+         * plan leaves the pipeline bit-identical to one with no
+         * fault machinery at all.
+         */
+        FaultPlan faults;
     };
 
     /** Rail sensing defaults matching the paper's idle noise floor. */
@@ -62,7 +74,20 @@ class MeasurementRig : public SimObject
     /** The DAQ (for tests). */
     DataAcquisition &daq() { return daq_; }
 
+    /** The aligner (recovery counters for orphans/resyncs). */
+    const TraceAligner &aligner() const { return aligner_; }
+
+    /** The fault injector; null when the plan is disabled. */
+    const FaultInjector *faults() const { return faults_.get(); }
+
   private:
+    /** Deliver one sync byte through the fault model. */
+    void emitPulse();
+
+    /** Record a pulse now or after injected serial latency. */
+    void deliverPulse();
+
+    std::unique_ptr<FaultInjector> faults_;
     DataAcquisition daq_;
     CounterSampler sampler_;
     TraceAligner aligner_;

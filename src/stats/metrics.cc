@@ -23,16 +23,30 @@ checkSameLength(const std::vector<double> &a, const std::vector<double> &b,
               b.size());
 }
 
+void
+checkFinite(const std::vector<double> &series, const char *who)
+{
+    for (size_t i = 0; i < series.size(); ++i) {
+        if (!std::isfinite(series[i]))
+            fatal("%s: non-finite value at sample %zu", who, i);
+    }
+}
+
 } // namespace
 
 double
 averageError(const std::vector<double> &modeled,
-             const std::vector<double> &measured)
+             const std::vector<double> &measured, uint64_t *discarded)
 {
     checkSameLength(modeled, measured, "averageError");
     double acc = 0.0;
     size_t used = 0;
     for (size_t i = 0; i < modeled.size(); ++i) {
+        if (!std::isfinite(modeled[i]) || !std::isfinite(measured[i])) {
+            if (discarded)
+                ++*discarded;
+            continue;
+        }
         if (measured[i] == 0.0)
             continue;
         acc += std::fabs(modeled[i] - measured[i]) /
@@ -44,12 +58,18 @@ averageError(const std::vector<double> &modeled,
 
 double
 averageErrorAboveDc(const std::vector<double> &modeled,
-                    const std::vector<double> &measured, double dc_offset)
+                    const std::vector<double> &measured, double dc_offset,
+                    uint64_t *discarded)
 {
     checkSameLength(modeled, measured, "averageErrorAboveDc");
     double acc = 0.0;
     size_t used = 0;
     for (size_t i = 0; i < modeled.size(); ++i) {
+        if (!std::isfinite(modeled[i]) || !std::isfinite(measured[i])) {
+            if (discarded)
+                ++*discarded;
+            continue;
+        }
         const double meas = measured[i] - dc_offset;
         if (meas <= 0.0)
             continue;
@@ -65,6 +85,8 @@ rmsError(const std::vector<double> &modeled,
          const std::vector<double> &measured)
 {
     checkSameLength(modeled, measured, "rmsError");
+    checkFinite(modeled, "rmsError");
+    checkFinite(measured, "rmsError");
     if (modeled.empty())
         return 0.0;
     double acc = 0.0;
@@ -79,6 +101,8 @@ double
 pearson(const std::vector<double> &a, const std::vector<double> &b)
 {
     checkSameLength(a, b, "pearson");
+    checkFinite(a, "pearson");
+    checkFinite(b, "pearson");
     RunningCovariance cov;
     for (size_t i = 0; i < a.size(); ++i)
         cov.add(a[i], b[i]);
@@ -90,6 +114,8 @@ rSquared(const std::vector<double> &modeled,
          const std::vector<double> &measured)
 {
     checkSameLength(modeled, measured, "rSquared");
+    checkFinite(modeled, "rSquared");
+    checkFinite(measured, "rSquared");
     if (modeled.empty())
         return 0.0;
     RunningStats meas_stats;

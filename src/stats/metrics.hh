@@ -6,6 +6,7 @@
 #ifndef TDP_STATS_METRICS_HH
 #define TDP_STATS_METRICS_HH
 
+#include <cstdint>
 #include <vector>
 
 namespace tdp {
@@ -13,29 +14,43 @@ namespace tdp {
 /**
  * Paper Equation 6: mean over samples of
  * |modeled - measured| / measured, as a fraction (multiply by 100 for
- * percent). Samples with measured == 0 are skipped.
+ * percent). Samples with measured == 0 are skipped. Pairs where
+ * either value is NaN/Inf (a glitched window or an unestimable
+ * sample) are skipped and counted into *discarded when given.
  */
 double averageError(const std::vector<double> &modeled,
-                    const std::vector<double> &measured);
+                    const std::vector<double> &measured,
+                    uint64_t *discarded = nullptr);
 
 /**
  * Equation 6 applied after removing a DC offset from both series, the
  * way the paper reports disk error ("this error is calculated by first
  * subtracting the 21.6W of idle (DC) disk power"). Samples whose
- * offset-corrected measured value is <= 0 are skipped.
+ * offset-corrected measured value is <= 0 are skipped; non-finite
+ * pairs are skipped and counted into *discarded when given.
  */
 double averageErrorAboveDc(const std::vector<double> &modeled,
                            const std::vector<double> &measured,
-                           double dc_offset);
+                           double dc_offset,
+                           uint64_t *discarded = nullptr);
 
-/** Root-mean-square error between two equal-length series. */
+/**
+ * Root-mean-square error between two equal-length series; fatal() on
+ * non-finite values (clean inputs are the caller's contract here).
+ */
 double rmsError(const std::vector<double> &modeled,
                 const std::vector<double> &measured);
 
-/** Pearson correlation between two equal-length series. */
+/**
+ * Pearson correlation between two equal-length series; fatal() on
+ * non-finite values.
+ */
 double pearson(const std::vector<double> &a, const std::vector<double> &b);
 
-/** Coefficient of determination of modeled against measured. */
+/**
+ * Coefficient of determination of modeled against measured; fatal()
+ * on non-finite values.
+ */
 double rSquared(const std::vector<double> &modeled,
                 const std::vector<double> &measured);
 

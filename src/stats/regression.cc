@@ -73,6 +73,22 @@ fitOls(const std::vector<std::vector<double>> &columns,
     if (n < k + 1)
         fatal("fitOls: %zu samples cannot fit %zu coefficients", n, k + 1);
 
+    // A single NaN/Inf regressor or response poisons the whole QR
+    // solve into silently-NaN coefficients; refuse loudly instead so
+    // callers can scrub or degrade.
+    for (size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(y[i]))
+            fatal("fitOls: non-finite response at sample %zu", i);
+    }
+    for (size_t c = 0; c < k; ++c) {
+        for (size_t i = 0; i < n; ++i) {
+            if (!std::isfinite(columns[c][i]))
+                fatal("fitOls: non-finite regressor in column %zu at "
+                      "sample %zu",
+                      c, i);
+        }
+    }
+
     // Standardise regressors to unit scale so the quadratic design
     // matrices stay well conditioned; map coefficients back afterwards.
     std::vector<double> shift(k, 0.0);

@@ -3,6 +3,8 @@
  * Tests for the PMU counters.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
@@ -61,6 +63,44 @@ TEST(PerfCounters, SnapshotAddition)
     a += b;
     EXPECT_DOUBLE_EQ(a[PerfEvent::Cycles], 15.0);
     EXPECT_DOUBLE_EQ(a[PerfEvent::L3LoadMisses], 2.0);
+}
+
+TEST(CounterWrap, FortyBitWrapProducesCorrectPositiveDelta)
+{
+    // A 2.8 GHz cycles counter wraps its 40 physical bits mid-read:
+    // the raw value falls below the previous read, and the driver
+    // must add back the span to recover the true positive delta.
+    const double span = counterSpan(40);
+    EXPECT_DOUBLE_EQ(span, 1099511627776.0); // 2^40
+    const double previous = span - 1e9;
+    const double true_delta = 2.8e9;
+    const double current = std::fmod(previous + true_delta, span);
+    ASSERT_LT(current, previous); // the counter really wrapped
+    const double recovered = wrappedCounterDelta(previous, current, 40);
+    EXPECT_GT(recovered, 0.0);
+    EXPECT_DOUBLE_EQ(recovered, true_delta);
+}
+
+TEST(CounterWrap, NoWrapPassesDeltaThrough)
+{
+    EXPECT_DOUBLE_EQ(wrappedCounterDelta(100.0, 350.0, 40), 250.0);
+}
+
+TEST(CounterWrap, WrapAtNarrowWidth)
+{
+    // 2^20 span: wrap from near the top back to a small residue.
+    const double span = counterSpan(20);
+    EXPECT_DOUBLE_EQ(span, 1048576.0);
+    EXPECT_DOUBLE_EQ(wrappedCounterDelta(span - 10.0, 20.0, 20), 30.0);
+}
+
+TEST(CounterWrap, RejectsBadInputs)
+{
+    EXPECT_THROW(counterSpan(0), FatalError);
+    EXPECT_THROW(counterSpan(53), FatalError);
+    EXPECT_THROW(wrappedCounterDelta(-1.0, 0.0, 40), FatalError);
+    EXPECT_THROW(wrappedCounterDelta(0.0, counterSpan(40), 40),
+                 FatalError);
 }
 
 TEST(PerfCounters, EventNamesDistinct)

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the fault injector: determinism, counter wraparound
+ * recovery, event masking and fault accounting.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fault/fault_injector.hh"
+#include "measure/rail.hh"
+
+namespace tdp {
+namespace {
+
+TEST(FaultInjector, DeterministicForSameSeedAndName)
+{
+    const FaultPlan plan = FaultPlan::allFaults();
+    FaultInjector a(42, "rig.faults", plan);
+    FaultInjector b(42, "rig.faults", plan);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.dropReading(), b.dropReading());
+        EXPECT_EQ(a.pulseFault(), b.pulseFault());
+        EXPECT_DOUBLE_EQ(a.pulseLatency(), b.pulseLatency());
+        EXPECT_EQ(a.dropBlock(), b.dropBlock());
+        const auto ga = a.blockGlitch(numRails);
+        const auto gb = b.blockGlitch(numRails);
+        EXPECT_EQ(ga.rail, gb.rail);
+        if (ga.rail >= 0) {
+            EXPECT_TRUE(
+                (std::isnan(ga.value) && std::isnan(gb.value)) ||
+                ga.value == gb.value);
+        }
+    }
+    EXPECT_EQ(a.stats().total(), b.stats().total());
+    EXPECT_GT(a.stats().total(), 0u);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    const FaultPlan plan = FaultPlan::allFaults();
+    FaultInjector a(1, "rig.faults", plan);
+    FaultInjector b(2, "rig.faults", plan);
+    int differences = 0;
+    for (int i = 0; i < 500; ++i)
+        differences += a.dropBlock() != b.dropBlock();
+    EXPECT_GT(differences, 0);
+}
+
+TEST(FaultInjector, DisabledRatesNeverFire)
+{
+    const FaultPlan plan; // all rates zero
+    FaultInjector injector(7, "rig.faults", plan);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_FALSE(injector.dropReading());
+        EXPECT_EQ(injector.pulseFault(),
+                  FaultInjector::PulseFault::None);
+        EXPECT_DOUBLE_EQ(injector.pulseLatency(), 0.0);
+        EXPECT_FALSE(injector.dropBlock());
+        EXPECT_LT(injector.blockGlitch(numRails).rail, 0);
+    }
+    EXPECT_EQ(injector.stats().total(), 0u);
+}
+
+TEST(FaultInjector, WrapRecoveryIsLossless)
+{
+    // Narrow 20-bit counters (span 2^20 = 1048576) with per-read
+    // deltas below the span: the corrupted snapshot must come back
+    // with its original deltas, however many wraps occur.
+    FaultPlan plan;
+    plan.counterWidthBits = 20;
+    FaultInjector injector(3, "rig.faults", plan);
+    double total_recovered = 0.0;
+    const double delta = 300000.0;
+    for (int i = 0; i < 50; ++i) {
+        CounterSnapshot snap;
+        snap[PerfEvent::Cycles] = delta;
+        injector.corruptSnapshot(0, snap);
+        EXPECT_DOUBLE_EQ(snap[PerfEvent::Cycles], delta);
+        total_recovered += snap[PerfEvent::Cycles];
+    }
+    EXPECT_DOUBLE_EQ(total_recovered, 50 * delta);
+    // 50 reads x 300000 mod 2^20 raw: wraps must have been counted.
+    EXPECT_GT(injector.stats().counterWraps, 0u);
+}
+
+TEST(FaultInjector, WrapStateIsPerCpu)
+{
+    FaultPlan plan;
+    plan.counterWidthBits = 20;
+    FaultInjector injector(3, "rig.faults", plan);
+    CounterSnapshot a, b;
+    a[PerfEvent::Cycles] = 900000.0;
+    b[PerfEvent::Cycles] = 100.0;
+    injector.corruptSnapshot(0, a);
+    injector.corruptSnapshot(1, b);
+    EXPECT_DOUBLE_EQ(a[PerfEvent::Cycles], 900000.0);
+    EXPECT_DOUBLE_EQ(b[PerfEvent::Cycles], 100.0);
+}
+
+TEST(FaultInjector, MasksUnavailableEventsToNaN)
+{
+    FaultPlan plan;
+    plan.unavailableEvents = {PerfEvent::BusTransactions,
+                              PerfEvent::L3LoadMisses};
+    FaultInjector injector(9, "rig.faults", plan);
+    CounterSnapshot snap;
+    snap[PerfEvent::Cycles] = 1000.0;
+    snap[PerfEvent::BusTransactions] = 5.0;
+    snap[PerfEvent::L3LoadMisses] = 6.0;
+    injector.corruptSnapshot(0, snap);
+    EXPECT_DOUBLE_EQ(snap[PerfEvent::Cycles], 1000.0);
+    EXPECT_TRUE(std::isnan(snap[PerfEvent::BusTransactions]));
+    EXPECT_TRUE(std::isnan(snap[PerfEvent::L3LoadMisses]));
+    EXPECT_EQ(injector.stats().eventsMasked, 2u);
+}
+
+TEST(FaultInjector, GlitchValuesAreNonFiniteOrSpikes)
+{
+    FaultPlan plan;
+    plan.glitchBlockProb = 1.0;
+    plan.glitchSpikeWatts = 1234.0;
+    FaultInjector injector(11, "rig.faults", plan);
+    for (int i = 0; i < 100; ++i) {
+        const auto glitch = injector.blockGlitch(numRails);
+        ASSERT_GE(glitch.rail, 0);
+        ASSERT_LT(glitch.rail, numRails);
+        EXPECT_TRUE(!std::isfinite(glitch.value) ||
+                    std::fabs(glitch.value) == 1234.0);
+    }
+    EXPECT_EQ(injector.stats().blocksGlitched, 100u);
+}
+
+TEST(FaultInjector, RejectsInvalidPlan)
+{
+    FaultPlan plan;
+    plan.dropBlockProb = 2.0;
+    EXPECT_THROW(FaultInjector(1, "rig.faults", plan), FatalError);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the fault plan: validation, scaling and the all-faults
+ * reference plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fault/fault_plan.hh"
+
+namespace tdp {
+namespace {
+
+TEST(FaultPlan, DefaultIsDisabled)
+{
+    const FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, EachFaultClassEnables)
+{
+    {
+        FaultPlan p;
+        p.counterWidthBits = 40;
+        EXPECT_TRUE(p.enabled());
+    }
+    {
+        FaultPlan p;
+        p.dropReadingProb = 0.1;
+        EXPECT_TRUE(p.enabled());
+    }
+    {
+        FaultPlan p;
+        p.missPulseProb = 0.1;
+        EXPECT_TRUE(p.enabled());
+    }
+    {
+        FaultPlan p;
+        p.duplicatePulseProb = 0.1;
+        EXPECT_TRUE(p.enabled());
+    }
+    {
+        FaultPlan p;
+        p.pulseLatencyMax = 1e-3;
+        EXPECT_TRUE(p.enabled());
+    }
+    {
+        FaultPlan p;
+        p.dropBlockProb = 0.1;
+        EXPECT_TRUE(p.enabled());
+    }
+    {
+        FaultPlan p;
+        p.glitchBlockProb = 0.1;
+        EXPECT_TRUE(p.enabled());
+    }
+    {
+        FaultPlan p;
+        p.unavailableEvents = {PerfEvent::BusTransactions};
+        EXPECT_TRUE(p.enabled());
+    }
+}
+
+TEST(FaultPlan, ValidateRejectsOutOfRange)
+{
+    {
+        FaultPlan p;
+        p.dropReadingProb = 1.5;
+        EXPECT_THROW(p.validate(), FatalError);
+    }
+    {
+        FaultPlan p;
+        p.missPulseProb = -0.1;
+        EXPECT_THROW(p.validate(), FatalError);
+    }
+    {
+        FaultPlan p;
+        p.counterWidthBits = 53;
+        EXPECT_THROW(p.validate(), FatalError);
+    }
+    {
+        FaultPlan p;
+        p.counterWidthBits = -1;
+        EXPECT_THROW(p.validate(), FatalError);
+    }
+    {
+        FaultPlan p;
+        p.pulseLatencyMax = -1e-3;
+        EXPECT_THROW(p.validate(), FatalError);
+    }
+}
+
+TEST(FaultPlan, CyclesCanNeverBeUnavailable)
+{
+    FaultPlan p;
+    p.unavailableEvents = {PerfEvent::Cycles};
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(FaultPlan, ScaledZeroIsFullyDisabled)
+{
+    // Intensity 0 must disable EVERYTHING, including wraparound and
+    // event masking, so a zero-intensity run is bit-identical to a
+    // run with no plan at all.
+    const FaultPlan zero = FaultPlan::allFaults().scaled(0.0);
+    EXPECT_FALSE(zero.enabled());
+    EXPECT_EQ(zero.counterWidthBits, 0);
+    EXPECT_TRUE(zero.unavailableEvents.empty());
+}
+
+TEST(FaultPlan, ScaledScalesRatesAndClamps)
+{
+    FaultPlan p;
+    p.dropReadingProb = 0.4;
+    p.glitchBlockProb = 0.3;
+    p.pulseLatencyMax = 1e-3;
+    const FaultPlan half = p.scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.dropReadingProb, 0.2);
+    EXPECT_DOUBLE_EQ(half.glitchBlockProb, 0.15);
+    EXPECT_DOUBLE_EQ(half.pulseLatencyMax, 5e-4);
+    const FaultPlan big = p.scaled(10.0);
+    EXPECT_DOUBLE_EQ(big.dropReadingProb, 1.0);
+    EXPECT_DOUBLE_EQ(big.pulseLatencyMax, 1e-3);
+}
+
+TEST(FaultPlan, AllFaultsIsValidAndComplete)
+{
+    const FaultPlan plan = FaultPlan::allFaults();
+    EXPECT_NO_THROW(plan.validate());
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_GT(plan.counterWidthBits, 0);
+    EXPECT_GT(plan.dropReadingProb, 0.0);
+    EXPECT_GT(plan.missPulseProb, 0.0);
+    EXPECT_GT(plan.duplicatePulseProb, 0.0);
+    EXPECT_GT(plan.pulseLatencyMax, 0.0);
+    EXPECT_GT(plan.dropBlockProb, 0.0);
+    EXPECT_GT(plan.glitchBlockProb, 0.0);
+    EXPECT_FALSE(plan.unavailableEvents.empty());
+}
+
+} // namespace
+} // namespace tdp

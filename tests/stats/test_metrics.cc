@@ -4,6 +4,8 @@
  */
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -40,6 +42,27 @@ TEST(AverageError, LengthMismatchPanics)
     EXPECT_THROW(averageError({1}, {1, 2}), PanicError);
 }
 
+TEST(AverageError, SkipsAndCountsNonFinitePairs)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    uint64_t discarded = 0;
+    // Pairs 1 (NaN modeled) and 2 (Inf measured) are skipped; the
+    // remaining pairs give |9-10|/10 and |22-20|/20.
+    EXPECT_NEAR(averageError({9, nan, 5, 22}, {10, 10, inf, 20},
+                             &discarded),
+                0.1, 1e-12);
+    EXPECT_EQ(discarded, 2u);
+}
+
+TEST(AverageError, AllPairsNonFiniteYieldsZeroAndFullCount)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    uint64_t discarded = 0;
+    EXPECT_DOUBLE_EQ(averageError({nan, nan}, {1, 2}, &discarded), 0.0);
+    EXPECT_EQ(discarded, 2u);
+}
+
 TEST(AverageErrorAboveDc, SubtractsOffset)
 {
     // Disk style: measured 22.6 vs modeled 22.1, DC 21.6 ->
@@ -51,6 +74,16 @@ TEST(AverageErrorAboveDc, SkipsAtOrBelowDc)
 {
     EXPECT_DOUBLE_EQ(averageErrorAboveDc({22.0}, {21.6}, 21.6), 0.0);
     EXPECT_DOUBLE_EQ(averageErrorAboveDc({22.0}, {21.0}, 21.6), 0.0);
+}
+
+TEST(AverageErrorAboveDc, SkipsAndCountsNonFinitePairs)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    uint64_t discarded = 0;
+    EXPECT_NEAR(averageErrorAboveDc({22.1, nan}, {22.6, 22.6}, 21.6,
+                                    &discarded),
+                0.5, 1e-12);
+    EXPECT_EQ(discarded, 1u);
 }
 
 TEST(RmsError, KnownValue)
@@ -83,6 +116,20 @@ TEST(RSquared, WorseThanMeanIsNegative)
     const std::vector<double> measured = {1, 2, 3};
     const std::vector<double> bad = {3, 2, 1};
     EXPECT_LT(rSquared(bad, measured), 0.0);
+}
+
+TEST(StrictMetrics, FatalOnNonFiniteInputs)
+{
+    // Unlike Equation 6, these metrics contract on clean inputs: a
+    // NaN/Inf reaching them is a pipeline bug upstream.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(rmsError({1, nan}, {1, 2}), FatalError);
+    EXPECT_THROW(rmsError({1, 2}, {inf, 2}), FatalError);
+    EXPECT_THROW(pearson({nan, 2, 3}, {1, 2, 3}), FatalError);
+    EXPECT_THROW(pearson({1, 2, 3}, {1, 2, inf}), FatalError);
+    EXPECT_THROW(rSquared({1, nan}, {1, 2}), FatalError);
+    EXPECT_THROW(rSquared({1, 2}, {nan, 2}), FatalError);
 }
 
 } // namespace

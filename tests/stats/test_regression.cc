@@ -5,6 +5,8 @@
  */
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -14,6 +16,27 @@
 
 namespace tdp {
 namespace {
+
+TEST(FitOls, FatalOnNonFiniteInputs)
+{
+    // A NaN regressor silently poisons the whole normal-equation
+    // solve, so the fit refuses non-finite inputs up front and names
+    // the offending column/sample.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(fitOls({{1, 2, 3}}, {1, nan, 3}), FatalError);
+    EXPECT_THROW(fitOls({{1, inf, 3}}, {1, 2, 3}), FatalError);
+    EXPECT_THROW(fitOls({{1, 2, 3}, {4, nan, 6}}, {1, 2, 3}),
+                 FatalError);
+    try {
+        fitOls({{1, 2, 3}, {4, nan, 6}}, {1, 2, 3});
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("column 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("sample 1"), std::string::npos) << what;
+    }
+}
 
 TEST(FitOls, RecoversExactLinear)
 {
