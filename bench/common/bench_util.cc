@@ -5,13 +5,19 @@
 
 #include "bench_util.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "exp/experiment_pool.hh"
+#include "measure/trace_io.hh"
+#include "trace/fingerprint.hh"
 
 namespace tdp {
 namespace bench {
@@ -21,6 +27,12 @@ namespace {
 /** 0 until resolved; set by initBench()/setJobs(). */
 int configuredJobs = 0;
 
+/** The active cache; see resolveTraceCache(). */
+std::unique_ptr<TraceCache> activeTraceCache;
+
+/** True once a flag/env/setTraceCacheRoot decision has been made. */
+bool traceCacheResolved = false;
+
 int
 parseJobsValue(const char *text)
 {
@@ -28,6 +40,19 @@ parseJobsValue(const char *text)
     if (parsed <= 0)
         fatal("--jobs expects a positive integer, got '%s'", text);
     return parsed;
+}
+
+/** Resolve the cache from the environment when no flag decided it. */
+void
+resolveTraceCache()
+{
+    if (traceCacheResolved)
+        return;
+    traceCacheResolved = true;
+    const std::optional<std::string> root =
+        TraceCache::rootFromEnvironment();
+    if (root)
+        activeTraceCache = std::make_unique<TraceCache>(*root);
 }
 
 } // namespace
@@ -63,6 +88,14 @@ initBench(int argc, char **argv)
             setJobs(parseJobsValue(arg + 7));
         } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
             setJobs(parseJobsValue(arg + 2));
+        } else if (std::strcmp(arg, "--trace-cache") == 0) {
+            setTraceCacheRoot(TraceCache::defaultRoot());
+        } else if (std::strncmp(arg, "--trace-cache=", 14) == 0) {
+            if (arg[14] == '\0')
+                fatal("--trace-cache= expects a directory");
+            setTraceCacheRoot(arg + 14);
+        } else if (std::strcmp(arg, "--no-trace-cache") == 0) {
+            setTraceCacheRoot("");
         }
     }
 }
@@ -78,19 +111,94 @@ positionalArgs(int argc, char **argv)
             ++i; // skip the value
         } else if (std::strncmp(arg, "--jobs=", 7) != 0 &&
                    !(std::strncmp(arg, "-j", 2) == 0 &&
-                     arg[2] != '\0')) {
+                     arg[2] != '\0') &&
+                   std::strncmp(arg, "--trace-cache", 13) != 0 &&
+                   std::strcmp(arg, "--no-trace-cache") != 0) {
             out.push_back(arg);
         }
     }
     return out;
 }
 
+void
+setTraceCacheRoot(const std::string &root)
+{
+    traceCacheResolved = true;
+    if (root.empty())
+        activeTraceCache.reset();
+    else
+        activeTraceCache = std::make_unique<TraceCache>(root);
+}
+
+TraceCache *
+traceCache()
+{
+    resolveTraceCache();
+    return activeTraceCache.get();
+}
+
+uint64_t
+runFingerprint(const RunSpec &spec)
+{
+    Fingerprint fp;
+    fp.mixU64(traceFormatVersion);
+    fp.mixU64(traceCacheCodeSalt);
+    fp.mixString(spec.workload);
+    fp.mixI64(spec.instances);
+    fp.mixDouble(spec.firstStart);
+    fp.mixDouble(spec.stagger);
+    fp.mixDouble(spec.duration);
+    fp.mixDouble(spec.skip);
+    fp.mixU64(spec.seed);
+    fp.mixU64(spec.quantum);
+    fp.mixFaultPlan(spec.faults);
+    return fp.digest();
+}
+
 std::vector<SampleTrace>
 runTraces(const std::vector<RunSpec> &specs)
 {
-    ExperimentPool pool(jobs());
-    return pool.map<SampleTrace>(
-        specs.size(), [&](size_t i) { return runTrace(specs[i]); });
+    TraceCache *cache = traceCache();
+    std::vector<SampleTrace> out(specs.size());
+
+    // Indices that still need a simulation, in spec order.
+    std::vector<size_t> pending;
+    std::vector<uint64_t> keys(specs.size(), 0);
+    if (cache) {
+        for (size_t i = 0; i < specs.size(); ++i) {
+            keys[i] = runFingerprint(specs[i]);
+            if (!cache->lookup(keys[i], out[i]))
+                pending.push_back(i);
+        }
+    } else {
+        pending.resize(specs.size());
+        for (size_t i = 0; i < specs.size(); ++i)
+            pending[i] = i;
+    }
+
+    if (!pending.empty()) {
+        ExperimentPool pool(jobs());
+        std::vector<SampleTrace> fresh = pool.map<SampleTrace>(
+            pending.size(),
+            [&](size_t j) { return runTrace(specs[pending[j]]); });
+        for (size_t j = 0; j < pending.size(); ++j) {
+            if (cache)
+                cache->store(keys[pending[j]], fresh[j]);
+            out[pending[j]] = std::move(fresh[j]);
+        }
+    }
+
+    if (cache) {
+        // Stderr only: stdout must stay byte-identical whether or
+        // not a run was served from the cache.
+        std::fprintf(stderr,
+                     "trace-cache[%s]: %zu hit(s), %zu simulated of "
+                     "%zu run(s)\n",
+                     cache->root().c_str(),
+                     specs.size() - pending.size(), pending.size(),
+                     specs.size());
+    }
+    return out;
 }
 
 RunSpec
@@ -144,6 +252,7 @@ SampleTrace
 runTrace(const RunSpec &spec, std::unique_ptr<Server> &out)
 {
     Server::Params params;
+    params.quantum = spec.quantum;
     params.rig.faults = spec.faults;
     out = std::make_unique<Server>(spec.seed, params);
     if (spec.instances > 0) {
@@ -257,6 +366,32 @@ printErrorTable(const SystemPowerEstimator &estimator,
     add_row(Validator::average(results, average_label));
     table.render(std::cout);
     return results;
+}
+
+std::string
+writeBenchJson(const std::string &bench,
+               const std::vector<BenchMetric> &metrics)
+{
+    const char *dir = std::getenv("TDP_BENCH_JSON_DIR");
+    const std::filesystem::path path =
+        std::filesystem::path(dir && dir[0] != '\0' ? dir : ".") /
+        ("BENCH_" + bench + ".json");
+
+    std::ofstream os(path);
+    if (!os)
+        fatal("writeBenchJson: cannot write %s", path.c_str());
+    os << "{\n  \"bench\": \"" << bench << "\",\n  \"metrics\": [";
+    for (size_t i = 0; i < metrics.size(); ++i) {
+        os << (i ? ",\n" : "\n");
+        os << "    {\"name\": \"" << metrics[i].name << "\", "
+           << "\"value\": "
+           << formatString("%.17g", metrics[i].value) << ", "
+           << "\"unit\": \"" << metrics[i].unit << "\"}";
+    }
+    os << "\n  ]\n}\n";
+    if (!os)
+        fatal("writeBenchJson: write to %s failed", path.c_str());
+    return path.string();
 }
 
 } // namespace bench

@@ -19,6 +19,7 @@
 #include "fault/fault_plan.hh"
 #include "measure/trace.hh"
 #include "platform/server.hh"
+#include "trace/trace_cache.hh"
 
 namespace tdp {
 namespace bench {
@@ -27,11 +28,20 @@ namespace bench {
 constexpr uint64_t defaultSeed = 0x5eed2007;
 
 /**
- * Parse the shared bench flags (currently `--jobs N` / `-j N` /
- * `--jobs=N`) and configure the experiment worker count. Call first
- * thing in every bench main. Unrecognised arguments are left alone
- * for the binary's own parsing. Without a flag the count comes from
- * TDP_JOBS, else the hardware concurrency.
+ * Parse the shared bench flags and configure the experiment helpers.
+ * Call first thing in every bench main. Unrecognised arguments are
+ * left alone for the binary's own parsing.
+ *
+ *  - `--jobs N` / `-j N` / `--jobs=N`: experiment worker count
+ *    (default: TDP_JOBS, else the hardware concurrency);
+ *  - `--trace-cache` / `--trace-cache=DIR`: enable the trace cache
+ *    (default directory `.tdp-trace-cache` when no DIR is given);
+ *  - `--no-trace-cache`: force the cache off.
+ *
+ * Without a cache flag the TDP_TRACE_CACHE environment variable
+ * decides (unset/empty/"0" off, "1" default directory, else the
+ * directory itself). The cache defaults OFF: with it disabled every
+ * bench byte-stream is identical to a build without the cache code.
  */
 void initBench(int argc, char **argv);
 
@@ -72,6 +82,9 @@ struct RunSpec
     /** Master seed. */
     uint64_t seed = defaultSeed;
 
+    /** Simulator activity quantum (ticks). */
+    Tick quantum = ticksPerMs;
+
     /**
      * Measurement faults injected into the run. Disabled by default;
      * a disabled plan leaves the run bit-identical to one with no
@@ -94,8 +107,42 @@ SampleTrace runTrace(const RunSpec &spec);
  * return their traces in spec order. Each run builds its own Server
  * seeded from its spec, so results are bit-identical to running the
  * specs serially, whatever the worker count.
+ *
+ * When the trace cache is enabled (see initBench), each spec is
+ * first looked up by its fingerprint; hits are loaded from disk
+ * (bit-identical to a fresh simulation, by the binary format's
+ * losslessness) and only the misses are simulated - and then stored
+ * for the next run. Rejected (stale/corrupt) entries fall back to
+ * simulation with a logged warning. A per-call hit/miss summary goes
+ * to stderr, never stdout, so captured bench output is unaffected.
  */
 std::vector<SampleTrace> runTraces(const std::vector<RunSpec> &specs);
+
+/**
+ * Content fingerprint of a run spec: every field that determines the
+ * simulated trace (workload, instance count, launch times, duration,
+ * skip, seed, quantum, the full fault plan) plus the binary format
+ * version and a code-version salt. Bump traceCacheCodeSalt whenever
+ * a change alters simulation behaviour for identical specs, so stale
+ * caches miss instead of resurrecting pre-change traces.
+ */
+uint64_t runFingerprint(const RunSpec &spec);
+
+/**
+ * Code-version salt mixed into every fingerprint; see
+ * runFingerprint.
+ */
+constexpr uint64_t traceCacheCodeSalt = 1;
+
+/**
+ * Enable the trace cache rooted at `root`, or disable it when root
+ * is empty. Overrides flags/environment; mainly for tests and
+ * benches that manage their own cache directory.
+ */
+void setTraceCacheRoot(const std::string &root);
+
+/** The active trace cache, or nullptr when caching is disabled. */
+TraceCache *traceCache();
 
 /** Execute a run and return both the server (for inspection) and trace. */
 SampleTrace runTrace(const RunSpec &spec, std::unique_ptr<Server> &out);
@@ -129,6 +176,29 @@ std::vector<ValidationResult> printErrorTable(
     const SystemPowerEstimator &estimator,
     const std::vector<std::string> &workloads,
     const std::string &average_label, uint64_t seed = defaultSeed);
+
+/** One metric of a machine-readable bench result. */
+struct BenchMetric
+{
+    /** Metric name, e.g. "cold_seconds". */
+    std::string name;
+
+    /** Metric value. */
+    double value = 0.0;
+
+    /** Unit label, e.g. "s" or "samples/s" (may be empty). */
+    std::string unit;
+};
+
+/**
+ * Write a machine-readable bench result file named
+ * `BENCH_<bench>.json` so perf trajectories can be collected by
+ * scripts/CI instead of scraped from stdout. The file lands in
+ * TDP_BENCH_JSON_DIR when set, else the current directory; doubles
+ * are printed round-trip exact. Returns the path written.
+ */
+std::string writeBenchJson(const std::string &bench,
+                           const std::vector<BenchMetric> &metrics);
 
 } // namespace bench
 } // namespace tdp

@@ -75,7 +75,7 @@ main(int argc, char **argv)
                     mesa.stagger = 45.0;
                     mesa.duration = 500.0;
                     auto m = makeMemoryL3Model();
-                    m->train(runTrace(mesa));
+                    m->train(runTraces({mesa})[0]);
                     return selfError(*m, mcf) * 100.0;
                 }());
 

@@ -29,10 +29,10 @@ main(int argc, char **argv)
 
     RunSpec spec = trainingRun("gcc");
     spec.seed = defaultSeed; // validation realisation, not training's
-    const SampleTrace trace = runTrace(spec);
+    const SampleTrace trace = runTraces({spec})[0];
 
     const auto modeled = estimator.modeledColumn(trace, Rail::Cpu);
-    const auto measured = trace.measuredColumn(Rail::Cpu);
+    const auto &measured = trace.measuredColumn(Rail::Cpu);
 
     std::printf("%8s  %10s  %10s\n", "seconds", "measured", "modeled");
     for (size_t i = 0; i < trace.size(); i += 5) {

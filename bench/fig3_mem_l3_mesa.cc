@@ -29,7 +29,7 @@ main(int argc, char **argv)
     RunSpec spec = trainingRun("mesa");
     spec.stagger = 45.0;
     spec.duration = 500.0;
-    const SampleTrace trace = runTrace(spec);
+    const SampleTrace trace = runTraces({spec})[0];
 
     auto model = makeMemoryL3Model();
     model->train(trace);

@@ -1,21 +1,81 @@
 /**
  * @file
  * Trace recorder utility: run any registered workload under the
- * instrumented server and dump the aligned (counters, power) trace as
- * CSV for offline analysis or external model fitting.
+ * instrumented server and dump the aligned (counters, power) trace
+ * for offline analysis or external model fitting - or convert a
+ * previously dumped trace between formats.
  *
- * Usage: trace_dump [workload] [instances] [seconds] [stagger] [seed]
- * Defaults: gcc 8 120 0 0x5eed2007. CSV goes to stdout; progress to
- * stderr.
+ * Usage:
+ *   trace_dump [workload] [instances] [seconds] [stagger] [seed]
+ *              [--format csv|bin] [--read FILE]
+ *
+ * Defaults: gcc 8 120 0 0x5eed2007, CSV. Output goes to stdout;
+ * progress to stderr.
+ *
+ * Formats:
+ *  - csv: the historical lossy export (rounded values, counters
+ *    summed across CPUs, no NaN payloads);
+ *  - bin: the versioned binary format of measure/trace_io.hh -
+ *    lossless, so `--format bin` output reloads bit-identical,
+ *    including fault-injected NaN/Inf samples.
+ *
+ * With `--read FILE` no simulation runs: the trace is loaded from
+ * FILE (binary detected by magic, anything else parsed as CSV) and
+ * re-emitted in the requested format, so the tool doubles as a
+ * bin->csv / csv->bin converter.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "workloads/profile.hh"
 
 #include "common/bench_util.hh"
+#include "common/logging.hh"
+#include "measure/trace_io.hh"
+
+namespace {
+
+using namespace tdp;
+
+/** Load a trace from a file, sniffing binary vs CSV by the magic. */
+SampleTrace
+readTraceFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        fatal("trace_dump: cannot open '%s'", path.c_str());
+    if (looksLikeTraceBinary(file)) {
+        uint64_t fingerprint = 0;
+        SampleTrace trace = readTraceBinary(file, &fingerprint);
+        std::fprintf(stderr,
+                     "loaded %zu binary samples (fingerprint "
+                     "%016llx) from %s\n",
+                     trace.size(),
+                     static_cast<unsigned long long>(fingerprint),
+                     path.c_str());
+        return trace;
+    }
+    SampleTrace trace = SampleTrace::readCsv(file);
+    std::fprintf(stderr, "loaded %zu CSV samples from %s\n",
+                 trace.size(), path.c_str());
+    return trace;
+}
+
+/** Parse a --format value; fatal on anything but csv/bin. */
+bool
+parseFormatIsBinary(const std::string &value)
+{
+    if (value == "bin")
+        return true;
+    if (value == "csv")
+        return false;
+    fatal("--format expects 'csv' or 'bin', got '%s'", value.c_str());
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -24,33 +84,71 @@ main(int argc, char **argv)
     using namespace tdp::bench;
 
     initBench(argc, argv);
-    const std::vector<std::string> args = positionalArgs(argc, argv);
 
-    RunSpec spec;
-    spec.workload = args.size() > 0 ? args[0] : "gcc";
-    spec.instances = args.size() > 1 ? std::atoi(args[1].c_str()) : 8;
-    spec.duration = args.size() > 2 ? std::atof(args[2].c_str()) : 120.0;
-    spec.stagger = args.size() > 3 ? std::atof(args[3].c_str()) : 0.0;
-    spec.seed = args.size() > 4
-                    ? std::strtoull(args[4].c_str(), nullptr, 0)
-                    : defaultSeed;
-    spec.skip = 0.0;
-    if (spec.workload == "idle")
-        spec.instances = 0;
+    bool binary = false;
+    std::string read_path;
+    std::vector<std::string> args;
+    const std::vector<std::string> remaining =
+        positionalArgs(argc, argv);
+    for (size_t i = 0; i < remaining.size(); ++i) {
+        const std::string &arg = remaining[i];
+        if (arg == "--format") {
+            if (i + 1 >= remaining.size())
+                fatal("--format expects 'csv' or 'bin'");
+            binary = parseFormatIsBinary(remaining[++i]);
+        } else if (arg.rfind("--format=", 0) == 0) {
+            binary = parseFormatIsBinary(arg.substr(9));
+        } else if (arg == "--read") {
+            if (i + 1 >= remaining.size())
+                fatal("--read expects a trace file");
+            read_path = remaining[++i];
+        } else if (arg.rfind("--read=", 0) == 0) {
+            read_path = arg.substr(7);
+        } else {
+            args.push_back(arg);
+        }
+    }
 
-    // Validate the workload name before burning simulation time.
-    if (spec.instances > 0)
-        findWorkloadProfile(spec.workload);
+    SampleTrace trace;
+    uint64_t fingerprint = 0;
+    if (!read_path.empty()) {
+        trace = readTraceFile(read_path);
+    } else {
+        RunSpec spec;
+        spec.workload = args.size() > 0 ? args[0] : "gcc";
+        spec.instances =
+            args.size() > 1 ? std::atoi(args[1].c_str()) : 8;
+        spec.duration =
+            args.size() > 2 ? std::atof(args[2].c_str()) : 120.0;
+        spec.stagger =
+            args.size() > 3 ? std::atof(args[3].c_str()) : 0.0;
+        spec.seed = args.size() > 4
+                        ? std::strtoull(args[4].c_str(), nullptr, 0)
+                        : defaultSeed;
+        spec.skip = 0.0;
+        if (spec.workload == "idle")
+            spec.instances = 0;
 
-    std::fprintf(stderr,
-                 "recording %s x%d for %.0fs (stagger %.0fs, seed "
-                 "%#llx)...\n",
-                 spec.workload.c_str(), spec.instances, spec.duration,
-                 spec.stagger,
-                 static_cast<unsigned long long>(spec.seed));
+        // Validate the workload name before burning simulation time.
+        if (spec.instances > 0)
+            findWorkloadProfile(spec.workload);
 
-    const SampleTrace trace = runTrace(spec);
-    trace.writeCsv(std::cout);
-    std::fprintf(stderr, "%zu samples written\n", trace.size());
+        std::fprintf(stderr,
+                     "recording %s x%d for %.0fs (stagger %.0fs, seed "
+                     "%#llx)...\n",
+                     spec.workload.c_str(), spec.instances,
+                     spec.duration, spec.stagger,
+                     static_cast<unsigned long long>(spec.seed));
+
+        trace = runTraces({spec})[0];
+        fingerprint = runFingerprint(spec);
+    }
+
+    if (binary)
+        writeTraceBinary(std::cout, trace, fingerprint);
+    else
+        trace.writeCsv(std::cout);
+    std::fprintf(stderr, "%zu samples written (%s)\n", trace.size(),
+                 binary ? "bin" : "csv");
     return 0;
 }

@@ -15,7 +15,58 @@ namespace tdp {
 namespace {
 
 /**
- * Shared training helper: build regressor columns and fit by OLS.
+ * Streams a trace's regressor rows to the fitters: each row is
+ * derived on the fly from the sample's event vector, so no per-fit
+ * column copies of the trace are ever materialised. The regressor
+ * layout is [x0, x0^2, x1, x1^2, ...] when with_squares is set,
+ * matching the models' coefficient order.
+ */
+class TraceDesignSource : public DesignSource
+{
+  public:
+    TraceDesignSource(const SampleTrace &trace, Rail rail,
+                      const std::vector<double CpuEventRates::*> &fields,
+                      bool with_squares)
+        : trace_(trace), rail_(rail), fields_(fields),
+          withSquares_(with_squares)
+    {
+    }
+
+    size_t sampleCount() const override { return trace_.size(); }
+
+    size_t
+    regressorCount() const override
+    {
+        return fields_.size() * (withSquares_ ? 2 : 1);
+    }
+
+    void
+    row(size_t i, double *out) const override
+    {
+        const EventVector ev = EventVector::fromSample(trace_[i]);
+        size_t o = 0;
+        for (double CpuEventRates::*field : fields_) {
+            out[o++] = ev.total(field);
+            if (withSquares_)
+                out[o++] = ev.totalSquared(field);
+        }
+    }
+
+    double
+    response(size_t i) const override
+    {
+        return trace_[i].measured(rail_);
+    }
+
+  private:
+    const SampleTrace &trace_;
+    Rail rail_;
+    const std::vector<double CpuEventRates::*> &fields_;
+    bool withSquares_;
+};
+
+/**
+ * Shared training helper: fit the trace's streamed design by OLS.
  *
  * Follows the paper's model-format discipline (section 3.3.1): the
  * quadratic form is used when the data supports it; when the squared
@@ -33,27 +84,10 @@ fitColumns(const SampleTrace &trace, Rail rail,
     if (trace.empty())
         fatal("model training requires a non-empty trace");
 
-    std::vector<std::vector<double>> linear_cols(fields.size());
-    std::vector<std::vector<double>> square_cols(fields.size());
-    std::vector<double> y;
-    for (const AlignedSample &sample : trace.samples()) {
-        const EventVector ev = EventVector::fromSample(sample);
-        for (size_t f = 0; f < fields.size(); ++f) {
-            linear_cols[f].push_back(ev.total(fields[f]));
-            if (with_squares)
-                square_cols[f].push_back(ev.totalSquared(fields[f]));
-        }
-        y.push_back(sample.measured(rail));
-    }
-
     if (with_squares) {
-        std::vector<std::vector<double>> columns;
-        for (size_t f = 0; f < fields.size(); ++f) {
-            columns.push_back(linear_cols[f]);
-            columns.push_back(square_cols[f]);
-        }
         try {
-            return fitOls(columns, y);
+            return fitOlsAuto(
+                TraceDesignSource(trace, rail, fields, true));
         } catch (const FatalError &) {
             warn("quadratic fit for %s rank-deficient; "
                  "falling back to linear form",
@@ -61,7 +95,8 @@ fitColumns(const SampleTrace &trace, Rail rail,
         }
     }
 
-    FitResult fit = fitOls(linear_cols, y);
+    FitResult fit =
+        fitOlsAuto(TraceDesignSource(trace, rail, fields, false));
     if (with_squares) {
         // Re-expand to the quadratic layout with zero square terms.
         std::vector<double> expanded(fields.size() * 2, 0.0);

@@ -71,7 +71,7 @@ EventSelector::rank(const SampleTrace &trace, Rail rail)
     if (trace.size() < 3)
         fatal("EventSelector: trace too short (%zu samples)",
               trace.size());
-    const std::vector<double> power = trace.measuredColumn(rail);
+    const std::vector<double> &power = trace.measuredColumn(rail);
 
     std::vector<EventCorrelation> out;
     for (const MetricDef &def : metricDefs) {

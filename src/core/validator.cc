@@ -30,7 +30,8 @@ Validator::validate(const std::string &workload,
         const Rail rail = static_cast<Rail>(r);
         const std::vector<double> modeled =
             estimator_.modeledColumn(trace, rail);
-        const std::vector<double> measured = trace.measuredColumn(rail);
+        const std::vector<double> &measured =
+            trace.measuredColumn(rail);
         double err;
         uint64_t discarded = 0;
         if (rail == Rail::Disk && diskDcOffset_ > 0.0) {

@@ -22,24 +22,41 @@ AlignedSample::totalCount(PerfEvent event) const
     return total;
 }
 
-std::vector<double>
-SampleTrace::measuredColumn(Rail rail) const
+const SampleTrace::Columns &
+SampleTrace::columns() const
 {
-    std::vector<double> out;
-    out.reserve(samples_.size());
-    for (const AlignedSample &s : samples_)
-        out.push_back(s.measured(rail));
-    return out;
+    if (columnsValid_)
+        return columns_;
+    for (auto &column : columns_.measured) {
+        column.clear();
+        column.reserve(samples_.size());
+    }
+    for (auto &column : columns_.counters) {
+        column.clear();
+        column.reserve(samples_.size());
+    }
+    for (const AlignedSample &s : samples_) {
+        for (int r = 0; r < numRails; ++r)
+            columns_.measured[static_cast<size_t>(r)].push_back(
+                s.measured(static_cast<Rail>(r)));
+        for (int e = 0; e < numPerfEvents; ++e)
+            columns_.counters[static_cast<size_t>(e)].push_back(
+                s.totalCount(static_cast<PerfEvent>(e)));
+    }
+    columnsValid_ = true;
+    return columns_;
 }
 
-std::vector<double>
+const std::vector<double> &
+SampleTrace::measuredColumn(Rail rail) const
+{
+    return columns().measured[static_cast<size_t>(rail)];
+}
+
+const std::vector<double> &
 SampleTrace::counterColumn(PerfEvent event) const
 {
-    std::vector<double> out;
-    out.reserve(samples_.size());
-    for (const AlignedSample &s : samples_)
-        out.push_back(s.totalCount(event));
-    return out;
+    return columns().counters[static_cast<size_t>(event)];
 }
 
 SampleTrace

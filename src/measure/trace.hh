@@ -60,7 +60,12 @@ class SampleTrace
 {
   public:
     /** Append one sample. */
-    void add(AlignedSample sample) { samples_.push_back(std::move(sample)); }
+    void
+    add(AlignedSample sample)
+    {
+        samples_.push_back(std::move(sample));
+        columnsValid_ = false;
+    }
 
     /** The samples, in time order. */
     const std::vector<AlignedSample> &samples() const { return samples_; }
@@ -74,11 +79,18 @@ class SampleTrace
     /** Access one sample. */
     const AlignedSample &operator[](size_t i) const { return samples_[i]; }
 
-    /** Measured power column for one rail. */
-    std::vector<double> measuredColumn(Rail rail) const;
+    /**
+     * Measured power column for one rail: a contiguous double array
+     * the metrics stream over directly. Served from a lazily built
+     * structure-of-arrays mirror of the samples, so repeated column
+     * access (the Eq. 6 sweep touches every rail of every trace)
+     * costs one pass over the samples total instead of one per call.
+     * The reference is invalidated by the next add().
+     */
+    const std::vector<double> &measuredColumn(Rail rail) const;
 
-    /** Summed counter column for one event. */
-    std::vector<double> counterColumn(PerfEvent event) const;
+    /** Summed counter column for one event (same contract). */
+    const std::vector<double> &counterColumn(PerfEvent event) const;
 
     /** Keep only samples with time in [from, to). */
     SampleTrace slice(Seconds from, Seconds to) const;
@@ -96,7 +108,25 @@ class SampleTrace
     static SampleTrace readCsv(std::istream &is, int cpu_count = 4);
 
   private:
+    /** SoA mirror of the samples, one contiguous array per column. */
+    struct Columns
+    {
+        std::array<std::vector<double>, numRails> measured;
+        std::array<std::vector<double>, numPerfEvents> counters;
+    };
+
+    /**
+     * The column mirror, (re)built on first access after a
+     * mutation. Mutable cache only: it never influences observable
+     * state. Concurrent first access from several threads is not
+     * synchronised - share a trace across threads only after priming
+     * it, or give each thread its own copy.
+     */
+    const Columns &columns() const;
+
     std::vector<AlignedSample> samples_;
+    mutable Columns columns_;
+    mutable bool columnsValid_ = false;
 };
 
 } // namespace tdp

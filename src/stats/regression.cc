@@ -6,6 +6,7 @@
 #include "stats/regression.hh"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "common/running_stats.hh"
@@ -31,7 +32,7 @@ namespace {
 
 /** Compute R^2 and RMSE of a fitted result over the training data. */
 void
-finalizeGoodness(const std::vector<std::vector<double>> &columns,
+finalizeGoodness(const DesignSource &source,
                  const std::vector<double> &y, FitResult &fit)
 {
     RunningStats ystats;
@@ -41,10 +42,9 @@ finalizeGoodness(const std::vector<std::vector<double>> &columns,
 
     double ss_res = 0.0;
     double ss_tot = 0.0;
-    std::vector<double> row(columns.size());
+    std::vector<double> row(source.regressorCount());
     for (size_t i = 0; i < y.size(); ++i) {
-        for (size_t c = 0; c < columns.size(); ++c)
-            row[c] = columns[c][i];
+        source.row(i, row.data());
         const double pred = fit.predict(row);
         ss_res += (y[i] - pred) * (y[i] - pred);
         ss_tot += (y[i] - ymean) * (y[i] - ymean);
@@ -54,7 +54,213 @@ finalizeGoodness(const std::vector<std::vector<double>> &columns,
     fit.sampleCount = y.size();
 }
 
+/** Adapts pre-extracted columns to the streaming interface. */
+class ColumnsSource : public DesignSource
+{
+  public:
+    ColumnsSource(const std::vector<std::vector<double>> &columns,
+                  const std::vector<double> &y)
+        : columns_(columns), y_(y)
+    {
+    }
+
+    size_t sampleCount() const override { return y_.size(); }
+    size_t regressorCount() const override { return columns_.size(); }
+
+    void
+    row(size_t i, double *out) const override
+    {
+        for (size_t c = 0; c < columns_.size(); ++c)
+            out[c] = columns_[c][i];
+    }
+
+    double response(size_t i) const override { return y_[i]; }
+
+  private:
+    const std::vector<std::vector<double>> &columns_;
+    const std::vector<double> &y_;
+};
+
+/**
+ * Shared validation and standardisation preamble of both fit
+ * kernels: shape checks, the loud non-finite refusal, and the
+ * per-regressor shift/scale. When `design` is given it is filled
+ * (raw) as the single pass over the source runs; the stats are then
+ * computed from it column-major, in exactly the element order the
+ * pre-streaming code used, keeping the QR path bit-identical.
+ */
+void
+prepareFit(const DesignSource &source, const char *who,
+           std::vector<double> &y, Matrix *design,
+           std::vector<double> &shift, std::vector<double> &scale)
+{
+    const size_t n = source.sampleCount();
+    const size_t k = source.regressorCount();
+    if (n == 0)
+        fatal("%s: no samples", who);
+    if (n < k + 1)
+        fatal("%s: %zu samples cannot fit %zu coefficients", who, n,
+              k + 1);
+
+    y.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        y[i] = source.response(i);
+
+    // A single NaN/Inf regressor or response poisons the whole solve
+    // into silently-NaN coefficients; refuse loudly instead so
+    // callers can scrub or degrade.
+    for (size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(y[i]))
+            fatal("%s: non-finite response at sample %zu", who, i);
+    }
+
+    shift.assign(k, 0.0);
+    scale.assign(k, 1.0);
+
+    if (design) {
+        // Single pass over the source fills the design matrix with
+        // the raw regressors; the intercept column and the
+        // standardisation are applied in place afterwards.
+        for (size_t r = 0; r < n; ++r) {
+            (*design)(r, 0) = 1.0;
+            source.row(r, &(*design)(r, 1));
+        }
+        for (size_t c = 0; c < k; ++c) {
+            for (size_t r = 0; r < n; ++r) {
+                if (!std::isfinite((*design)(r, c + 1)))
+                    fatal("%s: non-finite regressor in column %zu at "
+                          "sample %zu",
+                          who, c, r);
+            }
+        }
+        for (size_t c = 0; c < k; ++c) {
+            RunningStats s;
+            for (size_t r = 0; r < n; ++r)
+                s.add((*design)(r, c + 1));
+            shift[c] = s.mean();
+            scale[c] = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+        }
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = 0; c < k; ++c)
+                (*design)(r, c + 1) =
+                    ((*design)(r, c + 1) - shift[c]) / scale[c];
+        return;
+    }
+
+    // No matrix wanted (normal-equations path): one pass for the
+    // stats and finiteness instead.
+    std::vector<double> row(k);
+    std::vector<RunningStats> stats(k);
+    for (size_t r = 0; r < n; ++r) {
+        source.row(r, row.data());
+        for (size_t c = 0; c < k; ++c) {
+            if (!std::isfinite(row[c]))
+                fatal("%s: non-finite regressor in column %zu at "
+                      "sample %zu",
+                      who, c, r);
+            stats[c].add(row[c]);
+        }
+    }
+    for (size_t c = 0; c < k; ++c) {
+        shift[c] = stats[c].mean();
+        scale[c] = stats[c].stddev() > 1e-12 ? stats[c].stddev() : 1.0;
+    }
+}
+
+/** Map standardised-space beta back to the original input scale. */
+FitResult
+unstandardize(const std::vector<double> &beta,
+              const std::vector<double> &shift,
+              const std::vector<double> &scale)
+{
+    const size_t k = shift.size();
+    FitResult fit;
+    fit.coefficients.resize(k);
+    fit.intercept = beta[0];
+    for (size_t c = 0; c < k; ++c) {
+        fit.coefficients[c] = beta[c + 1] / scale[c];
+        fit.intercept -= beta[c + 1] * shift[c] / scale[c];
+    }
+    return fit;
+}
+
 } // namespace
+
+FitResult
+fitOls(const DesignSource &source)
+{
+    const size_t n = source.sampleCount();
+    const size_t k = source.regressorCount();
+
+    std::vector<double> y;
+    std::vector<double> shift;
+    std::vector<double> scale;
+    Matrix design(n == 0 ? 1 : n, k + 1);
+    prepareFit(source, "fitOls", y, &design, shift, scale);
+
+    const std::vector<double> beta = solveLeastSquaresQr(design, y);
+    FitResult fit = unstandardize(beta, shift, scale);
+    finalizeGoodness(source, y, fit);
+    return fit;
+}
+
+FitResult
+fitOlsNormal(const DesignSource &source)
+{
+    const size_t n = source.sampleCount();
+    const size_t k = source.regressorCount();
+
+    std::vector<double> y;
+    std::vector<double> shift;
+    std::vector<double> scale;
+    prepareFit(source, "fitOlsNormal", y, nullptr, shift, scale);
+
+    // Single fused pass: accumulate the (k+1)x(k+1) Gram matrix
+    // ZᵀZ and the moment vector Zᵀy over standardised rows
+    // z = [1, (x - shift) / scale]. Only the upper triangle is
+    // accumulated; it is mirrored before the solve.
+    Matrix gram(k + 1, k + 1);
+    std::vector<double> moment(k + 1, 0.0);
+    std::vector<double> z(k + 1, 0.0);
+    z[0] = 1.0;
+    for (size_t r = 0; r < n; ++r) {
+        source.row(r, z.data() + 1);
+        for (size_t c = 0; c < k; ++c)
+            z[c + 1] = (z[c + 1] - shift[c]) / scale[c];
+        for (size_t a = 0; a < k + 1; ++a) {
+            for (size_t b = a; b < k + 1; ++b)
+                gram(a, b) += z[a] * z[b];
+            moment[a] += z[a] * y[r];
+        }
+    }
+    for (size_t a = 0; a < k + 1; ++a)
+        for (size_t b = 0; b < a; ++b)
+            gram(a, b) = gram(b, a);
+
+    std::vector<double> beta;
+    try {
+        beta = solveLinearSystem(std::move(gram), std::move(moment));
+    } catch (const FatalError &err) {
+        // Match the QR path's failure mode for collinear designs so
+        // callers' fallback logic (quadratic -> linear) works the
+        // same whichever kernel they picked.
+        fatal("fitOlsNormal: rank-deficient system (%s)", err.what());
+    }
+
+    FitResult fit = unstandardize(beta, shift, scale);
+    finalizeGoodness(source, y, fit);
+    return fit;
+}
+
+FitResult
+fitOlsAuto(const DesignSource &source)
+{
+    static const bool fast = [] {
+        const char *value = std::getenv("TDP_FAST_FIT");
+        return value && value[0] == '1' && value[1] == '\0';
+    }();
+    return fast ? fitOlsNormal(source) : fitOls(source);
+}
 
 FitResult
 fitOls(const std::vector<std::vector<double>> &columns,
@@ -70,55 +276,7 @@ fitOls(const std::vector<std::vector<double>> &columns,
                   c, columns[c].size(), n);
         }
     }
-    if (n < k + 1)
-        fatal("fitOls: %zu samples cannot fit %zu coefficients", n, k + 1);
-
-    // A single NaN/Inf regressor or response poisons the whole QR
-    // solve into silently-NaN coefficients; refuse loudly instead so
-    // callers can scrub or degrade.
-    for (size_t i = 0; i < n; ++i) {
-        if (!std::isfinite(y[i]))
-            fatal("fitOls: non-finite response at sample %zu", i);
-    }
-    for (size_t c = 0; c < k; ++c) {
-        for (size_t i = 0; i < n; ++i) {
-            if (!std::isfinite(columns[c][i]))
-                fatal("fitOls: non-finite regressor in column %zu at "
-                      "sample %zu",
-                      c, i);
-        }
-    }
-
-    // Standardise regressors to unit scale so the quadratic design
-    // matrices stay well conditioned; map coefficients back afterwards.
-    std::vector<double> shift(k, 0.0);
-    std::vector<double> scale(k, 1.0);
-    for (size_t c = 0; c < k; ++c) {
-        RunningStats s;
-        for (double v : columns[c])
-            s.add(v);
-        shift[c] = s.mean();
-        scale[c] = s.stddev() > 1e-12 ? s.stddev() : 1.0;
-    }
-
-    Matrix design(n, k + 1);
-    for (size_t r = 0; r < n; ++r) {
-        design(r, 0) = 1.0;
-        for (size_t c = 0; c < k; ++c)
-            design(r, c + 1) = (columns[c][r] - shift[c]) / scale[c];
-    }
-
-    std::vector<double> beta = solveLeastSquaresQr(design, y);
-
-    FitResult fit;
-    fit.coefficients.resize(k);
-    fit.intercept = beta[0];
-    for (size_t c = 0; c < k; ++c) {
-        fit.coefficients[c] = beta[c + 1] / scale[c];
-        fit.intercept -= beta[c + 1] * shift[c] / scale[c];
-    }
-    finalizeGoodness(columns, y, fit);
-    return fit;
+    return fitOls(ColumnsSource(columns, y));
 }
 
 FitResult

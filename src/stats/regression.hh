@@ -41,6 +41,32 @@ struct FitResult
 };
 
 /**
+ * Streams design-matrix rows to the fitters without materialising
+ * intermediate column copies: the fitter pulls each row directly
+ * from wherever the data lives (a SampleTrace, a column set, a
+ * generator). Rows must be deterministic - the fitters may pull the
+ * same row more than once (once to build the system, once for the
+ * goodness-of-fit pass).
+ */
+class DesignSource
+{
+  public:
+    virtual ~DesignSource() = default;
+
+    /** Number of samples (design-matrix rows). */
+    virtual size_t sampleCount() const = 0;
+
+    /** Number of regressors (columns, excluding the intercept). */
+    virtual size_t regressorCount() const = 0;
+
+    /** Fill out[0..regressorCount) with row i's regressor values. */
+    virtual void row(size_t i, double *out) const = 0;
+
+    /** Response (observed y) of row i. */
+    virtual double response(size_t i) const = 0;
+};
+
+/**
  * Fit y ~= intercept + sum_j coef_j * x_j by least squares (QR).
  *
  * @param columns regressor columns, all the same length as y.
@@ -48,6 +74,33 @@ struct FitResult
  */
 FitResult fitOls(const std::vector<std::vector<double>> &columns,
                  const std::vector<double> &y);
+
+/**
+ * Streaming fitOls: identical arithmetic (and therefore bit-identical
+ * results) to the column overload, but the design matrix is filled
+ * in a single pass straight from the source - no per-fit column
+ * copies are materialised.
+ */
+FitResult fitOls(const DesignSource &source);
+
+/**
+ * Fused normal-equations fit: accumulates XᵀX and Xᵀy in a single
+ * pass over the (standardised) rows and solves the (k+1)x(k+1)
+ * system, so peak extra memory is O(k^2) instead of the O(n*k)
+ * design matrix the QR path factorises. Several times faster on long
+ * traces, but the last bits of the coefficients can differ from the
+ * QR path (normal equations square the condition number), so this is
+ * an opt-in kernel: the default everywhere stays QR to preserve the
+ * project's bit-identity invariants.
+ */
+FitResult fitOlsNormal(const DesignSource &source);
+
+/**
+ * The fit used by model training: fitOlsNormal when the TDP_FAST_FIT
+ * environment variable is "1" (read once), else the bit-identical
+ * QR path.
+ */
+FitResult fitOlsAuto(const DesignSource &source);
 
 /**
  * Fit a single-input polynomial y ~= c0 + c1 x + ... + cd x^d.

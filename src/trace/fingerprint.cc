@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Implementation of the fingerprint hasher.
+ */
+
+#include "trace/fingerprint.hh"
+
+#include <cstring>
+
+namespace tdp {
+
+namespace {
+
+enum : uint8_t
+{
+    tagBytes = 1,
+    tagU64 = 2,
+    tagI64 = 3,
+    tagDouble = 4,
+    tagString = 5,
+    tagFaultPlan = 6,
+};
+
+} // namespace
+
+Fingerprint &
+Fingerprint::mixTag(uint8_t tag)
+{
+    constexpr uint64_t prime = 0x100000001b3ull;
+    hash_ ^= tag;
+    hash_ *= prime;
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::mixBytes(const void *data, size_t len)
+{
+    constexpr uint64_t prime = 0x100000001b3ull;
+    mixTag(tagBytes);
+    mixU64(len);
+    const unsigned char *bytes =
+        static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        hash_ ^= bytes[i];
+        hash_ *= prime;
+    }
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::mixU64(uint64_t value)
+{
+    constexpr uint64_t prime = 0x100000001b3ull;
+    mixTag(tagU64);
+    for (size_t i = 0; i < sizeof(value); ++i) {
+        hash_ ^= (value >> (8 * i)) & 0xff;
+        hash_ *= prime;
+    }
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::mixI64(int64_t value)
+{
+    mixTag(tagI64);
+    return mixU64(static_cast<uint64_t>(value));
+}
+
+Fingerprint &
+Fingerprint::mixDouble(double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    mixTag(tagDouble);
+    return mixU64(bits);
+}
+
+Fingerprint &
+Fingerprint::mixString(const std::string &value)
+{
+    mixTag(tagString);
+    return mixBytes(value.data(), value.size());
+}
+
+Fingerprint &
+Fingerprint::mixFaultPlan(const FaultPlan &plan)
+{
+    mixTag(tagFaultPlan);
+    mixI64(plan.counterWidthBits);
+    mixDouble(plan.dropReadingProb);
+    mixDouble(plan.missPulseProb);
+    mixDouble(plan.duplicatePulseProb);
+    mixDouble(plan.pulseLatencyMax);
+    mixDouble(plan.dropBlockProb);
+    mixDouble(plan.glitchBlockProb);
+    mixDouble(plan.glitchSpikeWatts);
+    mixU64(plan.unavailableEvents.size());
+    for (PerfEvent event : plan.unavailableEvents)
+        mixI64(static_cast<int64_t>(event));
+    return *this;
+}
+
+} // namespace tdp

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Implementation of the trace cache.
+ */
+
+#include "trace/trace_cache.hh"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/logging.hh"
+#include "measure/trace_io.hh"
+
+namespace tdp {
+
+namespace fs = std::filesystem;
+
+TraceCache::TraceCache(std::string root) : root_(std::move(root))
+{
+    if (root_.empty())
+        fatal("TraceCache: empty cache directory");
+}
+
+std::string
+TraceCache::entryPath(uint64_t fingerprint) const
+{
+    return (fs::path(root_) /
+            formatString("trace-%016llx.tdpt",
+                         static_cast<unsigned long long>(fingerprint)))
+        .string();
+}
+
+bool
+TraceCache::lookup(uint64_t fingerprint, SampleTrace &out) const
+{
+    const std::string path = entryPath(fingerprint);
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        ++stats_.misses;
+        return false;
+    }
+
+    SampleTrace trace;
+    uint64_t stored_key = 0;
+    std::string error;
+    if (!tryReadTraceBinary(file, trace, &stored_key, &error)) {
+        warn("trace cache: rejecting %s (%s); falling back to "
+             "simulation",
+             path.c_str(), error.c_str());
+        ++stats_.rejected;
+        return false;
+    }
+    if (stored_key != fingerprint) {
+        // File-name hash collision or a renamed entry: the header
+        // carries the authoritative key.
+        warn("trace cache: rejecting %s (entry key %016llx does not "
+             "match requested %016llx); falling back to simulation",
+             path.c_str(),
+             static_cast<unsigned long long>(stored_key),
+             static_cast<unsigned long long>(fingerprint));
+        ++stats_.rejected;
+        return false;
+    }
+
+    out = std::move(trace);
+    ++stats_.hits;
+    return true;
+}
+
+bool
+TraceCache::store(uint64_t fingerprint, const SampleTrace &trace) const
+{
+    std::error_code ec;
+    fs::create_directories(root_, ec);
+    if (ec) {
+        warn("trace cache: cannot create %s (%s); entry not stored",
+             root_.c_str(), ec.message().c_str());
+        return false;
+    }
+
+    const std::string path = entryPath(fingerprint);
+    // Unique temp name per process so concurrent bench binaries
+    // never interleave writes; rename publishes atomically.
+    const std::string tmp = formatString(
+        "%s.tmp.%ld", path.c_str(), static_cast<long>(::getpid()));
+    {
+        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+        if (!file) {
+            warn("trace cache: cannot write %s; entry not stored",
+                 tmp.c_str());
+            return false;
+        }
+        try {
+            writeTraceBinary(file, trace, fingerprint);
+        } catch (const FatalError &err) {
+            warn("trace cache: %s; entry not stored", err.what());
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("trace cache: cannot publish %s (%s); entry not stored",
+             path.c_str(), ec.message().c_str());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    ++stats_.stores;
+    return true;
+}
+
+std::optional<std::string>
+TraceCache::rootFromEnvironment()
+{
+    const char *value = std::getenv("TDP_TRACE_CACHE");
+    if (!value || value[0] == '\0' ||
+        (value[0] == '0' && value[1] == '\0'))
+        return std::nullopt;
+    if (value[0] == '1' && value[1] == '\0')
+        return defaultRoot();
+    return std::string(value);
+}
+
+std::string
+TraceCache::defaultRoot()
+{
+    return ".tdp-trace-cache";
+}
+
+} // namespace tdp

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Trace cache behaviour: content-addressed key sensitivity (every
+ * simulation input must change the fingerprint), hit/miss/store
+ * mechanics, and the graceful fall-back to re-simulation when an
+ * entry is truncated or bit-flipped on disk.
+ */
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workloads/profile.hh"
+
+#include "common/bench_util.hh"
+#include "measure/trace_io.hh"
+#include "trace/fingerprint.hh"
+#include "trace/trace_cache.hh"
+
+namespace tdp {
+namespace {
+
+namespace fs = std::filesystem;
+using bench::RunSpec;
+using bench::runFingerprint;
+
+/** A scratch cache directory removed when the fixture tears down. */
+class TraceCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = fs::temp_directory_path() /
+                ("tdp-trace-cache-test-" +
+                 std::to_string(::getpid()));
+        fs::remove_all(root_);
+    }
+
+    void TearDown() override { fs::remove_all(root_); }
+
+    SampleTrace
+    tinyTrace() const
+    {
+        SampleTrace trace;
+        AlignedSample sample;
+        sample.time = 1.0;
+        sample.interval = 1.0;
+        sample.perCpu.resize(1);
+        sample.perCpu[0][PerfEvent::Cycles] = 2.8e9;
+        sample.measuredWatts[0] = 37.5;
+        trace.add(sample);
+        return trace;
+    }
+
+    fs::path root_;
+};
+
+/** A cheap spec: fingerprinting never simulates anything. */
+RunSpec
+baseSpec()
+{
+    RunSpec spec;
+    spec.workload = "gcc";
+    spec.instances = 4;
+    spec.duration = 60.0;
+    spec.skip = 10.0;
+    spec.seed = 0x5eed;
+    return spec;
+}
+
+TEST(RunFingerprintTest, StableForUnchangedSpec)
+{
+    EXPECT_EQ(runFingerprint(baseSpec()), runFingerprint(baseSpec()));
+}
+
+TEST(RunFingerprintTest, EveryRunSpecFieldChangesTheKey)
+{
+    const uint64_t base = runFingerprint(baseSpec());
+
+    const std::vector<
+        std::pair<const char *, std::function<void(RunSpec &)>>>
+        mutations = {
+            {"workload", [](RunSpec &s) { s.workload = "mcf"; }},
+            {"instances", [](RunSpec &s) { s.instances = 5; }},
+            {"firstStart", [](RunSpec &s) { s.firstStart = 2.0; }},
+            {"stagger", [](RunSpec &s) { s.stagger = 0.25; }},
+            {"duration", [](RunSpec &s) { s.duration = 61.0; }},
+            {"skip", [](RunSpec &s) { s.skip = 11.0; }},
+            {"seed", [](RunSpec &s) { s.seed = 0x5eee; }},
+            {"quantum", [](RunSpec &s) { s.quantum *= 2; }},
+        };
+    for (const auto &[name, mutate] : mutations) {
+        RunSpec spec = baseSpec();
+        mutate(spec);
+        EXPECT_NE(runFingerprint(spec), base)
+            << "changing " << name << " did not change the key";
+    }
+}
+
+TEST(RunFingerprintTest, EveryFaultPlanFieldChangesTheKey)
+{
+    const uint64_t base = runFingerprint(baseSpec());
+
+    const std::vector<
+        std::pair<const char *, std::function<void(FaultPlan &)>>>
+        mutations = {
+            {"counterWidthBits",
+             [](FaultPlan &p) { p.counterWidthBits = 32; }},
+            {"dropReadingProb",
+             [](FaultPlan &p) { p.dropReadingProb = 0.01; }},
+            {"missPulseProb",
+             [](FaultPlan &p) { p.missPulseProb = 0.01; }},
+            {"duplicatePulseProb",
+             [](FaultPlan &p) { p.duplicatePulseProb = 0.01; }},
+            {"pulseLatencyMax",
+             [](FaultPlan &p) { p.pulseLatencyMax = 0.002; }},
+            {"dropBlockProb",
+             [](FaultPlan &p) { p.dropBlockProb = 0.01; }},
+            {"glitchBlockProb",
+             [](FaultPlan &p) { p.glitchBlockProb = 0.01; }},
+            {"glitchSpikeWatts",
+             [](FaultPlan &p) { p.glitchSpikeWatts = 1000.0; }},
+            {"unavailableEvents",
+             [](FaultPlan &p) {
+                 p.unavailableEvents = {PerfEvent::TlbMisses};
+             }},
+        };
+    for (const auto &[name, mutate] : mutations) {
+        RunSpec spec = baseSpec();
+        mutate(spec.faults);
+        EXPECT_NE(runFingerprint(spec), base)
+            << "changing faults." << name
+            << " did not change the key";
+    }
+
+    // Distinct unavailable-event sets must also hash apart.
+    RunSpec one = baseSpec();
+    one.faults.unavailableEvents = {PerfEvent::TlbMisses};
+    RunSpec other = baseSpec();
+    other.faults.unavailableEvents = {PerfEvent::BusTransactions};
+    EXPECT_NE(runFingerprint(one), runFingerprint(other));
+}
+
+TEST(FingerprintTest, TypeTagsPreventFieldBoundaryCollisions)
+{
+    // "ab" + "c" vs "a" + "bc": length-prefixed strings keep them
+    // distinct.
+    Fingerprint a;
+    a.mixString("ab");
+    a.mixString("c");
+    Fingerprint b;
+    b.mixString("a");
+    b.mixString("bc");
+    EXPECT_NE(a.digest(), b.digest());
+
+    // A double and the u64 with the same bit pattern hash apart.
+    Fingerprint as_double;
+    as_double.mixDouble(1.0);
+    Fingerprint as_u64;
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(double));
+    const double value = 1.0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    as_u64.mixU64(bits);
+    EXPECT_NE(as_double.digest(), as_u64.digest());
+}
+
+TEST_F(TraceCacheTest, StoreThenLookupHits)
+{
+    TraceCache cache(root_.string());
+    const SampleTrace trace = tinyTrace();
+    const uint64_t key = 0x1234abcd;
+
+    SampleTrace loaded;
+    EXPECT_FALSE(cache.lookup(key, loaded));
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    cache.store(key, trace);
+    EXPECT_EQ(cache.stats().stores, 1u);
+    ASSERT_TRUE(cache.lookup(key, loaded));
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_TRUE(traceBitIdentical(trace, loaded));
+}
+
+TEST_F(TraceCacheTest, DifferentKeysAreDifferentEntries)
+{
+    TraceCache cache(root_.string());
+    cache.store(1, tinyTrace());
+    SampleTrace loaded;
+    EXPECT_FALSE(cache.lookup(2, loaded));
+    EXPECT_NE(cache.entryPath(1), cache.entryPath(2));
+}
+
+TEST_F(TraceCacheTest, TruncatedEntryFallsBackToMiss)
+{
+    TraceCache cache(root_.string());
+    const uint64_t key = 7;
+    cache.store(key, tinyTrace());
+
+    const fs::path path = cache.entryPath(key);
+    const uintmax_t size = fs::file_size(path);
+    fs::resize_file(path, size / 2);
+
+    SampleTrace loaded;
+    EXPECT_FALSE(cache.lookup(key, loaded));
+    EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST_F(TraceCacheTest, BitFlippedEntryFallsBackToMiss)
+{
+    TraceCache cache(root_.string());
+    const uint64_t key = 8;
+    cache.store(key, tinyTrace());
+
+    const fs::path path = cache.entryPath(key);
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file);
+    file.seekg(0, std::ios::end);
+    const std::streamoff size = file.tellg();
+    file.seekp(size - 5);
+    char byte = 0;
+    file.seekg(size - 5);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(size - 5);
+    file.write(&byte, 1);
+    file.close();
+
+    SampleTrace loaded;
+    EXPECT_FALSE(cache.lookup(key, loaded));
+    EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST_F(TraceCacheTest, KeyMismatchInsideEntryIsRejected)
+{
+    // An entry whose embedded fingerprint disagrees with its file
+    // name (e.g. a hand-renamed file) must not be served.
+    TraceCache cache(root_.string());
+    cache.store(10, tinyTrace());
+    fs::rename(cache.entryPath(10), cache.entryPath(11));
+
+    SampleTrace loaded;
+    EXPECT_FALSE(cache.lookup(11, loaded));
+    EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST_F(TraceCacheTest, RunTracesFallsBackToSimulationOnCorruptEntry)
+{
+    // End to end: a corrupt cache entry must not poison runTraces -
+    // the spec re-simulates, the result matches an uncached run, and
+    // the repaired entry is stored back.
+    bench::setTraceCacheRoot("");
+    RunSpec spec;
+    spec.workload = "idle";
+    spec.instances = 0;
+    spec.firstStart = 0.0;
+    spec.duration = 8.0;
+    spec.skip = 2.0;
+    const SampleTrace fresh = bench::runTraces({spec})[0];
+
+    bench::setTraceCacheRoot(root_.string());
+    ASSERT_NE(bench::traceCache(), nullptr);
+    const SampleTrace populate = bench::runTraces({spec})[0];
+    EXPECT_TRUE(traceBitIdentical(fresh, populate));
+    EXPECT_EQ(bench::traceCache()->stats().stores, 1u);
+
+    // Corrupt the stored entry, then run again: must fall back.
+    const fs::path path =
+        bench::traceCache()->entryPath(runFingerprint(spec));
+    ASSERT_TRUE(fs::exists(path));
+    fs::resize_file(path, fs::file_size(path) - 3);
+
+    const SampleTrace recovered = bench::runTraces({spec})[0];
+    EXPECT_TRUE(traceBitIdentical(fresh, recovered));
+    EXPECT_EQ(bench::traceCache()->stats().rejected, 1u);
+
+    // And the entry was re-stored: a final run is a pure hit.
+    const SampleTrace warm = bench::runTraces({spec})[0];
+    EXPECT_TRUE(traceBitIdentical(fresh, warm));
+    EXPECT_GE(bench::traceCache()->stats().hits, 1u);
+
+    bench::setTraceCacheRoot("");
+}
+
+TEST_F(TraceCacheTest, CachedTraceBitIdenticalForEveryWorkload)
+{
+    // The acceptance gate: for the whole 12-workload suite, a cached
+    // trace must be byte-identical to the freshly simulated one.
+    const std::vector<std::string> names = workloadProfileNames();
+    ASSERT_FALSE(names.empty());
+
+    for (const std::string &name : names) {
+        RunSpec spec;
+        spec.workload = name;
+        spec.instances = 2;
+        spec.firstStart = 0.5;
+        spec.duration = 12.0;
+        spec.skip = 2.0;
+
+        bench::setTraceCacheRoot("");
+        const SampleTrace fresh = bench::runTraces({spec})[0];
+
+        bench::setTraceCacheRoot(root_.string());
+        const SampleTrace stored = bench::runTraces({spec})[0];
+        const SampleTrace cached = bench::runTraces({spec})[0];
+        EXPECT_TRUE(traceBitIdentical(fresh, stored)) << name;
+        EXPECT_TRUE(traceBitIdentical(fresh, cached)) << name;
+    }
+    bench::setTraceCacheRoot("");
+}
+
+} // namespace
+} // namespace tdp
