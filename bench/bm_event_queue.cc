@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/logging.hh"
 #include "sim/event_queue.hh"
 
 namespace {
@@ -144,4 +145,14 @@ BENCHMARK(BM_OwnedEventSchedule);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the logger picks up TDP_LOG_LEVEL.
+int
+main(int argc, char **argv)
+{
+    tdp::setLogLevelFromEnvironment();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

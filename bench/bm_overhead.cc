@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/logging.hh"
 #include "core/estimator.hh"
 #include "core/events.hh"
 #include "core/serialize.hh"
@@ -143,4 +144,14 @@ BENCHMARK(BM_TrainQuadraticModel)->Arg(64)->Arg(512)->Arg(4096);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the logger picks up TDP_LOG_LEVEL.
+int
+main(int argc, char **argv)
+{
+    tdp::setLogLevelFromEnvironment();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

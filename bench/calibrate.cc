@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/logging.hh"
 #include "common/running_stats.hh"
 #include "common/table.hh"
 #include "core/events.hh"
@@ -107,13 +108,12 @@ main(int argc, char **argv)
                       TableWriter::num(active.mean(), 2),
                       TableWriter::num(irq.mean(), 0)});
 
-        std::fprintf(stderr, "[%s: %zu samples]\n", t.name,
-                     trace.size());
+        tdp::emitStats("[%s: %zu samples]", t.name, trace.size());
     }
 
     const double wall = std::chrono::duration<double>(t1 - t0).count();
-    std::fprintf(stderr, "[%zu runs in %.1fs wall, %d jobs]\n",
-                 traces.size(), wall, tdp::bench::jobs());
+    tdp::emitStats("[%zu runs in %.1fs wall, %d jobs]", traces.size(),
+                   wall, tdp::bench::jobs());
 
     table.render(std::cout);
     return 0;

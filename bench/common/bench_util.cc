@@ -17,6 +17,8 @@
 #include "common/table.hh"
 #include "exp/experiment_pool.hh"
 #include "measure/trace_io.hh"
+#include "obs/span_tracer.hh"
+#include "obs/stats_registry.hh"
 #include "trace/fingerprint.hh"
 
 namespace tdp {
@@ -32,6 +34,58 @@ std::unique_ptr<TraceCache> activeTraceCache;
 
 /** True once a flag/env/setTraceCacheRoot decision has been made. */
 bool traceCacheResolved = false;
+
+/** True when --trace-out/--manifest-out (or env) enabled telemetry. */
+bool observabilityOn = false;
+
+/** Manifest output path; empty when no manifest was requested. */
+std::string manifestPath;
+
+/** The manifest the run helpers accumulate into. */
+obs::RunManifest globalManifest;
+
+/** File name component of a path, for the manifest's tool field. */
+std::string
+toolName(const char *argv0)
+{
+    if (!argv0 || argv0[0] == '\0')
+        return "bench";
+    return std::filesystem::path(argv0).filename().string();
+}
+
+/**
+ * Section name for the Nth contribution of one kind: "training",
+ * "training.2", ... so repeated train/validate calls (robustness
+ * sweeps) never append duplicate keys to one section.
+ */
+std::string
+numberedSection(const char *base, int ordinal)
+{
+    if (ordinal <= 1)
+        return base;
+    return formatString("%s.%d", base, ordinal);
+}
+
+/** Flatten a trainer scrub report into a manifest section. */
+void
+addTrainingSection(const TrainingReport &report)
+{
+    if (!observabilityOn)
+        return;
+    static int calls = 0;
+    const std::string section = numberedSection("training", ++calls);
+    for (int r = 0; r < numRails; ++r) {
+        const auto &c = report.rails[static_cast<size_t>(r)];
+        const std::string rail = railName(static_cast<Rail>(r));
+        globalManifest.addSectionEntry(section, rail + ".kept",
+                                       c.kept);
+        globalManifest.addSectionEntry(
+            section, rail + ".discarded_non_finite",
+            c.discardedNonFinite);
+        globalManifest.addSectionEntry(
+            section, rail + ".discarded_outlier", c.discardedOutlier);
+    }
+}
 
 int
 parseJobsValue(const char *text)
@@ -77,6 +131,10 @@ jobs()
 void
 initBench(int argc, char **argv)
 {
+    setLogLevelFromEnvironment();
+
+    std::string trace_out;
+    std::string manifest_out;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--jobs") == 0 ||
@@ -96,8 +154,46 @@ initBench(int argc, char **argv)
             setTraceCacheRoot(arg + 14);
         } else if (std::strcmp(arg, "--no-trace-cache") == 0) {
             setTraceCacheRoot("");
+        } else if (std::strcmp(arg, "--trace-out") == 0) {
+            if (i + 1 >= argc)
+                fatal("--trace-out expects a file path");
+            trace_out = argv[++i];
+        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+            if (arg[12] == '\0')
+                fatal("--trace-out= expects a file path");
+            trace_out = arg + 12;
+        } else if (std::strcmp(arg, "--manifest-out") == 0) {
+            if (i + 1 >= argc)
+                fatal("--manifest-out expects a file path");
+            manifest_out = argv[++i];
+        } else if (std::strncmp(arg, "--manifest-out=", 15) == 0) {
+            if (arg[15] == '\0')
+                fatal("--manifest-out= expects a file path");
+            manifest_out = arg + 15;
         }
     }
+
+    if (trace_out.empty()) {
+        const char *env = std::getenv("TDP_TRACE_OUT");
+        if (env && env[0] != '\0')
+            trace_out = env;
+    }
+    if (manifest_out.empty()) {
+        const char *env = std::getenv("TDP_MANIFEST_OUT");
+        if (env && env[0] != '\0')
+            manifest_out = env;
+    }
+    if (trace_out.empty() && manifest_out.empty())
+        return;
+
+    observabilityOn = true;
+    manifestPath = manifest_out;
+    globalManifest.setTool(toolName(argc > 0 ? argv[0] : nullptr));
+    obs::StatsRegistry::global().setEnabled(true);
+    if (!trace_out.empty())
+        obs::SpanTracer::global().setOutput(std::move(trace_out));
+    // One hook per process: initBench is called once from main.
+    std::atexit(flushObservability);
 }
 
 std::vector<std::string>
@@ -107,13 +203,17 @@ positionalArgs(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--jobs") == 0 ||
-            std::strcmp(arg, "-j") == 0) {
+            std::strcmp(arg, "-j") == 0 ||
+            std::strcmp(arg, "--trace-out") == 0 ||
+            std::strcmp(arg, "--manifest-out") == 0) {
             ++i; // skip the value
         } else if (std::strncmp(arg, "--jobs=", 7) != 0 &&
                    !(std::strncmp(arg, "-j", 2) == 0 &&
                      arg[2] != '\0') &&
                    std::strncmp(arg, "--trace-cache", 13) != 0 &&
-                   std::strcmp(arg, "--no-trace-cache") != 0) {
+                   std::strcmp(arg, "--no-trace-cache") != 0 &&
+                   std::strncmp(arg, "--trace-out=", 12) != 0 &&
+                   std::strncmp(arg, "--manifest-out=", 15) != 0) {
             out.push_back(arg);
         }
     }
@@ -135,6 +235,53 @@ traceCache()
 {
     resolveTraceCache();
     return activeTraceCache.get();
+}
+
+bool
+observabilityEnabled()
+{
+    return observabilityOn;
+}
+
+obs::RunManifest &
+runManifest()
+{
+    return globalManifest;
+}
+
+void
+flushObservability()
+{
+    if (!observabilityOn)
+        return;
+    obs::SpanTracer &tracer = obs::SpanTracer::global();
+    if (tracer.enabled()) {
+        const obs::SpanTracer::Stats spans = tracer.stats();
+        tracer.flush();
+        globalManifest.setSpanTrace(tracer.outputPath(),
+                                    spans.recorded, spans.dropped);
+    }
+    if (manifestPath.empty())
+        return;
+    // Runs from atexit: only best-effort helpers below (no fatal()),
+    // so an exception can never escape the handler.
+    static bool cacheSectionAdded = false;
+    const TraceCache *cache = activeTraceCache.get();
+    if (cache && !cacheSectionAdded) {
+        cacheSectionAdded = true;
+        const TraceCache::Stats &s = cache->stats();
+        globalManifest.addSectionEntry("trace_cache", "root",
+                                       cache->root());
+        globalManifest.addSectionEntry("trace_cache", "hits", s.hits);
+        globalManifest.addSectionEntry("trace_cache", "misses",
+                                       s.misses);
+        globalManifest.addSectionEntry("trace_cache", "rejected",
+                                       s.rejected);
+        globalManifest.addSectionEntry("trace_cache", "stores",
+                                       s.stores);
+    }
+    globalManifest.setJobs(jobs());
+    globalManifest.writeFile(manifestPath);
 }
 
 uint64_t
@@ -164,9 +311,13 @@ runTraces(const std::vector<RunSpec> &specs)
     // Indices that still need a simulation, in spec order.
     std::vector<size_t> pending;
     std::vector<uint64_t> keys(specs.size(), 0);
+    if (observabilityOn)
+        for (size_t i = 0; i < specs.size(); ++i)
+            keys[i] = runFingerprint(specs[i]);
     if (cache) {
         for (size_t i = 0; i < specs.size(); ++i) {
-            keys[i] = runFingerprint(specs[i]);
+            if (!observabilityOn)
+                keys[i] = runFingerprint(specs[i]);
             if (!cache->lookup(keys[i], out[i]))
                 pending.push_back(i);
         }
@@ -188,15 +339,33 @@ runTraces(const std::vector<RunSpec> &specs)
         }
     }
 
+    if (observabilityOn) {
+        // pending is sorted spec order; walk it alongside the specs
+        // to tag each manifest run with its provenance.
+        size_t next_pending = 0;
+        for (size_t i = 0; i < specs.size(); ++i) {
+            const bool simulated = next_pending < pending.size() &&
+                                   pending[next_pending] == i;
+            if (simulated)
+                ++next_pending;
+            obs::ManifestRun run;
+            run.workload = specs[i].workload;
+            run.samples = out[i].size();
+            run.fingerprint = keys[i];
+            run.fromCache = !simulated;
+            run.simSeconds = specs[i].duration;
+            globalManifest.addRun(std::move(run));
+        }
+    }
+
     if (cache) {
         // Stderr only: stdout must stay byte-identical whether or
         // not a run was served from the cache.
-        std::fprintf(stderr,
-                     "trace-cache[%s]: %zu hit(s), %zu simulated of "
-                     "%zu run(s)\n",
-                     cache->root().c_str(),
-                     specs.size() - pending.size(), pending.size(),
-                     specs.size());
+        emitStats("trace-cache[%s]: %zu hit(s), %zu simulated of "
+                  "%zu run(s)",
+                  cache->root().c_str(),
+                  specs.size() - pending.size(), pending.size(),
+                  specs.size());
     }
     return out;
 }
@@ -251,6 +420,9 @@ trainingRun(const std::string &workload)
 SampleTrace
 runTrace(const RunSpec &spec, std::unique_ptr<Server> &out)
 {
+    obs::TraceSpan span("bench", "run:" + spec.workload);
+    span.arg("sim_seconds", spec.duration);
+
     Server::Params params;
     params.quantum = spec.quantum;
     params.rig.faults = spec.faults;
@@ -261,6 +433,11 @@ runTrace(const RunSpec &spec, std::unique_ptr<Server> &out)
     }
     out->run(spec.duration);
     const SampleTrace &full = out->rig().collect();
+
+    obs::StatsRegistry &reg = obs::StatsRegistry::global();
+    if (reg.enabled())
+        out->system().publishStats(reg);
+
     if (spec.skip <= 0.0)
         return full;
     return full.slice(spec.skip, spec.duration + 1.0);
@@ -297,7 +474,7 @@ trainPaperEstimator(uint64_t seed)
     trainer.setTrainingTrace(Rail::Disk, traces[2]);
     trainer.setTrainingTrace(Rail::Io, traces[2]);
     trainer.setTrainingTrace(Rail::Chipset, traces[3]);
-    trainer.train(estimator);
+    addTrainingSection(trainer.train(estimator));
     return estimator;
 }
 
@@ -326,6 +503,7 @@ trainDegradableEstimator(uint64_t seed, const FaultPlan &faults,
     trainer.setTrainingTrace(Rail::Io, traces[2]);
     trainer.setTrainingTrace(Rail::Chipset, traces[3]);
     const TrainingReport scrubbed = trainer.train(estimator);
+    addTrainingSection(scrubbed);
     if (report)
         *report = scrubbed;
     return estimator;
@@ -365,6 +543,22 @@ printErrorTable(const SystemPowerEstimator &estimator,
         add_row(r);
     add_row(Validator::average(results, average_label));
     table.render(std::cout);
+
+    if (observabilityOn) {
+        static int calls = 0;
+        const std::string section =
+            numberedSection("health", ++calls);
+        const HealthReport health = estimator.health();
+        for (const RailHealth &rail : health.rails) {
+            globalManifest.addSectionEntry(
+                section, rail.rail + ".estimates", rail.estimates);
+            globalManifest.addSectionEntry(
+                section, rail.rail + ".degraded", rail.degraded);
+            globalManifest.addSectionEntry(
+                section, rail.rail + ".unestimable",
+                rail.unestimable);
+        }
+    }
     return results;
 }
 
@@ -391,6 +585,11 @@ writeBenchJson(const std::string &bench,
     os << "\n  ]\n}\n";
     if (!os)
         fatal("writeBenchJson: write to %s failed", path.c_str());
+
+    if (observabilityOn)
+        for (const BenchMetric &metric : metrics)
+            globalManifest.addMetric(
+                {metric.name, metric.value, metric.unit});
     return path.string();
 }
 

@@ -18,6 +18,7 @@
 #include "core/validator.hh"
 #include "fault/fault_plan.hh"
 #include "measure/trace.hh"
+#include "obs/run_manifest.hh"
 #include "platform/server.hh"
 #include "trace/trace_cache.hh"
 
@@ -37,11 +38,22 @@ constexpr uint64_t defaultSeed = 0x5eed2007;
  *  - `--trace-cache` / `--trace-cache=DIR`: enable the trace cache
  *    (default directory `.tdp-trace-cache` when no DIR is given);
  *  - `--no-trace-cache`: force the cache off.
+ *  - `--trace-out FILE` / `--trace-out=FILE`: record spans and write
+ *    a Chrome trace-event JSON to FILE at exit (TDP_TRACE_OUT when
+ *    the flag is absent);
+ *  - `--manifest-out FILE` / `--manifest-out=FILE`: write the unified
+ *    run manifest (runs, metrics, stats snapshot) to FILE at exit
+ *    (TDP_MANIFEST_OUT when the flag is absent).
  *
  * Without a cache flag the TDP_TRACE_CACHE environment variable
  * decides (unset/empty/"0" off, "1" default directory, else the
  * directory itself). The cache defaults OFF: with it disabled every
  * bench byte-stream is identical to a build without the cache code.
+ *
+ * Either observability flag enables the global StatsRegistry; with
+ * both absent the instrumentation stays off and every bench
+ * byte-stream (stdout in particular) is identical to a build without
+ * the telemetry code. Also applies TDP_LOG_LEVEL to the logger.
  */
 void initBench(int argc, char **argv);
 
@@ -143,6 +155,24 @@ void setTraceCacheRoot(const std::string &root);
 
 /** The active trace cache, or nullptr when caching is disabled. */
 TraceCache *traceCache();
+
+/** True when --trace-out/--manifest-out (or env) enabled telemetry. */
+bool observabilityEnabled();
+
+/**
+ * The process-wide run manifest the helpers accumulate into (runs,
+ * bench metrics, training/health sections). Only written at exit when
+ * a manifest path is configured; binaries may add their own sections.
+ */
+obs::RunManifest &runManifest();
+
+/**
+ * Flush observability outputs now: write the span trace and the
+ * manifest to their configured paths. Installed atexit by initBench;
+ * safe to call repeatedly (later calls overwrite with newer state)
+ * and a no-op when telemetry is off.
+ */
+void flushObservability();
 
 /** Execute a run and return both the server (for inspection) and trace. */
 SampleTrace runTrace(const RunSpec &spec, std::unique_ptr<Server> &out);

@@ -7,7 +7,7 @@
  *
  * Usage:
  *   trace_dump [workload] [instances] [seconds] [stagger] [seed]
- *              [--format csv|bin] [--read FILE]
+ *              [--format csv|bin] [--read FILE] [--manifest]
  *
  * Defaults: gcc 8 120 0 0x5eed2007, CSV. Output goes to stdout;
  * progress to stderr.
@@ -23,6 +23,11 @@
  * FILE (binary detected by magic, anything else parsed as CSV) and
  * re-emitted in the requested format, so the tool doubles as a
  * bin->csv / csv->bin converter.
+ *
+ * With `--manifest` no simulation runs either: the spec's trace must
+ * already sit in the trace cache (enable it with --trace-cache or
+ * TDP_TRACE_CACHE) or be named by --read, and the tool prints a run
+ * manifest document for it on stdout instead of the trace itself.
  */
 
 #include <cstdio>
@@ -75,6 +80,25 @@ parseFormatIsBinary(const std::string &value)
     fatal("--format expects 'csv' or 'bin', got '%s'", value.c_str());
 }
 
+/** Build the recording spec from the positional arguments. */
+bench::RunSpec
+specFromArgs(const std::vector<std::string> &args)
+{
+    bench::RunSpec spec;
+    spec.workload = args.size() > 0 ? args[0] : "gcc";
+    spec.instances = args.size() > 1 ? std::atoi(args[1].c_str()) : 8;
+    spec.duration =
+        args.size() > 2 ? std::atof(args[2].c_str()) : 120.0;
+    spec.stagger = args.size() > 3 ? std::atof(args[3].c_str()) : 0.0;
+    spec.seed = args.size() > 4
+                    ? std::strtoull(args[4].c_str(), nullptr, 0)
+                    : bench::defaultSeed;
+    spec.skip = 0.0;
+    if (spec.workload == "idle")
+        spec.instances = 0;
+    return spec;
+}
+
 } // namespace
 
 int
@@ -86,6 +110,7 @@ main(int argc, char **argv)
     initBench(argc, argv);
 
     bool binary = false;
+    bool manifest_mode = false;
     std::string read_path;
     std::vector<std::string> args;
     const std::vector<std::string> remaining =
@@ -104,6 +129,8 @@ main(int argc, char **argv)
             read_path = remaining[++i];
         } else if (arg.rfind("--read=", 0) == 0) {
             read_path = arg.substr(7);
+        } else if (arg == "--manifest") {
+            manifest_mode = true;
         } else {
             args.push_back(arg);
         }
@@ -111,23 +138,55 @@ main(int argc, char **argv)
 
     SampleTrace trace;
     uint64_t fingerprint = 0;
+    if (manifest_mode && read_path.empty()) {
+        // Manifest for a cached run: no re-simulation, ever. The
+        // trace must already be in the cache (or come via --read).
+        RunSpec spec = specFromArgs(args);
+        TraceCache *cache = traceCache();
+        if (!cache)
+            fatal("--manifest needs a cached trace: enable the "
+                  "cache (--trace-cache or TDP_TRACE_CACHE) or name "
+                  "a file with --read");
+        fingerprint = runFingerprint(spec);
+        if (!cache->lookup(fingerprint, trace))
+            fatal("--manifest: no cached trace for %s (fingerprint "
+                  "%016llx) in %s; record it first by running the "
+                  "workload once with the cache enabled",
+                  spec.workload.c_str(),
+                  static_cast<unsigned long long>(fingerprint),
+                  cache->root().c_str());
+
+        obs::RunManifest manifest;
+        manifest.setTool("trace_dump");
+        manifest.setJobs(jobs());
+        obs::ManifestRun run;
+        run.workload = spec.workload;
+        run.samples = trace.size();
+        run.fingerprint = fingerprint;
+        run.fromCache = true;
+        run.simSeconds = spec.duration;
+        manifest.addRun(std::move(run));
+        manifest.writeJson(std::cout,
+                           obs::StatsRegistry::global().snapshot());
+        return 0;
+    }
+
     if (!read_path.empty()) {
         trace = readTraceFile(read_path);
+        if (manifest_mode) {
+            obs::RunManifest manifest;
+            manifest.setTool("trace_dump");
+            manifest.setJobs(jobs());
+            obs::ManifestRun run;
+            run.workload = "file:" + read_path;
+            run.samples = trace.size();
+            manifest.addRun(std::move(run));
+            manifest.writeJson(
+                std::cout, obs::StatsRegistry::global().snapshot());
+            return 0;
+        }
     } else {
-        RunSpec spec;
-        spec.workload = args.size() > 0 ? args[0] : "gcc";
-        spec.instances =
-            args.size() > 1 ? std::atoi(args[1].c_str()) : 8;
-        spec.duration =
-            args.size() > 2 ? std::atof(args[2].c_str()) : 120.0;
-        spec.stagger =
-            args.size() > 3 ? std::atof(args[3].c_str()) : 0.0;
-        spec.seed = args.size() > 4
-                        ? std::strtoull(args[4].c_str(), nullptr, 0)
-                        : defaultSeed;
-        spec.skip = 0.0;
-        if (spec.workload == "idle")
-            spec.instances = 0;
+        const RunSpec spec = specFromArgs(args);
 
         // Validate the workload name before burning simulation time.
         if (spec.instances > 0)

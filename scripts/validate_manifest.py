@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate a tdp-run-manifest JSON document (stdlib only).
+
+Usage: validate_manifest.py MANIFEST.json [--expect-runs N]
+
+Checks the schema-versioned structure written by obs::RunManifest:
+field presence, types, fingerprint format, histogram snapshot shape.
+Exits non-zero with a message naming the first violation.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+FINGERPRINT_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def fail(msg):
+    print(f"validate_manifest: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_number(value, where):
+    expect(isinstance(value, (int, float)) and not isinstance(value, bool),
+           f"{where} must be a number, got {type(value).__name__}")
+
+
+def check_stats(stats):
+    expect(isinstance(stats, dict), "stats must be an object")
+    for group in ("counters", "gauges", "histograms"):
+        expect(group in stats, f"stats.{group} missing")
+        expect(isinstance(stats[group], dict),
+               f"stats.{group} must be an object")
+    for name, value in stats["counters"].items():
+        expect(isinstance(value, int) and value >= 0,
+               f"counter {name} must be a non-negative integer")
+    for name, value in stats["gauges"].items():
+        check_number(value, f"gauge {name}")
+    for name, hist in stats["histograms"].items():
+        expect(isinstance(hist, dict), f"histogram {name} must be an object")
+        for field in ("count", "sum", "buckets"):
+            expect(field in hist, f"histogram {name}.{field} missing")
+        expect(isinstance(hist["buckets"], list) and len(hist["buckets"]) <= 65,
+               f"histogram {name}.buckets must be a list of <= 65 buckets")
+        expect(sum(hist["buckets"]) == hist["count"],
+               f"histogram {name}: bucket sum != count")
+
+
+def check_manifest(doc, expect_runs):
+    expect(isinstance(doc, dict), "document must be a JSON object")
+    expect(doc.get("schema") == "tdp-run-manifest",
+           f"schema must be 'tdp-run-manifest', got {doc.get('schema')!r}")
+    expect(doc.get("version") == 1, f"version must be 1, got {doc.get('version')!r}")
+    expect(isinstance(doc.get("tool"), str) and doc["tool"],
+           "tool must be a non-empty string")
+    expect(isinstance(doc.get("jobs"), int) and doc["jobs"] >= 1,
+           "jobs must be a positive integer")
+
+    runs = doc.get("runs")
+    expect(isinstance(runs, list), "runs must be a list")
+    if expect_runs is not None:
+        expect(len(runs) == expect_runs,
+               f"expected {expect_runs} runs, found {len(runs)}")
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        expect(isinstance(run, dict), f"{where} must be an object")
+        expect(isinstance(run.get("workload"), str) and run["workload"],
+               f"{where}.workload must be a non-empty string")
+        expect(isinstance(run.get("samples"), int) and run["samples"] >= 0,
+               f"{where}.samples must be a non-negative integer")
+        expect(isinstance(run.get("fingerprint"), str)
+               and FINGERPRINT_RE.match(run["fingerprint"]),
+               f"{where}.fingerprint must be 16 lowercase hex digits")
+        expect(isinstance(run.get("from_cache"), bool),
+               f"{where}.from_cache must be a boolean")
+        check_number(run.get("sim_seconds"), f"{where}.sim_seconds")
+
+    metrics = doc.get("metrics")
+    expect(isinstance(metrics, list), "metrics must be a list")
+    for i, metric in enumerate(metrics):
+        where = f"metrics[{i}]"
+        expect(isinstance(metric, dict), f"{where} must be an object")
+        expect(isinstance(metric.get("name"), str) and metric["name"],
+               f"{where}.name must be a non-empty string")
+        check_number(metric.get("value"), f"{where}.value")
+        expect(isinstance(metric.get("unit"), str),
+               f"{where}.unit must be a string")
+
+    sections = doc.get("sections")
+    expect(isinstance(sections, dict), "sections must be an object")
+    for name, entries in sections.items():
+        expect(isinstance(entries, dict),
+               f"section {name} must be an object")
+        for key, value in entries.items():
+            expect(isinstance(value, (int, float, str))
+                   and not isinstance(value, bool),
+                   f"section {name}.{key} must be a number or string")
+
+    expect("stats" in doc, "stats missing")
+    check_stats(doc["stats"])
+
+    if "span_trace" in doc:
+        span = doc["span_trace"]
+        expect(isinstance(span, dict), "span_trace must be an object")
+        expect(isinstance(span.get("path"), str) and span["path"],
+               "span_trace.path must be a non-empty string")
+        for field in ("recorded", "dropped"):
+            expect(isinstance(span.get(field), int) and span[field] >= 0,
+                   f"span_trace.{field} must be a non-negative integer")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("manifest")
+    parser.add_argument("--expect-runs", type=int, default=None)
+    args = parser.parse_args()
+
+    try:
+        with open(args.manifest, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot load {args.manifest}: {err}")
+
+    check_manifest(doc, args.expect_runs)
+    print(f"validate_manifest: {args.manifest} OK "
+          f"({len(doc['runs'])} runs, {len(doc['metrics'])} metrics, "
+          f"{len(doc['stats']['counters'])} counters)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (stdlib only).
+
+Usage: validate_trace.py TRACE.json [--min-events N]
+
+Checks the structure obs::SpanTracer writes: a traceEvents array of
+complete ("ph": "X") events with numeric microsecond timestamps,
+sorted by start time, plus the displayTimeUnit hint — i.e. exactly
+what chrome://tracing and Perfetto load. Exits non-zero naming the
+first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_event(event, where):
+    expect(isinstance(event, dict), f"{where} must be an object")
+    for field in ("name", "cat"):
+        expect(isinstance(event.get(field), str) and event[field],
+               f"{where}.{field} must be a non-empty string")
+    expect(event.get("ph") == "X",
+           f"{where}.ph must be 'X' (complete event), got {event.get('ph')!r}")
+    for field in ("ts", "dur"):
+        value = event.get(field)
+        expect(isinstance(value, (int, float)) and not isinstance(value, bool),
+               f"{where}.{field} must be a number")
+        expect(value >= 0, f"{where}.{field} must be non-negative")
+    for field in ("pid", "tid"):
+        expect(isinstance(event.get(field), int) and event[field] >= 1,
+               f"{where}.{field} must be a positive integer")
+    if "args" in event:
+        expect(isinstance(event["args"], dict),
+               f"{where}.args must be an object")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("--min-events", type=int, default=1)
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot load {args.trace}: {err}")
+
+    expect(isinstance(doc, dict), "document must be a JSON object")
+    expect(doc.get("displayTimeUnit") in ("ms", "ns"),
+           "displayTimeUnit must be 'ms' or 'ns'")
+    events = doc.get("traceEvents")
+    expect(isinstance(events, list), "traceEvents must be a list")
+    expect(len(events) >= args.min_events,
+           f"expected >= {args.min_events} events, found {len(events)}")
+
+    last_ts = None
+    categories = {}
+    for i, event in enumerate(events):
+        check_event(event, f"traceEvents[{i}]")
+        ts = event["ts"]
+        if last_ts is not None:
+            expect(ts >= last_ts,
+                   f"traceEvents[{i}] not sorted by ts ({ts} < {last_ts})")
+        last_ts = ts
+        categories[event["cat"]] = categories.get(event["cat"], 0) + 1
+
+    summary = ", ".join(f"{cat}:{n}" for cat, n in sorted(categories.items()))
+    print(f"validate_trace: {args.trace} OK ({len(events)} events; {summary})")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,8 +5,10 @@
 
 #include "common/logging.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace tdp {
@@ -15,10 +17,36 @@ namespace {
 
 LogLevel globalLevel = LogLevel::Warn;
 
+/**
+ * One lock for every stderr line this process emits through the
+ * logger or emitStats(), so parallel experiment workers can never
+ * interleave halves of two lines.
+ */
+std::mutex &
+stderrMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
 void
 emit(const char *tag, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(stderrMutex());
     std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+bool
+equalsIgnoreCase(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -33,6 +61,64 @@ LogLevel
 logLevel()
 {
     return globalLevel;
+}
+
+bool
+parseLogLevel(std::string_view text, LogLevel &out)
+{
+    struct Name
+    {
+        const char *name;
+        LogLevel level;
+    };
+    static const Name names[] = {
+        {"silent", LogLevel::Silent}, {"0", LogLevel::Silent},
+        {"error", LogLevel::Error},   {"1", LogLevel::Error},
+        {"warn", LogLevel::Warn},     {"warning", LogLevel::Warn},
+        {"2", LogLevel::Warn},        {"info", LogLevel::Info},
+        {"3", LogLevel::Info},        {"debug", LogLevel::Debug},
+        {"4", LogLevel::Debug},
+    };
+    for (const Name &entry : names) {
+        if (equalsIgnoreCase(text, entry.name)) {
+            out = entry.level;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+setLogLevelFromEnvironment()
+{
+    const char *value = std::getenv("TDP_LOG_LEVEL");
+    if (!value || value[0] == '\0')
+        return;
+    LogLevel level;
+    if (parseLogLevel(value, level)) {
+        setLogLevel(level);
+        return;
+    }
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        warn("TDP_LOG_LEVEL='%s' is not a log level (silent, error, "
+             "warn, info, debug or 0-4); keeping the current level",
+             value);
+    }
+}
+
+void
+emitStats(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string line = vformatString(fmt, args);
+    va_end(args);
+    if (line.empty() || line.back() != '\n')
+        line += '\n';
+    std::lock_guard<std::mutex> lock(stderrMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 std::string

@@ -14,6 +14,7 @@
 #include <cstdarg>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace tdp {
 
@@ -28,6 +29,30 @@ void setLogLevel(LogLevel level);
 
 /** Current global verbosity threshold. */
 LogLevel logLevel();
+
+/**
+ * Parse a verbosity name, case-insensitively: "silent", "error",
+ * "warn"/"warning", "info", "debug", or the numeric levels "0".."4".
+ * Returns false (leaving `out` untouched) for anything else.
+ */
+bool parseLogLevel(std::string_view text, LogLevel &out);
+
+/**
+ * Apply the TDP_LOG_LEVEL environment variable to the global
+ * threshold. Unset or empty leaves the current level alone; an
+ * unparseable value warns once per process and is otherwise ignored.
+ * Every tool entry point calls this before doing work.
+ */
+void setLogLevelFromEnvironment();
+
+/**
+ * Emit one statistics/status line to stderr as a single atomic
+ * write. Concurrent experiment workers and the logger itself share
+ * one lock, so lines never interleave under `--jobs N`. A trailing
+ * newline is appended when the format does not supply one.
+ */
+void emitStats(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 /**
  * Exception thrown by fatal(). Carries the formatted message so callers

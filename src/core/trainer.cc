@@ -8,6 +8,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/span_tracer.hh"
+#include "obs/stats_registry.hh"
 
 namespace tdp {
 
@@ -121,6 +123,8 @@ ModelTrainer::train(SystemPowerEstimator &estimator) const
                   railName(rail), registeredRails(traces_).c_str(),
                   railName(rail));
         auto &counts = report.rails[static_cast<size_t>(r)];
+        obs::TraceSpan span(
+            "train", std::string("fit:") + railName(rail));
         const SampleTrace clean =
             cleanTrace(it->second, rail, counts);
         if (clean.empty())
@@ -143,6 +147,14 @@ ModelTrainer::train(SystemPowerEstimator &estimator) const
                  static_cast<unsigned long long>(
                      counts.discardedOutlier));
         estimator.trainRail(rail, clean);
+        span.arg("kept", static_cast<double>(counts.kept));
+        auto &reg = obs::StatsRegistry::global();
+        if (reg.enabled()) {
+            const std::string prefix =
+                std::string("train.") + railName(rail);
+            reg.addNamed(prefix + ".kept", counts.kept);
+            reg.addNamed(prefix + ".discarded", counts.discarded());
+        }
     }
     return report;
 }

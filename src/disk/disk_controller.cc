@@ -6,6 +6,7 @@
 #include "disk/disk_controller.hh"
 
 #include "common/logging.hh"
+#include "obs/stats_registry.hh"
 
 namespace tdp {
 
@@ -97,6 +98,14 @@ DiskController::drainPendingMmio()
     const double mmio = pendingMmio_;
     pendingMmio_ = 0.0;
     return mmio;
+}
+
+void
+DiskController::recordStats(obs::StatsRegistry &stats) const
+{
+    stats.addNamed(name() + ".requests_completed", completed_);
+    stats.setNamed(name() + ".outstanding",
+                   static_cast<double>(callbacks_.size()));
 }
 
 } // namespace tdp

@@ -93,6 +93,9 @@ class DiskController : public SimObject
     /** Lifetime completed requests across all disks. */
     uint64_t completedRequests() const { return completed_; }
 
+    /** Publish request/completion totals under this object's name. */
+    void recordStats(obs::StatsRegistry &stats) const override;
+
     /**
      * MMIO accesses performed by drivers this quantum; drained by the
      * CPU complex which executes them as uncacheable accesses.

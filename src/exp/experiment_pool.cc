@@ -6,12 +6,15 @@
 #include "exp/experiment_pool.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
+#include "obs/span_tracer.hh"
+#include "obs/stats_registry.hh"
 
 namespace tdp {
 
@@ -40,12 +43,44 @@ ExperimentPool::forEach(size_t n,
     if (n == 0)
         return;
 
+    // Telemetry: per-task spans and a task-duration histogram. Ids
+    // are resolved once per batch (cold), updates land in the
+    // worker's own lock-free shard; with both sinks disabled the
+    // per-task cost is two relaxed loads.
+    obs::StatsRegistry &stats = obs::StatsRegistry::global();
+    const bool collecting = stats.enabled();
+    obs::StatId tasks_id, task_us_id;
+    if (collecting) {
+        stats.addNamed("exp.pool.batches", 1);
+        stats.setNamed("exp.pool.jobs", static_cast<double>(jobs_));
+        tasks_id = stats.counter("exp.pool.tasks");
+        task_us_id = stats.histogram("exp.pool.task_us");
+    }
+    const bool tracing = obs::SpanTracer::global().enabled();
+    auto invoke = [&](size_t i) {
+        obs::TraceSpan span(
+            "exp", tracing ? formatString("task:%zu", i)
+                           : std::string());
+        if (!collecting) {
+            fn(i);
+            return;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        fn(i);
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        stats.add(tasks_id, 1);
+        stats.observe(task_us_id, static_cast<uint64_t>(us));
+    };
+
     const size_t workers =
         std::min(static_cast<size_t>(jobs_), n);
     if (workers <= 1) {
         // Reference serial path: same job order, same thread.
         for (size_t i = 0; i < n; ++i)
-            fn(i);
+            invoke(i);
         return;
     }
 
@@ -60,7 +95,7 @@ ExperimentPool::forEach(size_t n,
             if (i >= n)
                 return;
             try {
-                fn(i);
+                invoke(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(failure_mutex);
                 if (i < first_failed) {

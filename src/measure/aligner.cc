@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "obs/span_tracer.hh"
 
 namespace tdp {
 
@@ -16,6 +17,10 @@ void
 TraceAligner::drainInto(std::deque<CounterReading> &readings,
                         SampleTrace &out)
 {
+    obs::TraceSpan span("measure", "align");
+    const uint64_t aligned_before = aligned_;
+    const uint64_t resynced_before = resyncedWindows_;
+
     auto &pulses = daq_.pulses();
     auto &blocks = daq_.blocks();
     const Seconds tolerance =
@@ -129,6 +134,15 @@ TraceAligner::drainInto(std::deque<CounterReading> &readings,
         out.add(std::move(sample));
         ++aligned_;
     }
+
+    // Resyncs are the interesting recovery signal; surface them on
+    // the span next to the windows aligned by this drain.
+    span.arg(resyncedWindows_ > resynced_before ? "resyncs"
+                                                : "windows",
+             resyncedWindows_ > resynced_before
+                 ? static_cast<double>(resyncedWindows_ -
+                                       resynced_before)
+                 : static_cast<double>(aligned_ - aligned_before));
 }
 
 } // namespace tdp

@@ -5,6 +5,8 @@
 
 #include "measure/rig.hh"
 
+#include "obs/stats_registry.hh"
+
 namespace tdp {
 
 DataAcquisition::Params
@@ -106,6 +108,26 @@ MeasurementRig::collect()
 {
     aligner_.drainInto(sampler_.readings(), trace_);
     return trace_;
+}
+
+void
+MeasurementRig::recordStats(obs::StatsRegistry &stats) const
+{
+    stats.addNamed("measure.aligner.aligned",
+                   aligner_.alignedCount());
+    stats.addNamed("measure.aligner.orphan_windows",
+                   aligner_.orphanWindows());
+    stats.addNamed("measure.aligner.orphan_readings",
+                   aligner_.orphanReadings());
+    stats.addNamed("measure.aligner.duplicate_pulses",
+                   aligner_.duplicatePulses());
+    stats.addNamed("measure.aligner.resynced_windows",
+                   aligner_.resyncedWindows());
+    stats.addNamed("measure.aligner.empty_windows",
+                   aligner_.emptyWindows());
+    stats.addNamed("measure.aligner.glitch_values_discarded",
+                   aligner_.glitchValuesDiscarded());
+    stats.addNamed("measure.daq.pulses", daq_.pulseCount());
 }
 
 } // namespace tdp

@@ -80,6 +80,9 @@ class MeasurementRig : public SimObject
     /** The fault injector; null when the plan is disabled. */
     const FaultInjector *faults() const { return faults_.get(); }
 
+    /** Publish aligner recovery counters and DAQ pulse totals. */
+    void recordStats(obs::StatsRegistry &stats) const override;
+
   private:
     /** Deliver one sync byte through the fault model. */
     void emitPulse();

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Implementation of the streaming JSON writer.
+ */
+
+#include "obs/json_writer.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace tdp {
+namespace obs {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty())
+        return;
+    Level &level = stack_.back();
+    if (level.isObject && !level.keyPending)
+        panic("JsonWriter: value emitted inside an object without a "
+              "key");
+    if (level.keyPending) {
+        level.keyPending = false;
+        return; // key() already handled the comma
+    }
+    if (level.hasItems)
+        os_ << ',';
+    level.hasItems = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    stack_.push_back(Level{true, false, false});
+}
+
+void
+JsonWriter::endObject()
+{
+    if (stack_.empty() || !stack_.back().isObject ||
+        stack_.back().keyPending)
+        panic("JsonWriter: unbalanced endObject");
+    stack_.pop_back();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    stack_.push_back(Level{false, false, false});
+}
+
+void
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back().isObject)
+        panic("JsonWriter: unbalanced endArray");
+    stack_.pop_back();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    if (stack_.empty() || !stack_.back().isObject ||
+        stack_.back().keyPending)
+        panic("JsonWriter: key() outside an object or after a key");
+    Level &level = stack_.back();
+    if (level.hasItems)
+        os_ << ',';
+    level.hasItems = true;
+    level.keyPending = true;
+    os_ << '"' << jsonEscape(name) << "\":";
+}
+
+void
+JsonWriter::value(std::string_view text)
+{
+    beforeValue();
+    os_ << '"' << jsonEscape(text) << '"';
+}
+
+void
+JsonWriter::value(double number)
+{
+    beforeValue();
+    if (!std::isfinite(number)) {
+        os_ << "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
+    os_ << buf;
+}
+
+void
+JsonWriter::value(uint64_t number)
+{
+    beforeValue();
+    os_ << number;
+}
+
+void
+JsonWriter::value(int64_t number)
+{
+    beforeValue();
+    os_ << number;
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    os_ << (flag ? "true" : "false");
+}
+
+void
+JsonWriter::valueNull()
+{
+    beforeValue();
+    os_ << "null";
+}
+
+} // namespace obs
+} // namespace tdp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal streaming JSON writer shared by the observability sinks
+ * (span traces, run manifests, stats snapshots).
+ *
+ * The writer tracks the container stack and inserts commas itself, so
+ * emitters never concatenate raw punctuation. Doubles are printed
+ * round-trip exact (%.17g); non-finite doubles become null so every
+ * emitted document stays parseable by strict JSON consumers
+ * (`python3 -m json.tool`, Perfetto, chrome://tracing).
+ */
+
+#ifndef TDP_OBS_JSON_WRITER_HH
+#define TDP_OBS_JSON_WRITER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdp {
+namespace obs {
+
+/** Escape a string for inclusion in a JSON document (no quotes). */
+std::string jsonEscape(std::string_view text);
+
+/** Comma-and-nesting-aware JSON emitter. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    /** Open / close containers. @{ */
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+    /** @} */
+
+    /** Emit an object key; the next value call supplies its value. */
+    void key(std::string_view name);
+
+    /** Scalar values. @{ */
+    void value(std::string_view text);
+    void value(const char *text) { value(std::string_view(text)); }
+    void value(double number);
+    void value(uint64_t number);
+    void value(int64_t number);
+    void value(int number) { value(static_cast<int64_t>(number)); }
+    void value(bool flag);
+    void valueNull();
+    /** @} */
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    keyValue(std::string_view name, T &&v)
+    {
+        key(name);
+        value(std::forward<T>(v));
+    }
+
+    /** True when every opened container has been closed. */
+    bool balanced() const { return stack_.empty(); }
+
+  private:
+    /** Comma bookkeeping before a value or key at the current level. */
+    void beforeValue();
+
+    struct Level
+    {
+        bool isObject;
+        bool hasItems;
+        bool keyPending;
+    };
+
+    std::ostream &os_;
+    std::vector<Level> stack_;
+};
+
+} // namespace obs
+} // namespace tdp
+
+#endif // TDP_OBS_JSON_WRITER_HH

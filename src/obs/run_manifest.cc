@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Implementation of the run manifest writer.
+ */
+
+#include "obs/run_manifest.hh"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/logging.hh"
+#include "obs/json_writer.hh"
+
+namespace tdp {
+namespace obs {
+
+RunManifest::Section &
+RunManifest::sectionFor(const std::string &name)
+{
+    for (Section &section : sections_)
+        if (section.name == name)
+            return section;
+    sections_.push_back(Section{name, {}});
+    return sections_.back();
+}
+
+void
+RunManifest::addSectionEntry(const std::string &section,
+                             const std::string &key, double value)
+{
+    SectionValue v;
+    v.isNumber = true;
+    v.number = value;
+    sectionFor(section).entries.emplace_back(key, std::move(v));
+}
+
+void
+RunManifest::addSectionEntry(const std::string &section,
+                             const std::string &key, uint64_t value)
+{
+    addSectionEntry(section, key, static_cast<double>(value));
+}
+
+void
+RunManifest::addSectionEntry(const std::string &section,
+                             const std::string &key,
+                             const std::string &value)
+{
+    SectionValue v;
+    v.isNumber = false;
+    v.text = value;
+    sectionFor(section).entries.emplace_back(key, std::move(v));
+}
+
+void
+RunManifest::setSpanTrace(std::string path, uint64_t recorded,
+                          uint64_t dropped)
+{
+    hasSpanTrace_ = true;
+    spanTracePath_ = std::move(path);
+    spanRecorded_ = recorded;
+    spanDropped_ = dropped;
+}
+
+void
+RunManifest::writeJson(std::ostream &os,
+                       const StatsRegistry::Snapshot &stats) const
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.keyValue("schema", schemaName);
+    json.keyValue("version", schemaVersion);
+    json.keyValue("tool", tool_);
+    json.keyValue("jobs", jobs_);
+
+    json.key("runs");
+    json.beginArray();
+    for (const ManifestRun &run : runs_) {
+        json.beginObject();
+        json.keyValue("workload", run.workload);
+        json.keyValue("samples", run.samples);
+        json.keyValue(
+            "fingerprint",
+            formatString("%016llx", static_cast<unsigned long long>(
+                                        run.fingerprint)));
+        json.keyValue("from_cache", run.fromCache);
+        json.keyValue("sim_seconds", run.simSeconds);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("metrics");
+    json.beginArray();
+    for (const ManifestMetric &metric : metrics_) {
+        json.beginObject();
+        json.keyValue("name", metric.name);
+        json.keyValue("value", metric.value);
+        json.keyValue("unit", metric.unit);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("sections");
+    json.beginObject();
+    for (const Section &section : sections_) {
+        json.key(section.name);
+        json.beginObject();
+        for (const auto &[key, value] : section.entries) {
+            if (value.isNumber)
+                json.keyValue(key, value.number);
+            else
+                json.keyValue(key, value.text);
+        }
+        json.endObject();
+    }
+    json.endObject();
+
+    json.key("stats");
+    StatsRegistry::writeSnapshotJson(json, stats);
+
+    if (hasSpanTrace_) {
+        json.key("span_trace");
+        json.beginObject();
+        json.keyValue("path", spanTracePath_);
+        json.keyValue("recorded", spanRecorded_);
+        json.keyValue("dropped", spanDropped_);
+        json.endObject();
+    }
+
+    json.endObject();
+    os << '\n';
+}
+
+bool
+RunManifest::writeFile(const std::string &path) const
+{
+    namespace fs = std::filesystem;
+
+    const std::string tmp = formatString(
+        "%s.tmp.%ld", path.c_str(), static_cast<long>(::getpid()));
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os) {
+            warn("run manifest: cannot write %s; manifest not "
+                 "emitted",
+                 tmp.c_str());
+            return false;
+        }
+        writeJson(os, StatsRegistry::global().snapshot());
+        if (!os) {
+            warn("run manifest: write to %s failed; manifest not "
+                 "emitted",
+                 tmp.c_str());
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("run manifest: cannot publish %s (%s)", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace tdp

@@ -12,6 +12,10 @@
 
 namespace tdp {
 
+namespace obs {
+class StatsRegistry;
+} // namespace obs
+
 class System;
 
 /**
@@ -44,6 +48,18 @@ class SimObject
 
     /** Called once before the first quantum; schedule initial events. */
     virtual void startup() {}
+
+    /**
+     * Publish this object's counters into the stats registry
+     * (typically under paths rooted at name()). Called by
+     * System::publishStats() at collection points, never on the
+     * simulation hot path, so implementations may resolve stat ids
+     * by name. The default publishes nothing.
+     */
+    virtual void recordStats(obs::StatsRegistry &stats) const
+    {
+        (void)stats;
+    }
 
   private:
     System &system_;

@@ -8,8 +8,21 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/span_tracer.hh"
+#include "obs/stats_registry.hh"
 
 namespace tdp {
+
+namespace {
+
+/**
+ * Quanta per event-dispatch span. One span per quantum would swamp
+ * the trace (a 180 s run is 180k quanta); one per 1000 quanta is one
+ * span per simulated second at the default 1 ms quantum.
+ */
+constexpr uint64_t spanBatchQuanta = 1000;
+
+} // namespace
 
 System::System(uint64_t master_seed, Tick quantum)
     : masterSeed_(master_seed), quantum_(quantum)
@@ -96,6 +109,17 @@ void
 System::runUntil(Tick until_tick)
 {
     ensureStarted();
+
+    // Event-dispatch batch spans: one per spanBatchQuanta quanta,
+    // carrying the events processed in the batch. The per-quantum
+    // cost with tracing off is the single enabled() check hoisted
+    // out of the loop.
+    obs::SpanTracer &tracer = obs::SpanTracer::global();
+    const bool tracing = tracer.enabled();
+    double batch_start_us = tracing ? tracer.nowUs() : 0.0;
+    uint64_t batch_quanta = 0;
+    uint64_t batch_events = events_.processedCount();
+
     while (nextQuantumStart_ + quantum_ <= until_tick) {
         const Tick start = nextQuantumStart_;
         // Fire events due at or before the quantum start (e.g. thread
@@ -104,8 +128,25 @@ System::runUntil(Tick until_tick)
         events_.runUntil(start);
         executeQuantum(start);
         nextQuantumStart_ = start + quantum_;
+        if (tracing && ++batch_quanta == spanBatchQuanta) {
+            const double now_us = tracer.nowUs();
+            tracer.record("sim", "dispatch", batch_start_us,
+                          now_us - batch_start_us, "events",
+                          static_cast<double>(
+                              events_.processedCount() -
+                              batch_events));
+            batch_start_us = now_us;
+            batch_quanta = 0;
+            batch_events = events_.processedCount();
+        }
     }
     events_.runUntil(until_tick);
+    if (tracing && batch_quanta > 0) {
+        tracer.record("sim", "dispatch", batch_start_us,
+                      tracer.nowUs() - batch_start_us, "events",
+                      static_cast<double>(events_.processedCount() -
+                                          batch_events));
+    }
 }
 
 void
@@ -113,7 +154,25 @@ System::runFor(Seconds seconds)
 {
     if (seconds < 0.0)
         fatal("System::runFor: negative duration %g", seconds);
+    obs::TraceSpan span("sim", "runFor");
+    span.arg("sim_seconds", seconds);
     runUntil(nextQuantumStart_ + secondsToTicks(seconds));
+}
+
+void
+System::publishStats(obs::StatsRegistry &stats) const
+{
+    if (!stats.enabled())
+        return;
+    stats.addNamed("sim.quanta", quantaExecuted_);
+    stats.addNamed("sim.events.processed", events_.processedCount());
+    stats.addNamed("sim.events.lambda_slots_allocated",
+                   events_.lambdaSlotsAllocated());
+    stats.setNamed("sim.events.lambda_pool_size",
+                   static_cast<double>(events_.lambdaPoolSize()));
+    stats.addNamed("sim.objects", objects_.size());
+    for (const SimObject *obj : objects_)
+        obj->recordStats(stats);
 }
 
 } // namespace tdp

@@ -14,6 +14,8 @@
 
 #include "common/logging.hh"
 #include "measure/trace_io.hh"
+#include "obs/span_tracer.hh"
+#include "obs/stats_registry.hh"
 
 namespace tdp {
 
@@ -37,10 +39,15 @@ TraceCache::entryPath(uint64_t fingerprint) const
 bool
 TraceCache::lookup(uint64_t fingerprint, SampleTrace &out) const
 {
+    obs::TraceSpan span("cache", "lookup");
+    auto &reg = obs::StatsRegistry::global();
+
     const std::string path = entryPath(fingerprint);
     std::ifstream file(path, std::ios::binary);
     if (!file) {
         ++stats_.misses;
+        reg.addNamed("trace_cache.misses", 1);
+        span.arg("hit", 0.0);
         return false;
     }
 
@@ -52,6 +59,8 @@ TraceCache::lookup(uint64_t fingerprint, SampleTrace &out) const
              "simulation",
              path.c_str(), error.c_str());
         ++stats_.rejected;
+        reg.addNamed("trace_cache.rejected", 1);
+        span.arg("hit", 0.0);
         return false;
     }
     if (stored_key != fingerprint) {
@@ -63,17 +72,24 @@ TraceCache::lookup(uint64_t fingerprint, SampleTrace &out) const
              static_cast<unsigned long long>(stored_key),
              static_cast<unsigned long long>(fingerprint));
         ++stats_.rejected;
+        reg.addNamed("trace_cache.rejected", 1);
+        span.arg("hit", 0.0);
         return false;
     }
 
     out = std::move(trace);
     ++stats_.hits;
+    reg.addNamed("trace_cache.hits", 1);
+    span.arg("hit", 1.0);
     return true;
 }
 
 bool
 TraceCache::store(uint64_t fingerprint, const SampleTrace &trace) const
 {
+    obs::TraceSpan span("cache", "store");
+    span.arg("samples", static_cast<double>(trace.size()));
+
     std::error_code ec;
     fs::create_directories(root_, ec);
     if (ec) {
@@ -110,6 +126,7 @@ TraceCache::store(uint64_t fingerprint, const SampleTrace &trace) const
         return false;
     }
     ++stats_.stores;
+    obs::StatsRegistry::global().addNamed("trace_cache.stores", 1);
     return true;
 }
 

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * RunManifest tests: document structure, section flattening, atomic
+ * file output, and JSON validity (via Python's json.tool when
+ * available).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/run_manifest.hh"
+#include "obs/stats_registry.hh"
+
+namespace {
+
+using namespace tdp;
+using namespace tdp::obs;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    std::ostringstream os;
+    os << file.rdbuf();
+    return os.str();
+}
+
+/** A manifest exercising every part of the schema. */
+RunManifest
+sampleManifest()
+{
+    RunManifest manifest;
+    manifest.setTool("table1_avg_power");
+    manifest.setJobs(4);
+
+    ManifestRun run;
+    run.workload = "gcc";
+    run.samples = 1234;
+    run.fingerprint = 0xdeadbeefcafef00dull;
+    run.fromCache = true;
+    run.simSeconds = 180.0;
+    manifest.addRun(run);
+
+    manifest.addMetric({"wall_seconds", 12.5, "s"});
+    manifest.addSectionEntry("training", "cpu.kept", uint64_t(100));
+    manifest.addSectionEntry("training", "cpu.discarded_outlier",
+                             uint64_t(3));
+    manifest.addSectionEntry("trace_cache", "root",
+                             std::string(".tdp-trace-cache"));
+    manifest.setSpanTrace("trace.json", 321, 7);
+    return manifest;
+}
+
+TEST(RunManifest, DocumentCarriesEverySection)
+{
+    StatsRegistry reg;
+    reg.setEnabled(true);
+    reg.addNamed("sim.events.processed", 55);
+
+    std::ostringstream os;
+    sampleManifest().writeJson(os, reg.snapshot());
+    const std::string json = os.str();
+
+    EXPECT_NE(json.find("\"schema\":\"tdp-run-manifest\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"tool\":\"table1_avg_power\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"jobs\":4"), std::string::npos);
+    EXPECT_NE(json.find("\"workload\":\"gcc\""), std::string::npos);
+    EXPECT_NE(json.find("\"fingerprint\":\"deadbeefcafef00d\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"from_cache\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"wall_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"cpu.kept\":100"), std::string::npos);
+    EXPECT_NE(json.find("\"sim.events.processed\":55"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"span_trace\""), std::string::npos);
+    EXPECT_NE(json.find("\"recorded\":321"), std::string::npos);
+}
+
+TEST(RunManifest, EmptyManifestIsStillADocument)
+{
+    RunManifest manifest;
+    std::ostringstream os;
+    manifest.writeJson(os, StatsRegistry::Snapshot{});
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"runs\":[]"), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\":[]"), std::string::npos);
+    EXPECT_EQ(json.find("\"span_trace\""), std::string::npos);
+}
+
+TEST(RunManifest, WriteFilePublishesAtomically)
+{
+    const std::string path =
+        testing::TempDir() + "tdp_test_manifest.json";
+    ASSERT_TRUE(sampleManifest().writeFile(path));
+
+    const std::string json = slurp(path);
+    EXPECT_NE(json.find("\"schema\":\"tdp-run-manifest\""),
+              std::string::npos);
+    // No temp residue next to the published file.
+    EXPECT_FALSE(
+        std::ifstream(path + ".tmp").good());
+
+    if (std::system("python3 -c pass >/dev/null 2>&1") != 0) {
+        std::remove(path.c_str());
+        GTEST_SKIP() << "python3 unavailable, JSON not re-validated";
+    }
+    const std::string cmd =
+        "python3 -m json.tool < '" + path + "' >/dev/null 2>&1";
+    EXPECT_EQ(std::system(cmd.c_str()), 0)
+        << "json.tool rejected " << path;
+    std::remove(path.c_str());
+}
+
+} // namespace
