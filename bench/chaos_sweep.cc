@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Orchestration chaos sweep: proves the crash-safe orchestration
+ * path converges to a bit-identical baseline under injected
+ * scheduler and I/O faults, across the full 12-workload suite.
+ *
+ * Four phases, each asserting trace-digest identity against a clean
+ * no-cache baseline pass:
+ *
+ *  1. baseline: every workload simulated with no cache and no chaos;
+ *     per-workload digests of the lossless binary serialisation are
+ *     the ground truth;
+ *  2. chaos convergence: a cold pass and a warm rerun against a
+ *     fresh cache + journal under ChaosPlan::allChaos() - worker
+ *     kills, cooperative stalls past the watchdog deadline, ENOSPC,
+ *     torn writes and EXDEV reroutes on cache publishes. Kills and
+ *     stalls fire on attempt 1 and retry clean; torn entries publish
+ *     "successfully" and must be caught by the warm rerun's checksum
+ *     rejection and re-simulated;
+ *  3. crash + resume: a forked child runs the suite against its own
+ *     cache + journal and is SIGKILLed mid-run; the parent resumes
+ *     from the child's (possibly torn) journal and must reproduce
+ *     the baseline digests. A second child is SIGTERMed instead and
+ *     must drain gracefully with the distinct clean-abort exit code;
+ *  4. poison quarantine: a fully poisoned batch must quarantine
+ *     every task after bounded retries - reported via fatal() with a
+ *     resume hint - without wedging or crashing the sweep.
+ *
+ * All chaos decisions are hashes of (seed, task fingerprint), so the
+ * sweep's stdout is deterministic run to run for a given intensity.
+ */
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.hh"
+#include "common/logging.hh"
+#include "measure/trace_io.hh"
+#include "resilience/run_journal.hh"
+#include "resilience/shutdown.hh"
+
+namespace {
+
+using namespace tdp;
+using namespace tdp::bench;
+namespace fs = std::filesystem;
+
+const std::vector<std::string> suite = {
+    "idle", "gcc",   "mcf",     "vortex", "dbt2",    "specjbb",
+    "art",  "lucas", "mesa",    "mgrid",  "wupwise", "diskload"};
+
+/**
+ * Shortened characterisation runs: chaos recovery is about the
+ * orchestration layer, not trace length, so keep the simulated spans
+ * small and the wall clock dominated by the injected faults.
+ */
+RunSpec
+sweepRun(const std::string &workload)
+{
+    RunSpec spec = characterizationRun(workload);
+    spec.duration = 24.0;
+    spec.skip = 4.0;
+    spec.seed = defaultSeed ^ 0xc4a05u;
+    return spec;
+}
+
+std::vector<RunSpec>
+sweepSpecs()
+{
+    std::vector<RunSpec> specs;
+    for (const std::string &name : suite)
+        specs.push_back(sweepRun(name));
+    return specs;
+}
+
+/** Digest of the lossless serialisation: equal digests, equal traces. */
+uint64_t
+traceDigest(const SampleTrace &trace)
+{
+    std::ostringstream os;
+    writeTraceBinary(os, trace, 0);
+    const std::string bytes = os.str();
+    return fnv1a64(bytes.data(), bytes.size());
+}
+
+std::vector<uint64_t>
+digestsOf(const std::vector<SampleTrace> &traces)
+{
+    std::vector<uint64_t> digests;
+    for (const SampleTrace &trace : traces)
+        digests.push_back(traceDigest(trace));
+    return digests;
+}
+
+/** Count matches and fatal() on the first divergence. */
+void
+assertDigestsMatch(const std::vector<uint64_t> &baseline,
+                   const std::vector<uint64_t> &got,
+                   const char *phase)
+{
+    for (size_t i = 0; i < suite.size(); ++i) {
+        if (got[i] != baseline[i])
+            fatal("chaos_sweep: %s diverged from the baseline on %s "
+                  "(digest %016llx vs %016llx)",
+                  phase, suite[i].c_str(),
+                  static_cast<unsigned long long>(got[i]),
+                  static_cast<unsigned long long>(baseline[i]));
+    }
+    std::printf("  %s digests match baseline: %zu/%zu\n", phase,
+                suite.size(), suite.size());
+}
+
+/** Plan guaranteeing >= 1 stall so a child survives until signalled. */
+resilience::ChaosPlan
+stallOnlyPlan()
+{
+    resilience::ChaosPlan plan;
+    plan.slowTaskProb = 0.6;
+    plan.slowTaskSeconds = 1.0;
+    return plan;
+}
+
+/**
+ * Fork a child that runs the suite against `cache_dir` + `journal`,
+ * signal it after `delay` seconds, and return the wait status. The
+ * child never touches stdout.
+ */
+int
+runSignalledChild(const std::string &cache_dir,
+                  const std::string &journal, int signo, double delay)
+{
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = fork();
+    if (pid < 0)
+        fatal("chaos_sweep: fork failed");
+    if (pid == 0) {
+        // Child: fresh resilient run, stalled enough to outlive the
+        // parent's signal delay. _exit on success keeps the copied
+        // stdio buffers from flushing twice.
+        setTraceCacheRoot(cache_dir);
+        setRunJournalPath(journal);
+        setTaskRetries(3);
+        setChaosPlan(stallOnlyPlan());
+        runTraces(sweepSpecs());
+        std::fflush(stderr);
+        _exit(0);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(delay));
+    ::kill(pid, signo);
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid)
+        fatal("chaos_sweep: waitpid failed");
+    return status;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+
+    double intensity = 1.0;
+    const std::vector<std::string> args = positionalArgs(argc, argv);
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--chaos" && i + 1 < args.size()) {
+            intensity = std::atof(args[++i].c_str());
+        } else if (args[i].rfind("--chaos=", 0) == 0) {
+            intensity = std::atof(args[i].c_str() + 8);
+        } else {
+            fatal("chaos_sweep: unknown argument '%s'",
+                  args[i].c_str());
+        }
+    }
+
+    const std::string workdir =
+        formatString(".tdp-chaos-sweep.%ld",
+                     static_cast<long>(::getpid()));
+    fs::create_directories(workdir);
+
+    std::printf("Chaos sweep: crash-safe orchestration vs injected "
+                "orchestration faults\n");
+    std::printf("suite: %zu workloads, chaos intensity %.2f\n\n",
+                suite.size(), intensity);
+
+    const std::vector<RunSpec> specs = sweepSpecs();
+
+    // Phase 1: ground truth. No cache, no chaos, classic path.
+    std::printf("[1/4] baseline (no cache, no chaos)\n");
+    setTraceCacheRoot("");
+    const std::vector<uint64_t> baseline =
+        digestsOf(runTraces(specs));
+    for (size_t i = 0; i < suite.size(); ++i)
+        std::printf("  %-10s %016llx\n", suite[i].c_str(),
+                    static_cast<unsigned long long>(baseline[i]));
+
+    // Phase 2: full chaos against a fresh cache + journal, then a
+    // warm rerun that must catch torn entries via checksum rejection.
+    std::printf("[2/4] chaos convergence (allChaos x %.2f)\n",
+                intensity);
+    const std::string chaos_cache = workdir + "/chaos-cache";
+    setTraceCacheRoot(chaos_cache);
+    setRunJournalPath(workdir + "/chaos.journal");
+    setTaskTimeout(0.3);
+    setTaskRetries(3);
+    setChaosPlan(
+        resilience::ChaosPlan::allChaos().scaled(intensity));
+    assertDigestsMatch(baseline, digestsOf(runTraces(specs)),
+                       "cold pass");
+    assertDigestsMatch(baseline, digestsOf(runTraces(specs)),
+                       "warm rerun");
+    if (const resilience::ChaosInjector *chaos = chaosInjector()) {
+        const resilience::ChaosInjector::Stats s = chaos->stats();
+        std::printf("  injected: %llu kill(s), %llu stall(s), %llu "
+                    "enospc, %llu torn write(s), %llu exdev "
+                    "reroute(s)\n",
+                    static_cast<unsigned long long>(s.kills),
+                    static_cast<unsigned long long>(s.stalls),
+                    static_cast<unsigned long long>(s.enospc),
+                    static_cast<unsigned long long>(s.tornWrites),
+                    static_cast<unsigned long long>(s.exdev));
+        if (intensity > 0.0 &&
+            s.kills + s.stalls + s.enospc + s.tornWrites + s.exdev ==
+                0)
+            fatal("chaos_sweep: the chaos plan injected nothing; "
+                  "the convergence pass proved nothing");
+    }
+    setChaosPlan(resilience::ChaosPlan());
+    setTaskTimeout(0.0);
+    setRunJournalPath("");
+
+    // Phase 3: SIGKILL mid-run, then resume from the dead child's
+    // journal; a drained SIGTERM sibling must exit cleanAbortExitCode.
+    std::printf("[3/4] crash + resume (SIGKILL mid-run, then "
+                "--resume)\n");
+    const std::string crash_cache = workdir + "/crash-cache";
+    const std::string crash_journal = workdir + "/crash.journal";
+    int status =
+        runSignalledChild(crash_cache, crash_journal, SIGKILL, 0.25);
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL)
+        fatal("chaos_sweep: the SIGKILL child was not killed "
+              "(status 0x%x); the crash test proved nothing",
+              status);
+    {
+        const resilience::RunJournal::Replay replay =
+            resilience::RunJournal::replay(crash_journal);
+        if (!replay.valid())
+            fatal("chaos_sweep: the dead child's journal is "
+                  "unreadable: %s",
+                  replay.error.c_str());
+        emitStats("chaos_sweep: crash journal has %zu record(s), "
+                  "torn tail: %s",
+                  replay.records.size(),
+                  replay.tornTail ? "yes" : "no");
+    }
+    setTraceCacheRoot(crash_cache);
+    setResumeJournalPath(crash_journal);
+    assertDigestsMatch(baseline, digestsOf(runTraces(specs)),
+                       "resume pass");
+    setResumeJournalPath("");
+    setRunJournalPath("");
+
+    std::printf("  graceful drain: SIGTERM mid-run\n");
+    status = runSignalledChild(workdir + "/drain-cache",
+                               workdir + "/drain.journal", SIGTERM,
+                               0.25);
+    if (!WIFEXITED(status) ||
+        WEXITSTATUS(status) != resilience::cleanAbortExitCode)
+        fatal("chaos_sweep: the SIGTERM child did not drain to exit "
+              "%d (status 0x%x)",
+              resilience::cleanAbortExitCode, status);
+    std::printf("  drained with exit %d\n",
+                resilience::cleanAbortExitCode);
+
+    // Phase 4: a fully poisoned batch must quarantine every task
+    // (bounded retries, batch survives) and report it as a fatal
+    // configuration error carrying a resume hint.
+    std::printf("[4/4] poison quarantine\n");
+    setTraceCacheRoot(workdir + "/poison-cache");
+    setRunJournalPath(workdir + "/poison.journal");
+    resilience::ChaosPlan poison;
+    poison.poisonTaskProb = 1.0;
+    setTaskRetries(2);
+    setChaosPlan(poison);
+    bool quarantined = false;
+    try {
+        runTraces(specs);
+    } catch (const FatalError &err) {
+        quarantined =
+            std::string(err.what()).find("quarantined") !=
+            std::string::npos;
+        if (!quarantined)
+            fatal("chaos_sweep: poisoned batch failed for the wrong "
+                  "reason: %s",
+                  err.what());
+    }
+    if (!quarantined)
+        fatal("chaos_sweep: a fully poisoned batch completed; "
+              "poison injection is broken");
+    const resilience::ChaosInjector::Stats poisoned =
+        chaosInjector()->stats();
+    std::printf("  %zu task(s) quarantined after 2 attempt(s) each "
+                "(%llu poisoned attempts); batch survived\n",
+                suite.size(),
+                static_cast<unsigned long long>(
+                    poisoned.poisonedAttempts));
+    setChaosPlan(resilience::ChaosPlan());
+    setRunJournalPath("");
+    setTaskRetries(0);
+
+    std::error_code ec;
+    fs::remove_all(workdir, ec);
+    if (ec)
+        warn("chaos_sweep: could not remove %s (%s)",
+             workdir.c_str(), ec.message().c_str());
+
+    std::printf("\nchaos sweep: all checks passed\n");
+    return 0;
+}

@@ -20,6 +20,7 @@
 #include "measure/trace.hh"
 #include "obs/run_manifest.hh"
 #include "platform/server.hh"
+#include "resilience/chaos.hh"
 #include "trace/trace_cache.hh"
 
 namespace tdp {
@@ -43,7 +44,25 @@ constexpr uint64_t defaultSeed = 0x5eed2007;
  *    the flag is absent);
  *  - `--manifest-out FILE` / `--manifest-out=FILE`: write the unified
  *    run manifest (runs, metrics, stats snapshot) to FILE at exit
- *    (TDP_MANIFEST_OUT when the flag is absent).
+ *    (TDP_MANIFEST_OUT when the flag is absent);
+ *  - `--journal FILE` / `--journal=FILE`: append a write-ahead run
+ *    journal of task transitions to FILE (TDP_RUN_JOURNAL when the
+ *    flag is absent);
+ *  - `--resume FILE` / `--resume=FILE`: resume from an interrupted
+ *    run's journal - tasks whose traces already landed in the cache
+ *    are skipped - and keep journalling to the same FILE. Requires
+ *    the trace cache;
+ *  - `--task-timeout S` / `--task-timeout=S`: per-attempt watchdog
+ *    deadline in seconds (TDP_TASK_TIMEOUT when the flag is absent;
+ *    0 disables);
+ *  - `--task-retries N` / `--task-retries=N`: attempts per task
+ *    including the first (TDP_TASK_RETRIES when the flag is absent;
+ *    default 3 once the resilient path is active).
+ *
+ * Any of the journal/resume/timeout/retries knobs (or an enabled
+ * chaos plan) routes runTraces() through the crash-safe orchestration
+ * path; with all of them off the classic path runs and every bench
+ * byte-stream is unchanged.
  *
  * Without a cache flag the TDP_TRACE_CACHE environment variable
  * decides (unset/empty/"0" off, "1" default directory, else the
@@ -155,6 +174,45 @@ void setTraceCacheRoot(const std::string &root);
 
 /** The active trace cache, or nullptr when caching is disabled. */
 TraceCache *traceCache();
+
+/**
+ * Append the write-ahead run journal to `path` ("" disables).
+ * Overrides the --journal flag and TDP_RUN_JOURNAL; mainly for tests
+ * and the chaos sweep. Takes effect at the next runTraces() call.
+ */
+void setRunJournalPath(const std::string &path);
+
+/**
+ * Resume from the journal at `path` ("" disables): the journal is
+ * replayed (a corrupt journal is fatal), tasks whose traces already
+ * landed in the cache are served from it, and new records are
+ * appended to the same file. Requires the trace cache.
+ */
+void setResumeJournalPath(const std::string &path);
+
+/** Per-attempt watchdog deadline (s); <= 0 disables. */
+void setTaskTimeout(Seconds timeout);
+
+/** Attempts per task including the first; 0 restores the default. */
+void setTaskRetries(int max_attempts);
+
+/**
+ * Inject orchestration chaos into subsequent runTraces() calls:
+ * installs the publish-fault hook and applies the plan's kill/stall/
+ * poison decisions to every task attempt. A disabled plan removes
+ * the injector. See resilience::ChaosPlan.
+ */
+void setChaosPlan(const resilience::ChaosPlan &plan);
+
+/** The active chaos injector, or nullptr when chaos is off. */
+resilience::ChaosInjector *chaosInjector();
+
+/**
+ * True when the next runTraces() call will take the resilient
+ * orchestration path (any journal/resume/timeout/retries knob set,
+ * via flag, environment or setter, or chaos enabled).
+ */
+bool resilienceActive();
 
 /** True when --trace-out/--manifest-out (or env) enabled telemetry. */
 bool observabilityEnabled();

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Implementation of hardened atomic file publication.
+ */
+
+#include "common/atomic_file.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <system_error>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/**
+ * The installed hook, guarded by a mutex for install/copy; the
+ * fast-path check is a relaxed atomic so the no-hook case costs one
+ * load.
+ */
+std::atomic<bool> hookInstalled{false};
+std::mutex hookMutex;
+IoFaultHook hook;
+
+IoFault
+consultHook(const std::string &path)
+{
+    if (!hookInstalled.load(std::memory_order_relaxed))
+        return IoFault::None;
+    IoFaultHook local;
+    {
+        std::lock_guard<std::mutex> lock(hookMutex);
+        local = hook;
+    }
+    return local ? local(path) : IoFault::None;
+}
+
+bool
+failWith(std::string *error, std::string message)
+{
+    if (error)
+        *error = std::move(message);
+    return false;
+}
+
+/** fsync one file by path; returns false with errno text on failure. */
+bool
+syncFile(const std::string &path, std::string *error)
+{
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0)
+        return failWith(error,
+                        formatString("cannot reopen %s for fsync: %s",
+                                     path.c_str(),
+                                     std::strerror(errno)));
+    const int rc = ::fsync(fd);
+    const int saved = errno;
+    ::close(fd);
+    if (rc != 0)
+        return failWith(error, formatString("fsync %s: %s",
+                                            path.c_str(),
+                                            std::strerror(saved)));
+    return true;
+}
+
+/**
+ * fsync the directory containing `path` so the rename itself is
+ * durable. Best effort: some filesystems refuse directory opens;
+ * those failures are reported but the publish already happened.
+ */
+bool
+syncParentDir(const std::string &path, std::string *error)
+{
+    const fs::path parent = fs::path(path).parent_path();
+    const std::string dir = parent.empty() ? "." : parent.string();
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return failWith(error,
+                        formatString("cannot open directory %s for "
+                                     "fsync: %s",
+                                     dir.c_str(), std::strerror(errno)));
+    const int rc = ::fsync(fd);
+    const int saved = errno;
+    ::close(fd);
+    if (rc != 0)
+        return failWith(error, formatString("fsync directory %s: %s",
+                                            dir.c_str(),
+                                            std::strerror(saved)));
+    return true;
+}
+
+/** Unique temp name for one destination, process-scoped. */
+std::string
+tempPathFor(const std::string &path, const std::string &tmpDir,
+            const char *stage)
+{
+    static std::atomic<uint64_t> counter{0};
+    const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+    const std::string name = formatString(
+        "%s.%s.%ld.%llu", fs::path(path).filename().c_str(), stage,
+        static_cast<long>(::getpid()),
+        static_cast<unsigned long long>(n));
+    const fs::path dir =
+        tmpDir.empty() ? fs::path(path).parent_path() : fs::path(tmpDir);
+    return (dir / name).string();
+}
+
+} // namespace
+
+void
+setIoFaultHook(IoFaultHook new_hook)
+{
+    std::lock_guard<std::mutex> lock(hookMutex);
+    hook = std::move(new_hook);
+    hookInstalled.store(static_cast<bool>(hook),
+                        std::memory_order_relaxed);
+}
+
+bool
+ioFaultHookInstalled()
+{
+    return hookInstalled.load(std::memory_order_relaxed);
+}
+
+bool
+writeFileAtomic(const std::string &path,
+                const std::function<bool(std::ostream &)> &writer,
+                std::string *error, const AtomicWriteOptions &options)
+{
+    const IoFault fault = consultHook(path);
+
+    const std::string tmp = tempPathFor(path, options.tmpDir, "tmp");
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return failWith(error, formatString("cannot write %s",
+                                                tmp.c_str()));
+        const bool writer_ok = writer(os);
+        if (fault == IoFault::Enospc) {
+            // Injected disk-full: abandon the payload exactly as a
+            // failed ofstream write would.
+            os.setstate(std::ios::badbit);
+        }
+        if (!writer_ok || !os) {
+            os.close();
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return failWith(
+                error,
+                fault == IoFault::Enospc
+                    ? formatString("write to %s failed: no space left "
+                                   "on device (injected)",
+                                   tmp.c_str())
+                    : formatString("write to %s failed", tmp.c_str()));
+        }
+    }
+
+    if (fault == IoFault::TornWrite) {
+        // Injected torn payload: drop the tail half, then publish
+        // anyway. Readers must reject the entry by checksum.
+        std::error_code ec;
+        const auto size = fs::file_size(tmp, ec);
+        if (!ec)
+            fs::resize_file(tmp, size / 2, ec);
+    }
+
+    if (options.sync && !syncFile(tmp, error)) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return false;
+    }
+
+    std::error_code ec;
+    bool crossed = fault == IoFault::Exdev;
+    if (!crossed) {
+        fs::rename(tmp, path, ec);
+        crossed = ec == std::errc::cross_device_link;
+        if (ec && !crossed) {
+            const std::string msg = ec.message();
+            fs::remove(tmp, ec);
+            return failWith(error,
+                            formatString("cannot publish %s (%s)",
+                                         path.c_str(), msg.c_str()));
+        }
+    }
+    if (crossed) {
+        // Temp landed on another filesystem (or injected EXDEV):
+        // copy next to the destination and rename that instead.
+        const std::string near = tempPathFor(path, "", "xdev");
+        fs::copy_file(tmp, near, fs::copy_options::overwrite_existing,
+                      ec);
+        if (ec) {
+            const std::string msg = ec.message();
+            fs::remove(tmp, ec);
+            return failWith(
+                error, formatString("cross-device copy to %s failed "
+                                    "(%s)",
+                                    near.c_str(), msg.c_str()));
+        }
+        if (options.sync && !syncFile(near, error)) {
+            fs::remove(tmp, ec);
+            fs::remove(near, ec);
+            return false;
+        }
+        fs::rename(near, path, ec);
+        if (ec) {
+            const std::string msg = ec.message();
+            fs::remove(near, ec);
+            fs::remove(tmp, ec);
+            return failWith(error,
+                            formatString("cannot publish %s (%s)",
+                                         path.c_str(), msg.c_str()));
+        }
+        fs::remove(tmp, ec);
+    }
+
+    if (options.sync && !syncParentDir(path, error))
+        return false;
+    return true;
+}
+
+} // namespace tdp

@@ -5,12 +5,7 @@
 
 #include "obs/run_manifest.hh"
 
-#include <unistd.h>
-
-#include <filesystem>
-#include <fstream>
-#include <system_error>
-
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "obs/json_writer.hh"
 
@@ -137,35 +132,17 @@ RunManifest::writeJson(std::ostream &os,
 bool
 RunManifest::writeFile(const std::string &path) const
 {
-    namespace fs = std::filesystem;
-
-    const std::string tmp = formatString(
-        "%s.tmp.%ld", path.c_str(), static_cast<long>(::getpid()));
-    {
-        std::ofstream os(tmp, std::ios::trunc);
-        if (!os) {
-            warn("run manifest: cannot write %s; manifest not "
-                 "emitted",
-                 tmp.c_str());
-            return false;
-        }
-        writeJson(os, StatsRegistry::global().snapshot());
-        if (!os) {
-            warn("run manifest: write to %s failed; manifest not "
-                 "emitted",
-                 tmp.c_str());
-            return false;
-        }
-    }
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        warn("run manifest: cannot publish %s (%s)", path.c_str(),
-             ec.message().c_str());
-        fs::remove(tmp, ec);
-        return false;
-    }
-    return true;
+    std::string error;
+    const bool ok = writeFileAtomic(
+        path,
+        [this](std::ostream &os) {
+            writeJson(os, StatsRegistry::global().snapshot());
+            return static_cast<bool>(os);
+        },
+        &error);
+    if (!ok)
+        warn("run manifest: %s; manifest not emitted", error.c_str());
+    return ok;
 }
 
 } // namespace obs

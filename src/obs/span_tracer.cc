@@ -5,14 +5,10 @@
 
 #include "obs/span_tracer.hh"
 
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <system_error>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "obs/json_writer.hh"
 
@@ -171,8 +167,6 @@ SpanTracer::stats() const
 bool
 SpanTracer::flush()
 {
-    namespace fs = std::filesystem;
-
     std::string path;
     struct Tagged
     {
@@ -209,53 +203,42 @@ SpanTracer::flush()
                          return a.event.startUs < b.event.startUs;
                      });
 
-    const std::string tmp = formatString(
-        "%s.tmp.%ld", path.c_str(), static_cast<long>(::getpid()));
-    {
-        std::ofstream os(tmp, std::ios::trunc);
-        if (!os) {
-            warn("span tracer: cannot write %s; trace not flushed",
-                 tmp.c_str());
-            return false;
-        }
-        JsonWriter json(os);
-        json.beginObject();
-        json.keyValue("displayTimeUnit", "ms");
-        json.key("traceEvents");
-        json.beginArray();
-        for (const Tagged &t : events) {
+    std::string error;
+    const bool ok = writeFileAtomic(
+        path,
+        [&events](std::ostream &os) {
+            JsonWriter json(os);
             json.beginObject();
-            json.keyValue("name", std::string_view(t.event.name));
-            json.keyValue("cat", std::string_view(t.event.category));
-            json.keyValue("ph", "X");
-            json.keyValue("ts", t.event.startUs);
-            json.keyValue("dur", t.event.durUs);
-            json.keyValue("pid", uint64_t(1));
-            json.keyValue("tid", uint64_t(t.tid));
-            if (t.event.hasArg) {
-                json.key("args");
+            json.keyValue("displayTimeUnit", "ms");
+            json.key("traceEvents");
+            json.beginArray();
+            for (const Tagged &t : events) {
                 json.beginObject();
-                json.keyValue(std::string_view(t.event.argName),
-                              t.event.argValue);
+                json.keyValue("name", std::string_view(t.event.name));
+                json.keyValue("cat",
+                              std::string_view(t.event.category));
+                json.keyValue("ph", "X");
+                json.keyValue("ts", t.event.startUs);
+                json.keyValue("dur", t.event.durUs);
+                json.keyValue("pid", uint64_t(1));
+                json.keyValue("tid", uint64_t(t.tid));
+                if (t.event.hasArg) {
+                    json.key("args");
+                    json.beginObject();
+                    json.keyValue(std::string_view(t.event.argName),
+                                  t.event.argValue);
+                    json.endObject();
+                }
                 json.endObject();
             }
+            json.endArray();
             json.endObject();
-        }
-        json.endArray();
-        json.endObject();
-        os << '\n';
-        if (!os) {
-            warn("span tracer: write to %s failed; trace not flushed",
-                 tmp.c_str());
-            return false;
-        }
-    }
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        warn("span tracer: cannot publish %s (%s)", path.c_str(),
-             ec.message().c_str());
-        fs::remove(tmp, ec);
+            os << '\n';
+            return static_cast<bool>(os);
+        },
+        &error);
+    if (!ok) {
+        warn("span tracer: %s; trace not flushed", error.c_str());
         return false;
     }
     return true;

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Implementation of the orchestration chaos injector.
+ */
+
+#include "resilience/chaos.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "resilience/retry.hh"
+
+namespace tdp {
+namespace resilience {
+
+namespace {
+
+/** Decision-stream ids: one independent hash stream per fault class. */
+enum ChaosStream : uint64_t
+{
+    streamKill = 1,
+    streamStall = 2,
+    streamPoison = 3,
+    streamEnospc = 4,
+    streamTorn = 5,
+    streamExdev = 6,
+};
+
+double
+clamp01(double p)
+{
+    return std::min(1.0, std::max(0.0, p));
+}
+
+} // namespace
+
+bool
+ChaosPlan::enabled() const
+{
+    return killTaskProb > 0.0 || slowTaskProb > 0.0 ||
+           poisonTaskProb > 0.0 || enospcProb > 0.0 ||
+           tornWriteProb > 0.0 || exdevProb > 0.0;
+}
+
+void
+ChaosPlan::validate() const
+{
+    const struct
+    {
+        const char *name;
+        double value;
+    } rates[] = {
+        {"killTaskProb", killTaskProb},
+        {"slowTaskProb", slowTaskProb},
+        {"poisonTaskProb", poisonTaskProb},
+        {"enospcProb", enospcProb},
+        {"tornWriteProb", tornWriteProb},
+        {"exdevProb", exdevProb},
+    };
+    for (const auto &rate : rates)
+        if (rate.value < 0.0 || rate.value > 1.0)
+            fatal("ChaosPlan: %s must be in [0, 1], got %g",
+                  rate.name, rate.value);
+    if (slowTaskSeconds < 0.0)
+        fatal("ChaosPlan: slowTaskSeconds must be >= 0, got %g",
+              slowTaskSeconds);
+}
+
+ChaosPlan
+ChaosPlan::scaled(double intensity) const
+{
+    if (intensity <= 0.0)
+        return ChaosPlan{};
+    const double f = std::min(1.0, intensity);
+    ChaosPlan plan = *this;
+    plan.killTaskProb = clamp01(killTaskProb * f);
+    plan.slowTaskProb = clamp01(slowTaskProb * f);
+    plan.poisonTaskProb = clamp01(poisonTaskProb * f);
+    plan.enospcProb = clamp01(enospcProb * f);
+    plan.tornWriteProb = clamp01(tornWriteProb * f);
+    plan.exdevProb = clamp01(exdevProb * f);
+    return plan;
+}
+
+ChaosPlan
+ChaosPlan::allChaos()
+{
+    ChaosPlan plan;
+    plan.killTaskProb = 0.4;
+    plan.slowTaskProb = 0.25;
+    plan.slowTaskSeconds = 30.0;
+    plan.enospcProb = 0.4;
+    plan.tornWriteProb = 0.3;
+    plan.exdevProb = 0.3;
+    return plan;
+}
+
+ChaosInjector::ChaosInjector(const ChaosPlan &plan) : plan_(plan)
+{
+    plan_.validate();
+}
+
+bool
+ChaosInjector::decide(double prob, uint64_t taskKey,
+                      uint64_t stream) const
+{
+    if (prob <= 0.0)
+        return false;
+    return hashUnit(plan_.seed, taskKey, stream) < prob;
+}
+
+bool
+ChaosInjector::shouldKill(uint64_t taskKey, int attempt)
+{
+    if (attempt != 1 || !decide(plan_.killTaskProb, taskKey, streamKill))
+        return false;
+    kills_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ChaosInjector::shouldStall(uint64_t taskKey, int attempt)
+{
+    if (attempt != 1 ||
+        !decide(plan_.slowTaskProb, taskKey, streamStall))
+        return false;
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ChaosInjector::isPoisoned(uint64_t taskKey)
+{
+    if (!decide(plan_.poisonTaskProb, taskKey, streamPoison))
+        return false;
+    poisonedAttempts_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+IoFault
+ChaosInjector::publishFault(const std::string &path)
+{
+    {
+        std::lock_guard<std::mutex> lock(pathMutex_);
+        // Each path draws once; retries and re-stores run clean.
+        if (!publishedPaths_.insert(path).second)
+            return IoFault::None;
+    }
+    const uint64_t key =
+        mixHash(plan_.seed, std::hash<std::string>{}(path), 0);
+    if (decide(plan_.enospcProb, key, streamEnospc)) {
+        enospc_.fetch_add(1, std::memory_order_relaxed);
+        return IoFault::Enospc;
+    }
+    if (decide(plan_.tornWriteProb, key, streamTorn)) {
+        tornWrites_.fetch_add(1, std::memory_order_relaxed);
+        return IoFault::TornWrite;
+    }
+    if (decide(plan_.exdevProb, key, streamExdev)) {
+        exdev_.fetch_add(1, std::memory_order_relaxed);
+        return IoFault::Exdev;
+    }
+    return IoFault::None;
+}
+
+void
+ChaosInjector::installPublishHook()
+{
+    setIoFaultHook(
+        [this](const std::string &path) { return publishFault(path); });
+}
+
+void
+ChaosInjector::removePublishHook()
+{
+    setIoFaultHook(nullptr);
+}
+
+ChaosInjector::Stats
+ChaosInjector::stats() const
+{
+    Stats stats;
+    stats.kills = kills_.load(std::memory_order_relaxed);
+    stats.stalls = stalls_.load(std::memory_order_relaxed);
+    stats.poisonedAttempts =
+        poisonedAttempts_.load(std::memory_order_relaxed);
+    stats.enospc = enospc_.load(std::memory_order_relaxed);
+    stats.tornWrites = tornWrites_.load(std::memory_order_relaxed);
+    stats.exdev = exdev_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+} // namespace resilience
+} // namespace tdp

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Orchestration-level chaos: the declarative plan of scheduler and
+ * I/O pathologies a sweep injects into itself.
+ *
+ * PR 2's FaultPlan stresses the *measurement* path (wrapped counters,
+ * glitched DAQ blocks). ChaosPlan is the same idea one layer up, at
+ * the orchestration seam: worker tasks are killed or slowed past
+ * their deadline, individual tasks are poisoned so every attempt
+ * fails, and cache/manifest publishes hit injected ENOSPC, torn
+ * writes or cross-filesystem renames. Decisions are derived from a
+ * hash of (seed, task fingerprint, attempt) - never drawn from
+ * shared RNG state - so a chaos run is deterministic for a given
+ * plan regardless of worker count, and a transient fault injected on
+ * attempt 1 deterministically clears by attempt 2 (the convergence
+ * property the chaos sweep asserts end-to-end).
+ */
+
+#ifndef TDP_RESILIENCE_CHAOS_HH
+#define TDP_RESILIENCE_CHAOS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "common/atomic_file.hh"
+#include "common/units.hh"
+
+namespace tdp {
+namespace resilience {
+
+/** Rates of the orchestration faults injected into one sweep. */
+struct ChaosPlan
+{
+    /**
+     * Probability that a task's first attempt dies as if the worker
+     * was killed (throws TransientError before simulating). Retries
+     * of a killed task always run clean.
+     */
+    double killTaskProb = 0.0;
+
+    /**
+     * Probability that a task's first attempt stalls cooperatively
+     * until the watchdog cancels it (or slowTaskSeconds elapse,
+     * whichever is first). Requires a task timeout to be recoverable.
+     */
+    double slowTaskProb = 0.0;
+
+    /** Stall bound for slow tasks (s of wall clock). */
+    Seconds slowTaskSeconds = 30.0;
+
+    /**
+     * Probability that a task is poisoned: every attempt fails, so
+     * the pool must quarantine it. Off in convergence runs.
+     */
+    double poisonTaskProb = 0.0;
+
+    /** Probability that a publish fails with ENOSPC (first try). */
+    double enospcProb = 0.0;
+
+    /**
+     * Probability that a publish is torn: truncated payload behind a
+     * successful rename, to be caught by reader checksums.
+     */
+    double tornWriteProb = 0.0;
+
+    /** Probability that a publish takes the EXDEV fallback path. */
+    double exdevProb = 0.0;
+
+    /** Decision-stream salt. */
+    uint64_t seed = 0xc4a05;
+
+    /** True when any chaos class is active. */
+    bool enabled() const;
+
+    /** fatal() when any rate is outside [0, 1] or a shape is bad. */
+    void validate() const;
+
+    /**
+     * Scale every probability by `intensity` (clamped to [0, 1]).
+     * Intensity <= 0 returns a fully disabled plan.
+     */
+    ChaosPlan scaled(double intensity) const;
+
+    /**
+     * Representative plan exercising every recoverable class (kill,
+     * slow, ENOSPC, torn write, EXDEV) at rates that make multi-fault
+     * sweeps likely on a 12-workload suite; poison stays 0.
+     */
+    static ChaosPlan allChaos();
+};
+
+/**
+ * Executes a ChaosPlan: deterministic per-task decisions plus an
+ * installable publish-fault hook. Thread-safe; counters are relaxed
+ * atomics aggregated for the sweep's accounting lines.
+ */
+class ChaosInjector
+{
+  public:
+    explicit ChaosInjector(const ChaosPlan &plan);
+
+    /** The plan being executed. */
+    const ChaosPlan &plan() const { return plan_; }
+
+    /**
+     * True when attempt `attempt` of the task keyed `taskKey` should
+     * die as a killed worker. Fires only on attempt 1. Counts.
+     */
+    bool shouldKill(uint64_t taskKey, int attempt);
+
+    /** Same contract for a cooperative stall. */
+    bool shouldStall(uint64_t taskKey, int attempt);
+
+    /** True when the task is poisoned (attempt-independent). Counts
+     * once per attempt. */
+    bool isPoisoned(uint64_t taskKey);
+
+    /**
+     * Publish-fault decision for one destination path; each distinct
+     * path draws once (its first publish) and publishes cleanly on
+     * later tries, so store retries and cache re-stores converge.
+     * Install via installPublishHook().
+     */
+    IoFault publishFault(const std::string &path);
+
+    /** Install publishFault as the process atomic-write hook. */
+    void installPublishHook();
+
+    /** Remove the process hook (must be this injector's). */
+    void removePublishHook();
+
+    /** Injection counters. */
+    struct Stats
+    {
+        uint64_t kills = 0;
+        uint64_t stalls = 0;
+        uint64_t poisonedAttempts = 0;
+        uint64_t enospc = 0;
+        uint64_t tornWrites = 0;
+        uint64_t exdev = 0;
+    };
+    Stats stats() const;
+
+  private:
+    bool decide(double prob, uint64_t taskKey, uint64_t stream) const;
+
+    ChaosPlan plan_;
+    std::atomic<uint64_t> kills_{0};
+    std::atomic<uint64_t> stalls_{0};
+    std::atomic<uint64_t> poisonedAttempts_{0};
+    std::atomic<uint64_t> enospc_{0};
+    std::atomic<uint64_t> tornWrites_{0};
+    std::atomic<uint64_t> exdev_{0};
+
+    /** Paths that already drew their publish fault. */
+    std::mutex pathMutex_;
+    std::unordered_set<std::string> publishedPaths_;
+};
+
+} // namespace resilience
+} // namespace tdp
+
+#endif // TDP_RESILIENCE_CHAOS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Implementation of the retry policy.
+ */
+
+#include "resilience/retry.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tdp {
+namespace resilience {
+
+uint64_t
+mixHash(uint64_t a, uint64_t b, uint64_t c)
+{
+    // splitmix64 finaliser over a simple combine; good avalanche for
+    // coin flips, no state to share between threads.
+    uint64_t x = a * 0x9e3779b97f4a7c15ull;
+    x ^= b + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+    x ^= c + 0xbf58476d1ce4e5b9ull + (x << 6) + (x >> 2);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+double
+hashUnit(uint64_t a, uint64_t b, uint64_t c)
+{
+    // Top 53 bits -> [0, 1), the standard double mantissa trick.
+    return static_cast<double>(mixHash(a, b, c) >> 11) * 0x1.0p-53;
+}
+
+void
+RetryPolicy::validate() const
+{
+    if (maxAttempts < 1)
+        fatal("RetryPolicy: maxAttempts must be >= 1, got %d",
+              maxAttempts);
+    if (baseDelay < 0.0 || maxDelay < 0.0 || baseDelay > maxDelay)
+        fatal("RetryPolicy: need 0 <= baseDelay <= maxDelay, got "
+              "%g / %g",
+              baseDelay, maxDelay);
+    if (jitterFrac < 0.0 || jitterFrac > 1.0)
+        fatal("RetryPolicy: jitterFrac must be in [0, 1], got %g",
+              jitterFrac);
+}
+
+Seconds
+RetryPolicy::delayFor(int attempt, uint64_t taskKey) const
+{
+    validate();
+    if (attempt < 1)
+        fatal("RetryPolicy::delayFor: attempt must be >= 1, got %d",
+              attempt);
+    Seconds delay = baseDelay;
+    for (int i = 1; i < attempt && delay < maxDelay; ++i)
+        delay *= 2.0;
+    delay = std::min(delay, maxDelay);
+    if (jitterFrac > 0.0) {
+        const double unit =
+            hashUnit(seed, taskKey, static_cast<uint64_t>(attempt));
+        delay *= 1.0 + jitterFrac * (2.0 * unit - 1.0);
+    }
+    return delay;
+}
+
+} // namespace resilience
+} // namespace tdp

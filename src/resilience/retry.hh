@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff and deterministic jitter.
+ *
+ * Transient failures (a worker task killed by the chaos harness, an
+ * injected ENOSPC on a cache publish, an EIO on a journal read) are
+ * retried a bounded number of times with exponentially growing
+ * delays. The jitter that decorrelates retry storms is *derived*,
+ * not drawn: a hash of (policy seed, task key, attempt) scales each
+ * delay, so two runs of the same sweep back off identically and a
+ * retried batch stays bit-reproducible - the same discipline the
+ * FaultInjector applies to measurement faults.
+ */
+
+#ifndef TDP_RESILIENCE_RETRY_HH
+#define TDP_RESILIENCE_RETRY_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/units.hh"
+
+namespace tdp {
+namespace resilience {
+
+/**
+ * A failure expected to succeed on retry (worker killed, resource
+ * momentarily exhausted). The resilient task path retries any
+ * exception, but chaos and I/O layers throw this type so logs can
+ * distinguish injected transients from genuine bugs.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    explicit TransientError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * Thrown by a cooperative task that observed its cancellation token
+ * after the watchdog fired; the pool records the attempt as a
+ * timeout rather than a generic failure.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Bounded-retry shape shared by the pool and the I/O layers. */
+struct RetryPolicy
+{
+    /** Total attempts including the first (>= 1). */
+    int maxAttempts = 3;
+
+    /** Delay before the first retry (s). */
+    Seconds baseDelay = 0.01;
+
+    /** Backoff ceiling (s). */
+    Seconds maxDelay = 1.0;
+
+    /**
+     * Jitter amplitude as a fraction of the delay: each delay is
+     * scaled by a factor drawn deterministically from
+     * [1 - jitterFrac, 1 + jitterFrac]. 0 disables jitter.
+     */
+    double jitterFrac = 0.5;
+
+    /** Salt for the deterministic jitter stream. */
+    uint64_t seed = 0;
+
+    /**
+     * Backoff before retry number `attempt` (the attempt that just
+     * failed: 1 for the first). Deterministic in (seed, taskKey,
+     * attempt). fatal() if the policy is malformed.
+     */
+    Seconds delayFor(int attempt, uint64_t taskKey) const;
+
+    /** fatal() when any field is out of range. */
+    void validate() const;
+};
+
+/**
+ * Stateless splitmix64-style hash used for jitter and chaos
+ * decisions; exposed so every deterministic coin-flip in the
+ * resilience layer draws from one audited primitive.
+ */
+uint64_t mixHash(uint64_t a, uint64_t b, uint64_t c);
+
+/** mixHash mapped to [0, 1). */
+double hashUnit(uint64_t a, uint64_t b, uint64_t c);
+
+} // namespace resilience
+} // namespace tdp
+
+#endif // TDP_RESILIENCE_RETRY_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Write-ahead run journal.
+ *
+ * The journal is the orchestration layer's crash-safety backbone: an
+ * append-only log of task state transitions, one fsync'd, checksummed
+ * record per transition, so a run killed at any instant leaves a
+ * parseable prefix of its history on disk. `--resume <journal>`
+ * replays that prefix, treats every task with a trace-published
+ * record (whose trace still verifies in the cache) as done, and
+ * re-runs only the remainder - with stdout bit-identical to an
+ * uninterrupted run, because cached traces are lossless.
+ *
+ * On-disk format: one text line per record,
+ *
+ *   TDPJ1 <seq> <kind> <task> <fingerprint:016x> <attempt> \
+ *       <detail> <crc:016x>\n
+ *
+ * where crc is the FNV-1a 64 hash of everything before the last
+ * separator. `detail` is percent-escaped so the line stays exactly
+ * 8 space-separated tokens. Records are written with a single
+ * write(2) followed by fsync(2), so a crash can only tear the *last*
+ * record.
+ *
+ * Replay policy mirrors that write discipline: a torn or corrupt
+ * final record is tolerated (flagged, dropped - the crash case), but
+ * a bad record with valid records after it, a checksum mismatch in
+ * the body, or a sequence-number gap rejects the whole journal -
+ * that is corruption or tampering, and resuming from it could
+ * silently skip work.
+ */
+
+#ifndef TDP_RESILIENCE_RUN_JOURNAL_HH
+#define TDP_RESILIENCE_RUN_JOURNAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tdp {
+namespace resilience {
+
+/** Task state transitions the journal records. */
+enum class JournalKind
+{
+    /** A batch of tasks begins (detail = tool/batch label). */
+    RunBegin,
+
+    /** A task joined the batch (fingerprint + workload detail). */
+    TaskQueued,
+
+    /** An attempt at a task started (attempt >= 1). */
+    TaskStarted,
+
+    /** The task's trace landed in the cache (detail = provenance). */
+    TracePublished,
+
+    /** An attempt failed (detail = reason). */
+    TaskFailed,
+
+    /** The task exhausted its retries and was quarantined. */
+    TaskQuarantined,
+
+    /** The batch finished (detail = "complete" or "aborted"). */
+    RunEnd,
+
+    /** A graceful shutdown drained this run (detail = trigger). */
+    Shutdown,
+};
+
+/** Stable wire name of a record kind. */
+const char *journalKindName(JournalKind kind);
+
+/** One journal record. */
+struct JournalRecord
+{
+    uint64_t seq = 0;
+    JournalKind kind = JournalKind::RunBegin;
+    uint64_t task = 0;
+    uint64_t fingerprint = 0;
+    int attempt = 0;
+    std::string detail;
+};
+
+/** Append-only, fsync'd, checksummed run journal. */
+class RunJournal
+{
+  public:
+    /** Line magic; doubles as the format version. */
+    static constexpr const char *magic = "TDPJ1";
+
+    RunJournal() = default;
+    ~RunJournal();
+
+    RunJournal(const RunJournal &) = delete;
+    RunJournal &operator=(const RunJournal &) = delete;
+
+    /**
+     * Open for appending (created if missing). When the file already
+     * has records, it is replayed first: a rejected journal fails the
+     * open, a torn tail is truncated away, and new records continue
+     * the surviving sequence. Returns false with a reason in *error.
+     */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    /** True while a journal file is open. */
+    bool isOpen() const { return fd_ >= 0; }
+
+    /** Path given to open(). */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Append one record (thread-safe) and fsync it. Failures warn
+     * and return false; the run continues - the journal degrades to
+     * best-effort rather than taking the sweep down with it.
+     */
+    bool append(JournalKind kind, uint64_t task, uint64_t fingerprint,
+                int attempt, const std::string &detail);
+
+    /** Close the file (open() may be called again). */
+    void close();
+
+    /** Result of replaying a journal file. */
+    struct Replay
+    {
+        /** Parsed records, in sequence order. */
+        std::vector<JournalRecord> records;
+
+        /**
+         * True when the final record was torn (crash mid-append) and
+         * dropped; the rest of the journal is still trustworthy.
+         */
+        bool tornTail = false;
+
+        /** Non-empty when the journal was rejected outright. */
+        std::string error;
+
+        /** Byte length of the valid prefix (excludes a torn tail). */
+        uint64_t validBytes = 0;
+
+        /** True when the journal can be resumed from. */
+        bool valid() const { return error.empty(); }
+    };
+
+    /**
+     * Parse a journal file. A missing file is an error (resuming
+     * from nothing is a caller bug worth surfacing).
+     */
+    static Replay replay(const std::string &path);
+
+  private:
+    std::mutex mutex_;
+    std::string path_;
+    int fd_ = -1;
+    uint64_t nextSeq_ = 0;
+};
+
+} // namespace resilience
+} // namespace tdp
+
+#endif // TDP_RESILIENCE_RUN_JOURNAL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Implementation of graceful-shutdown coordination.
+ */
+
+#include "resilience/shutdown.hh"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace tdp {
+namespace resilience {
+
+namespace {
+
+std::atomic<bool> requested{false};
+std::atomic<int> signalSeen{0};
+std::atomic<bool> installed{false};
+
+extern "C" void
+onShutdownSignal(int signum)
+{
+    // Async-signal-safe: atomic stores only.
+    signalSeen.store(signum, std::memory_order_relaxed);
+    requested.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+installShutdownHandler()
+{
+    if (installed.exchange(true))
+        return;
+    struct sigaction action = {};
+    action.sa_handler = onShutdownSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // no SA_RESTART: interrupt blocking reads
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+bool
+shutdownRequested()
+{
+    return requested.load(std::memory_order_relaxed);
+}
+
+void
+requestShutdown()
+{
+    requested.store(true, std::memory_order_relaxed);
+}
+
+void
+resetShutdownForTest()
+{
+    requested.store(false, std::memory_order_relaxed);
+    signalSeen.store(0, std::memory_order_relaxed);
+}
+
+int
+shutdownSignal()
+{
+    return signalSeen.load(std::memory_order_relaxed);
+}
+
+} // namespace resilience
+} // namespace tdp

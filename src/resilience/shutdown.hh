@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Graceful-shutdown coordination.
+ *
+ * A long calibration sweep receiving SIGINT/SIGTERM (preemption, a
+ * CI timeout, an operator Ctrl-C) should not vanish mid-write: the
+ * handler only sets a flag; the experiment pool stops claiming new
+ * tasks, in-flight tasks drain, the journal and partial manifest are
+ * flushed, and the process exits with a distinct code
+ * (cleanAbortExitCode) so callers can tell "aborted cleanly, resume
+ * me" from both success and crash.
+ */
+
+#ifndef TDP_RESILIENCE_SHUTDOWN_HH
+#define TDP_RESILIENCE_SHUTDOWN_HH
+
+namespace tdp {
+namespace resilience {
+
+/**
+ * Exit code of a drained, journal-flushed abort. Distinct from 0
+ * (success), 1 (fatal error) and 128+signum (unhandled signal).
+ */
+constexpr int cleanAbortExitCode = 113;
+
+/**
+ * Install the SIGINT/SIGTERM handler (idempotent). The handler is
+ * async-signal-safe: it only raises the shutdown flag.
+ */
+void installShutdownHandler();
+
+/** True once a shutdown was requested (signal or programmatic). */
+bool shutdownRequested();
+
+/** Raise the shutdown flag programmatically (chaos abort, tests). */
+void requestShutdown();
+
+/** Lower the flag; tests only. */
+void resetShutdownForTest();
+
+/**
+ * The signal number that triggered the shutdown, or 0 when the
+ * request was programmatic / none happened.
+ */
+int shutdownSignal();
+
+} // namespace resilience
+} // namespace tdp
+
+#endif // TDP_RESILIENCE_SHUTDOWN_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Implementation of the task watchdog.
+ */
+
+#include "resilience/watchdog.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tdp {
+namespace resilience {
+
+TaskWatchdog::TaskWatchdog(Seconds poll)
+    : poll_(std::chrono::microseconds(
+          std::max<int64_t>(100, static_cast<int64_t>(poll * 1e6))))
+{
+}
+
+TaskWatchdog::~TaskWatchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        if (!entries_.empty())
+            panic("TaskWatchdog destroyed with %zu live leases",
+                  entries_.size());
+    }
+    cv_.notify_all();
+    if (monitor_.joinable())
+        monitor_.join();
+}
+
+TaskWatchdog::Lease
+TaskWatchdog::watch(Seconds deadline, CancelToken *token)
+{
+    if (deadline <= 0.0 || !token)
+        return Lease();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t id = nextId_++;
+    Entry entry;
+    entry.id = id;
+    entry.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<int64_t>(deadline * 1e6));
+    entry.token = token;
+    entry.fired = false;
+    entries_.push_back(entry);
+    if (!started_) {
+        started_ = true;
+        monitor_ = std::thread([this] { run(); });
+    }
+    cv_.notify_all();
+    return Lease(this, id);
+}
+
+void
+TaskWatchdog::run()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        const auto now = std::chrono::steady_clock::now();
+        for (Entry &entry : entries_) {
+            if (!entry.fired && now >= entry.deadline) {
+                entry.fired = true;
+                entry.token->cancel();
+                timeouts_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        cv_.wait_for(lock, poll_);
+    }
+}
+
+void
+TaskWatchdog::remove(uint64_t id, bool *fired)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [id](const Entry &e) { return e.id == id; });
+    if (it == entries_.end())
+        panic("TaskWatchdog: releasing unknown lease %llu",
+              static_cast<unsigned long long>(id));
+    if (fired)
+        *fired = it->fired;
+    entries_.erase(it);
+}
+
+bool
+TaskWatchdog::Lease::timedOut() const
+{
+    if (!dog_)
+        return false;
+    std::lock_guard<std::mutex> lock(dog_->mutex_);
+    auto it = std::find_if(
+        dog_->entries_.begin(), dog_->entries_.end(),
+        [this](const Entry &e) { return e.id == id_; });
+    return it != dog_->entries_.end() && it->fired;
+}
+
+void
+TaskWatchdog::Lease::release()
+{
+    if (dog_) {
+        dog_->remove(id_, nullptr);
+        dog_ = nullptr;
+    }
+}
+
+} // namespace resilience
+} // namespace tdp

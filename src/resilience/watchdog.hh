@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Cooperative per-task watchdogs.
+ *
+ * A pathological workload (or an injected chaos slowdown) must not
+ * wedge a whole sweep. Each resilient task runs under a deadline: a
+ * single monitor thread scans the in-flight registrations and fires
+ * the task's cancellation token when its deadline passes. C++
+ * threads cannot be killed safely, so cancellation is cooperative -
+ * long-running loops poll CancelToken::cancelled() and throw
+ * CancelledError - but even a task that never polls is still
+ * *detected*: the timeout is counted, surfaced in the batch report
+ * and, once the attempt finally returns, treated as a failed attempt
+ * eligible for retry/quarantine.
+ */
+
+#ifndef TDP_RESILIENCE_WATCHDOG_HH
+#define TDP_RESILIENCE_WATCHDOG_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tdp {
+namespace resilience {
+
+/** Cooperative cancellation flag shared between watchdog and task. */
+class CancelToken
+{
+  public:
+    /** True once the watchdog (or a shutdown) cancelled the task. */
+    bool
+    cancelled() const
+    {
+        return flag_.load(std::memory_order_relaxed);
+    }
+
+    /** Raise the flag; idempotent. */
+    void cancel() { flag_.store(true, std::memory_order_relaxed); }
+
+    /** Lower the flag for reuse across attempts. */
+    void reset() { flag_.store(false, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/** Deadline monitor for in-flight tasks. */
+class TaskWatchdog
+{
+  public:
+    /**
+     * @param poll how often the monitor scans the registrations.
+     * The monitor thread starts lazily on the first watch() call.
+     */
+    explicit TaskWatchdog(Seconds poll = 0.005);
+
+    /** Joins the monitor thread; outstanding leases must be gone. */
+    ~TaskWatchdog();
+
+    /**
+     * RAII registration of one task attempt. On destruction the
+     * registration is withdrawn; timedOut() says whether the
+     * watchdog fired for it.
+     */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        Lease(TaskWatchdog *dog, uint64_t id) : dog_(dog), id_(id) {}
+        Lease(Lease &&other) noexcept { *this = std::move(other); }
+        Lease &
+        operator=(Lease &&other) noexcept
+        {
+            release();
+            dog_ = other.dog_;
+            id_ = other.id_;
+            other.dog_ = nullptr;
+            return *this;
+        }
+        ~Lease() { release(); }
+
+        /** True when the watchdog fired for this registration. */
+        bool timedOut() const;
+
+      private:
+        void release();
+
+        TaskWatchdog *dog_ = nullptr;
+        uint64_t id_ = 0;
+    };
+
+    /**
+     * Register one task attempt: `token` is cancelled once `deadline`
+     * seconds elapse. A non-positive deadline returns an inert lease.
+     */
+    Lease watch(Seconds deadline, CancelToken *token);
+
+    /** Total registrations whose deadline fired. */
+    uint64_t timeouts() const { return timeouts_.load(); }
+
+  private:
+    friend class Lease;
+
+    struct Entry
+    {
+        uint64_t id;
+        std::chrono::steady_clock::time_point deadline;
+        CancelToken *token;
+        bool fired;
+    };
+
+    void run();
+    void remove(uint64_t id, bool *fired);
+
+    const std::chrono::microseconds poll_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Entry> entries_;
+    std::thread monitor_;
+    bool started_ = false;
+    bool stopping_ = false;
+    uint64_t nextId_ = 1;
+    std::atomic<uint64_t> timeouts_{0};
+};
+
+} // namespace resilience
+} // namespace tdp
+
+#endif // TDP_RESILIENCE_WATCHDOG_HH

@@ -7,19 +7,49 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+#include <thread>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "measure/trace_io.hh"
 #include "obs/span_tracer.hh"
 #include "obs/stats_registry.hh"
+#include "resilience/retry.hh"
 
 namespace tdp {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/** Shared retry shape for transient cache I/O (satellite of PR 5). */
+resilience::RetryPolicy
+cacheRetryPolicy(uint64_t fingerprint)
+{
+    resilience::RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.baseDelay = 0.002;
+    policy.maxDelay = 0.02;
+    policy.jitterFrac = 0.25;
+    policy.seed = fingerprint;
+    return policy;
+}
+
+void
+backoffSleep(const resilience::RetryPolicy &policy, int failed_attempt,
+             uint64_t key)
+{
+    const Seconds delay = policy.delayFor(failed_attempt, key);
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<int64_t>(delay * 1e6)));
+}
+
+} // namespace
 
 TraceCache::TraceCache(std::string root) : root_(std::move(root))
 {
@@ -43,12 +73,35 @@ TraceCache::lookup(uint64_t fingerprint, SampleTrace &out) const
     auto &reg = obs::StatsRegistry::global();
 
     const std::string path = entryPath(fingerprint);
-    std::ifstream file(path, std::ios::binary);
-    if (!file) {
-        ++stats_.misses;
-        reg.addNamed("trace_cache.misses", 1);
-        span.arg("hit", 0.0);
-        return false;
+    const resilience::RetryPolicy policy = cacheRetryPolicy(fingerprint);
+    std::ifstream file;
+    for (int attempt = 1;; ++attempt) {
+        file.open(path, std::ios::binary);
+        if (file)
+            break;
+        std::error_code ec;
+        if (!fs::exists(path, ec)) {
+            // Genuine miss: nothing to retry.
+            ++stats_.misses;
+            reg.addNamed("trace_cache.misses", 1);
+            span.arg("hit", 0.0);
+            return false;
+        }
+        // The entry exists but would not open: transient I/O
+        // (EMFILE, EACCES race, EIO); retry before re-simulating.
+        if (attempt >= policy.maxAttempts) {
+            warn("trace cache: %s exists but cannot be opened after "
+                 "%d attempts; falling back to simulation",
+                 path.c_str(), attempt);
+            ++stats_.rejected;
+            reg.addNamed("trace_cache.rejected", 1);
+            span.arg("hit", 0.0);
+            return false;
+        }
+        ++stats_.retries;
+        reg.addNamed("trace_cache.retries", 1);
+        file.clear();
+        backoffSleep(policy, attempt, fingerprint);
     }
 
     SampleTrace trace;
@@ -99,35 +152,45 @@ TraceCache::store(uint64_t fingerprint, const SampleTrace &trace) const
     }
 
     const std::string path = entryPath(fingerprint);
-    // Unique temp name per process so concurrent bench binaries
-    // never interleave writes; rename publishes atomically.
-    const std::string tmp = formatString(
-        "%s.tmp.%ld", path.c_str(), static_cast<long>(::getpid()));
-    {
-        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-        if (!file) {
-            warn("trace cache: cannot write %s; entry not stored",
-                 tmp.c_str());
+    const resilience::RetryPolicy policy = cacheRetryPolicy(fingerprint);
+    auto &reg = obs::StatsRegistry::global();
+    for (int attempt = 1;; ++attempt) {
+        std::string serialize_error;
+        std::string publish_error;
+        const bool ok = writeFileAtomic(
+            path,
+            [&](std::ostream &os) {
+                try {
+                    writeTraceBinary(os, trace, fingerprint);
+                } catch (const FatalError &err) {
+                    serialize_error = err.what();
+                    return false;
+                }
+                return true;
+            },
+            &publish_error);
+        if (ok) {
+            ++stats_.stores;
+            reg.addNamed("trace_cache.stores", 1);
+            return true;
+        }
+        if (!serialize_error.empty()) {
+            // The trace itself would not serialise: retrying cannot
+            // help.
+            warn("trace cache: %s; entry not stored",
+                 serialize_error.c_str());
             return false;
         }
-        try {
-            writeTraceBinary(file, trace, fingerprint);
-        } catch (const FatalError &err) {
-            warn("trace cache: %s; entry not stored", err.what());
-            fs::remove(tmp, ec);
+        if (attempt >= policy.maxAttempts) {
+            warn("trace cache: %s; entry not stored after %d "
+                 "attempts",
+                 publish_error.c_str(), attempt);
             return false;
         }
+        ++stats_.retries;
+        reg.addNamed("trace_cache.retries", 1);
+        backoffSleep(policy, attempt, fingerprint);
     }
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        warn("trace cache: cannot publish %s (%s); entry not stored",
-             path.c_str(), ec.message().c_str());
-        fs::remove(tmp, ec);
-        return false;
-    }
-    ++stats_.stores;
-    obs::StatsRegistry::global().addNamed("trace_cache.stores", 1);
-    return true;
 }
 
 std::optional<std::string>

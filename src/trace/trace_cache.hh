@@ -28,6 +28,7 @@
 #ifndef TDP_TRACE_TRACE_CACHE_HH
 #define TDP_TRACE_TRACE_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -40,20 +41,27 @@ namespace tdp {
 class TraceCache
 {
   public:
-    /** Lookup/store outcome counters since construction. */
+    /**
+     * Lookup/store outcome counters since construction. Atomic
+     * fields: the resilient orchestration path stores entries from
+     * pool workers concurrently.
+     */
     struct Stats
     {
         /** Lookups satisfied from disk. */
-        uint64_t hits = 0;
+        std::atomic<uint64_t> hits{0};
 
         /** Lookups with no entry on disk. */
-        uint64_t misses = 0;
+        std::atomic<uint64_t> misses{0};
 
         /** Entries found but rejected (corrupt/stale/mismatched). */
-        uint64_t rejected = 0;
+        std::atomic<uint64_t> rejected{0};
 
         /** Entries written. */
-        uint64_t stores = 0;
+        std::atomic<uint64_t> stores{0};
+
+        /** Transient-I/O retries across loads and stores. */
+        std::atomic<uint64_t> retries{0};
     };
 
     /**
@@ -70,14 +78,21 @@ class TraceCache
     /**
      * Load the entry for a fingerprint. Returns false on a miss or
      * on any rejected entry (with a warning naming the file and
-     * reason); `out` is only written on success.
+     * reason); `out` is only written on success. An entry that
+     * exists but cannot be *opened* is treated as a transient I/O
+     * error and retried (3 attempts, short backoff) before giving
+     * up; a parse/checksum failure is permanent and rejected
+     * immediately.
      */
     bool lookup(uint64_t fingerprint, SampleTrace &out) const;
 
     /**
-     * Store a trace under its fingerprint. Best effort: failures
-     * warn and return false rather than aborting the run that just
-     * paid for the simulation.
+     * Store a trace under its fingerprint via hardened atomic
+     * publication (fsync before rename, directory fsync, EXDEV copy
+     * fallback). Transient publish failures are retried (3 attempts,
+     * short backoff). Best effort beyond that: failures warn and
+     * return false rather than aborting the run that just paid for
+     * the simulation. Thread-safe.
      */
     bool store(uint64_t fingerprint, const SampleTrace &trace) const;
 

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * End-to-end crash safety at the orchestration seam: a run SIGKILLed
+ * mid-sweep resumes from its journal with bit-identical traces (at
+ * any worker count), a SIGTERM drains cleanly with exit code 113 and
+ * a flushed partial manifest, and a poisoned batch quarantines with
+ * a resume hint instead of wedging.
+ */
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bench_util.hh"
+#include "common/logging.hh"
+#include "measure/trace_io.hh"
+#include "resilience/chaos.hh"
+#include "resilience/run_journal.hh"
+#include "resilience/shutdown.hh"
+
+namespace tdp {
+namespace {
+
+namespace fs = std::filesystem;
+using bench::RunSpec;
+
+/** Cheap specs: short runs so the suite stays a few seconds. */
+std::vector<RunSpec>
+smallBatch()
+{
+    const char *workloads[] = {"gcc", "mcf", "mesa"};
+    std::vector<RunSpec> specs;
+    for (const char *workload : workloads) {
+        RunSpec spec = bench::characterizationRun(workload);
+        spec.duration = 12.0;
+        spec.skip = 2.0;
+        spec.seed = bench::defaultSeed ^ 0xc5a5u;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+uint64_t
+traceDigest(const SampleTrace &trace)
+{
+    std::ostringstream os;
+    writeTraceBinary(os, trace);
+    const std::string bytes = os.str();
+    return fnv1a64(bytes.data(), bytes.size());
+}
+
+std::vector<uint64_t>
+digestsOf(const std::vector<SampleTrace> &traces)
+{
+    std::vector<uint64_t> digests;
+    for (const auto &trace : traces)
+        digests.push_back(traceDigest(trace));
+    return digests;
+}
+
+/** Every first attempt stalls ~1 s: the child is guaranteed to be
+ * alive when the parent's signal lands, and retries run clean. */
+resilience::ChaosPlan
+stallPlan()
+{
+    resilience::ChaosPlan plan;
+    plan.slowTaskProb = 1.0;
+    plan.slowTaskSeconds = 1.0;
+    return plan;
+}
+
+class CrashResumeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("tdp-crash-resume-test-" + std::to_string(::getpid()));
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        resetBenchState();
+    }
+
+    void
+    TearDown() override
+    {
+        resetBenchState();
+        fs::remove_all(dir_);
+    }
+
+    /** bench_util state is process-global; leave it as we found it
+     * so the other suites in this binary stay unaffected. */
+    static void
+    resetBenchState()
+    {
+        bench::setTraceCacheRoot("");
+        bench::setRunJournalPath("");
+        bench::setResumeJournalPath("");
+        bench::setTaskTimeout(0.0);
+        bench::setTaskRetries(0);
+        bench::setChaosPlan(resilience::ChaosPlan());
+        bench::setJobs(1);
+        resilience::resetShutdownForTest();
+    }
+
+    /**
+     * Fork a child that runs the batch under the stall plan with a
+     * journal + cache, signal it after `delay` seconds, and return
+     * its wait status.
+     */
+    int
+    runSignalledChild(const std::string &cache,
+                      const std::string &journal, int signo,
+                      double delay, bool with_manifest = false)
+    {
+        // Flush stdio so the child does not replay buffered output.
+        std::fflush(stdout);
+        std::fflush(stderr);
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            if (with_manifest) {
+                std::string manifest =
+                    (dir_ / "partial.json").string();
+                std::string cache_flag = "--trace-cache=" + cache;
+                char prog[] = "test_crash_resume";
+                char mflag[] = "--manifest-out";
+                char jflag[] = "--journal";
+                char jobs_flag[] = "-j";
+                char jobs_val[] = "2";
+                char *argv[] = {prog,
+                                mflag,
+                                manifest.data(),
+                                jflag,
+                                const_cast<char *>(journal.c_str()),
+                                cache_flag.data(),
+                                jobs_flag,
+                                jobs_val,
+                                nullptr};
+                bench::initBench(8, argv);
+            } else {
+                bench::setTraceCacheRoot(cache);
+                bench::setRunJournalPath(journal);
+                bench::setJobs(2);
+            }
+            bench::setTaskRetries(3);
+            bench::setChaosPlan(stallPlan());
+            try {
+                bench::runTraces(smallBatch());
+            } catch (...) {
+                ::_exit(86);
+            }
+            ::_exit(0);
+        }
+        EXPECT_GT(pid, 0);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(delay));
+        ::kill(pid, signo);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        return status;
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(CrashResumeTest, KillResumeIsBitIdenticalAtAnyWorkerCount)
+{
+    const auto specs = smallBatch();
+
+    // Baseline: no cache, no journal, no chaos.
+    const auto baseline = digestsOf(bench::runTraces(specs));
+    ASSERT_EQ(baseline.size(), specs.size());
+
+    const std::string cache = (dir_ / "cache").string();
+    const std::string journal = (dir_ / "run.journal").string();
+    // 1.5 s: past the 1 s first-attempt stalls (so finished tasks
+    // have published to the cache) but well before the batch can
+    // complete (the last task's own stall keeps the child alive).
+    const int status =
+        runSignalledChild(cache, journal, SIGKILL, 1.5);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+    // The dead child's journal must replay (a torn final record is
+    // the one tolerated casualty).
+    const auto replay = resilience::RunJournal::replay(journal);
+    ASSERT_TRUE(replay.valid()) << replay.error;
+    EXPECT_FALSE(replay.records.empty());
+
+    // Resume serially: completed tasks come from the cache, the
+    // rest re-simulate; the result must match the baseline bit for
+    // bit.
+    bench::setTraceCacheRoot(cache);
+    bench::setResumeJournalPath(journal);
+    bench::setTaskRetries(3);
+    bench::setJobs(1);
+    EXPECT_EQ(digestsOf(bench::runTraces(specs)), baseline);
+
+    // And again wide: the journal now covers the whole batch, so a
+    // parallel resume is all cache hits - still bit-identical.
+    resetBenchState();
+    bench::setTraceCacheRoot(cache);
+    bench::setResumeJournalPath(journal);
+    bench::setJobs(4);
+    EXPECT_EQ(digestsOf(bench::runTraces(specs)), baseline);
+}
+
+TEST_F(CrashResumeTest, SigtermDrainsFlushesManifestAndExits113)
+{
+    const std::string cache = (dir_ / "cache").string();
+    const std::string journal = (dir_ / "drain.journal").string();
+    const int status = runSignalledChild(cache, journal, SIGTERM,
+                                         0.3, /*with_manifest=*/true);
+
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), resilience::cleanAbortExitCode);
+
+    // The journal records the drain.
+    const auto replay = resilience::RunJournal::replay(journal);
+    ASSERT_TRUE(replay.valid()) << replay.error;
+    bool saw_shutdown = false, saw_abort = false;
+    for (const auto &record : replay.records) {
+        if (record.kind == resilience::JournalKind::Shutdown)
+            saw_shutdown = true;
+        if (record.kind == resilience::JournalKind::RunEnd &&
+            record.detail == "aborted")
+            saw_abort = true;
+    }
+    EXPECT_TRUE(saw_shutdown);
+    EXPECT_TRUE(saw_abort);
+
+    // The partial manifest was flushed and is well-formed JSON at a
+    // glance (CI runs the full schema validator on it).
+    const fs::path manifest = dir_ / "partial.json";
+    ASSERT_TRUE(fs::exists(manifest));
+    std::ifstream in(manifest);
+    const std::string body{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    ASSERT_FALSE(body.empty());
+    EXPECT_EQ(body.front(), '{');
+    EXPECT_NE(body.find("\"stats\""), std::string::npos);
+}
+
+TEST_F(CrashResumeTest, PoisonedBatchQuarantinesWithResumeHint)
+{
+    const std::string cache = (dir_ / "cache").string();
+    const std::string journal = (dir_ / "poison.journal").string();
+    bench::setTraceCacheRoot(cache);
+    bench::setRunJournalPath(journal);
+    bench::setTaskRetries(2);
+
+    resilience::ChaosPlan poison;
+    poison.poisonTaskProb = 1.0;
+    bench::setChaosPlan(poison);
+
+    try {
+        bench::runTraces(smallBatch());
+        FAIL() << "a fully poisoned batch must not succeed";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("quarantined"), std::string::npos);
+        EXPECT_NE(what.find("--resume"), std::string::npos);
+    }
+
+    // Every attempt was poisoned: the journal must account for the
+    // quarantine of all three tasks.
+    const auto replay = resilience::RunJournal::replay(journal);
+    ASSERT_TRUE(replay.valid()) << replay.error;
+    size_t quarantined = 0;
+    for (const auto &record : replay.records)
+        if (record.kind == resilience::JournalKind::TaskQuarantined)
+            ++quarantined;
+    EXPECT_EQ(quarantined, smallBatch().size());
+}
+
+} // namespace
+} // namespace tdp

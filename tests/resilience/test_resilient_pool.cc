@@ -1,0 +1,259 @@
+/**
+ * @file
+ * ExperimentPool::forEachResilient: the crash-safe task path must
+ * retry transient failures with deterministic accounting, quarantine
+ * tasks that exhaust their attempts instead of aborting the batch,
+ * detect watchdog overruns, drain cleanly on a shutdown request, and
+ * produce results independent of the worker count.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment_pool.hh"
+#include "resilience/retry.hh"
+#include "resilience/shutdown.hh"
+
+namespace tdp {
+namespace {
+
+using resilience::TransientError;
+using Event = ExperimentPool::TaskEvent;
+
+/** Fast backoff so retry tests stay sub-second. */
+ExperimentPool::TaskOptions
+fastOptions()
+{
+    ExperimentPool::TaskOptions options;
+    options.retry.maxAttempts = 3;
+    options.retry.baseDelay = 0.001;
+    options.retry.maxDelay = 0.01;
+    options.retry.seed = 0x5eed;
+    return options;
+}
+
+/** Collects observer events; thread-safe like the contract demands. */
+struct EventLog
+{
+    std::mutex mutex;
+    std::vector<Event> events;
+
+    std::function<void(const Event &)>
+    observer()
+    {
+        return [this](const Event &event) {
+            std::lock_guard<std::mutex> lock(mutex);
+            events.push_back(event);
+        };
+    }
+
+    size_t
+    count(Event::Kind kind) const
+    {
+        size_t n = 0;
+        for (const auto &event : events)
+            if (event.kind == kind)
+                ++n;
+        return n;
+    }
+};
+
+TEST(ResilientPoolTest, AllTasksCompleteAndResultsAreIndexed)
+{
+    const size_t n = 16;
+    std::vector<int> out(n, -1);
+    ExperimentPool pool(4);
+    const auto report = pool.forEachResilient(
+        n,
+        [&](size_t i, ExperimentPool::TaskContext &) {
+            out[i] = static_cast<int>(i * i);
+        },
+        fastOptions());
+
+    EXPECT_TRUE(report.allCompleted(n));
+    EXPECT_EQ(report.attempts, n);
+    EXPECT_EQ(report.retries, 0u);
+    EXPECT_TRUE(report.quarantined.empty());
+    EXPECT_FALSE(report.shutdownDrained);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ResilientPoolTest, ResultsMatchAcrossWorkerCounts)
+{
+    const size_t n = 24;
+    auto run = [&](int jobs) {
+        std::vector<uint64_t> out(n, 0);
+        ExperimentPool pool(jobs);
+        const auto report = pool.forEachResilient(
+            n,
+            [&](size_t i, ExperimentPool::TaskContext &) {
+                // Deliberately index-derived only: worker identity
+                // must never leak into a result.
+                out[i] = resilience::mixHash(0x5eed, i, 7);
+            },
+            fastOptions());
+        EXPECT_TRUE(report.allCompleted(n));
+        return out;
+    };
+    EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ResilientPoolTest, TransientFailureRetriesAndSucceeds)
+{
+    EventLog log;
+    auto options = fastOptions();
+    options.observer = log.observer();
+
+    std::atomic<int> first_attempts{0};
+    ExperimentPool pool(1);
+    const auto report = pool.forEachResilient(
+        3,
+        [&](size_t i, ExperimentPool::TaskContext &ctx) {
+            if (i == 1 && ctx.attempt == 1) {
+                first_attempts.fetch_add(1);
+                throw TransientError("injected transient failure");
+            }
+        },
+        options);
+
+    EXPECT_TRUE(report.allCompleted(3));
+    EXPECT_EQ(report.attempts, 4u);
+    EXPECT_EQ(report.retries, 1u);
+    EXPECT_TRUE(report.quarantined.empty());
+    EXPECT_EQ(first_attempts.load(), 1);
+
+    // Serial pool: the event order for task 1 is fully determined.
+    std::vector<Event> task1;
+    for (const auto &event : log.events)
+        if (event.task == 1)
+            task1.push_back(event);
+    ASSERT_EQ(task1.size(), 4u);
+    EXPECT_EQ(task1[0].kind, Event::Kind::Started);
+    EXPECT_EQ(task1[0].attempt, 1);
+    EXPECT_EQ(task1[1].kind, Event::Kind::Failed);
+    EXPECT_EQ(task1[1].detail, "injected transient failure");
+    EXPECT_EQ(task1[2].kind, Event::Kind::Started);
+    EXPECT_EQ(task1[2].attempt, 2);
+    EXPECT_EQ(task1[3].kind, Event::Kind::Succeeded);
+}
+
+TEST(ResilientPoolTest, ExhaustedRetriesQuarantineTheTask)
+{
+    EventLog log;
+    auto options = fastOptions();
+    options.retry.maxAttempts = 2;
+    options.observer = log.observer();
+
+    ExperimentPool pool(2);
+    const auto report = pool.forEachResilient(
+        5,
+        [&](size_t i, ExperimentPool::TaskContext &) {
+            if (i == 2)
+                throw TransientError("poisoned task");
+        },
+        options);
+
+    // The batch survives: one quarantine, four completions.
+    EXPECT_EQ(report.completed, 4u);
+    ASSERT_EQ(report.quarantined.size(), 1u);
+    EXPECT_EQ(report.quarantined[0], 2u);
+    ASSERT_EQ(report.quarantineReasons.size(), 1u);
+    EXPECT_EQ(report.quarantineReasons[0], "poisoned task");
+    EXPECT_EQ(report.attempts, 6u);
+    EXPECT_EQ(report.retries, 1u);
+    EXPECT_FALSE(report.allCompleted(5));
+    EXPECT_EQ(log.count(Event::Kind::Quarantined), 1u);
+    EXPECT_EQ(log.count(Event::Kind::Failed), 2u);
+}
+
+TEST(ResilientPoolTest, WatchdogCancelsOverrunningAttempt)
+{
+    EventLog log;
+    auto options = fastOptions();
+    options.timeout = 0.02;
+    options.observer = log.observer();
+
+    ExperimentPool pool(1);
+    const auto report = pool.forEachResilient(
+        1,
+        [&](size_t, ExperimentPool::TaskContext &ctx) {
+            if (ctx.attempt > 1)
+                return; // retry runs clean
+            // Cooperative stall: wait for the watchdog to fire, with
+            // a wall-clock bound so a broken watchdog cannot hang
+            // the suite.
+            const auto give_up = std::chrono::steady_clock::now() +
+                                 std::chrono::seconds(5);
+            while (!ctx.cancel->cancelled() &&
+                   std::chrono::steady_clock::now() < give_up)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            ASSERT_TRUE(ctx.cancel->cancelled());
+            throw resilience::CancelledError(
+                "cancelled by watchdog");
+        },
+        options);
+
+    EXPECT_TRUE(report.allCompleted(1));
+    EXPECT_EQ(report.attempts, 2u);
+    EXPECT_EQ(report.retries, 1u);
+    EXPECT_GE(report.timeouts, 1u);
+    EXPECT_EQ(log.count(Event::Kind::TimedOut), 1u);
+    EXPECT_EQ(log.count(Event::Kind::Succeeded), 1u);
+}
+
+TEST(ResilientPoolTest, ShutdownRequestDrainsRemainingTasks)
+{
+    resilience::resetShutdownForTest();
+    std::atomic<size_t> started{0};
+
+    ExperimentPool pool(1);
+    const auto report = pool.forEachResilient(
+        6,
+        [&](size_t i, ExperimentPool::TaskContext &) {
+            started.fetch_add(1);
+            // The second task requests shutdown mid-batch; with a
+            // serial pool everything after it must drain unstarted.
+            if (i == 1)
+                resilience::requestShutdown();
+        },
+        fastOptions());
+    resilience::resetShutdownForTest();
+
+    EXPECT_TRUE(report.shutdownDrained);
+    EXPECT_EQ(started.load(), 2u);
+    EXPECT_EQ(report.completed, 2u);
+    EXPECT_EQ(report.aborted, 4u);
+    EXPECT_FALSE(report.allCompleted(6));
+}
+
+TEST(ResilientPoolTest, TaskKeyFeedsTheJitterStream)
+{
+    // Smoke: supplying fingerprints as task keys must not change
+    // completion semantics (the keys only steer jitter/chaos hashes).
+    auto options = fastOptions();
+    options.taskKey = [](size_t i) {
+        return resilience::mixHash(0xabc, i, 1);
+    };
+    std::atomic<size_t> done{0};
+    ExperimentPool pool(3);
+    const auto report = pool.forEachResilient(
+        9,
+        [&](size_t, ExperimentPool::TaskContext &) {
+            done.fetch_add(1);
+        },
+        options);
+    EXPECT_TRUE(report.allCompleted(9));
+    EXPECT_EQ(done.load(), 9u);
+}
+
+} // namespace
+} // namespace tdp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * RetryPolicy backoff: exponential growth, the delay ceiling, and
+ * the determinism of the derived jitter (two runs of the same sweep
+ * must back off identically, whatever the worker count).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "resilience/retry.hh"
+
+namespace tdp {
+namespace resilience {
+namespace {
+
+RetryPolicy
+plainPolicy()
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.baseDelay = 0.01;
+    policy.maxDelay = 1.0;
+    policy.jitterFrac = 0.0;
+    return policy;
+}
+
+TEST(RetryPolicyTest, ExponentialDoublingWithoutJitter)
+{
+    const RetryPolicy policy = plainPolicy();
+    EXPECT_DOUBLE_EQ(policy.delayFor(1, 0), 0.01);
+    EXPECT_DOUBLE_EQ(policy.delayFor(2, 0), 0.02);
+    EXPECT_DOUBLE_EQ(policy.delayFor(3, 0), 0.04);
+    EXPECT_DOUBLE_EQ(policy.delayFor(4, 0), 0.08);
+}
+
+TEST(RetryPolicyTest, DelayIsCappedAtMaxDelay)
+{
+    RetryPolicy policy = plainPolicy();
+    policy.maxDelay = 0.05;
+    EXPECT_DOUBLE_EQ(policy.delayFor(10, 0), 0.05);
+    EXPECT_DOUBLE_EQ(policy.delayFor(30, 0), 0.05);
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicInSeedKeyAttempt)
+{
+    RetryPolicy policy = plainPolicy();
+    policy.jitterFrac = 0.5;
+    for (int attempt = 1; attempt <= 4; ++attempt)
+        EXPECT_DOUBLE_EQ(policy.delayFor(attempt, 42),
+                         policy.delayFor(attempt, 42));
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinTheConfiguredBand)
+{
+    RetryPolicy policy = plainPolicy();
+    policy.jitterFrac = 0.5;
+    for (uint64_t key = 0; key < 200; ++key) {
+        const Seconds delay = policy.delayFor(1, key);
+        EXPECT_GE(delay, 0.005);
+        EXPECT_LE(delay, 0.015);
+    }
+}
+
+TEST(RetryPolicyTest, DifferentKeysDecorrelate)
+{
+    RetryPolicy policy = plainPolicy();
+    policy.jitterFrac = 0.5;
+    // Not every pair must differ, but across many keys the jitter
+    // stream must not collapse to a constant.
+    int distinct = 0;
+    const Seconds first = policy.delayFor(1, 0);
+    for (uint64_t key = 1; key < 50; ++key)
+        if (policy.delayFor(1, key) != first)
+            ++distinct;
+    EXPECT_GT(distinct, 40);
+}
+
+TEST(RetryPolicyTest, MalformedPolicyIsFatal)
+{
+    RetryPolicy policy = plainPolicy();
+    policy.maxAttempts = 0;
+    EXPECT_THROW(policy.validate(), FatalError);
+
+    policy = plainPolicy();
+    policy.baseDelay = -1.0;
+    EXPECT_THROW(policy.validate(), FatalError);
+
+    policy = plainPolicy();
+    policy.jitterFrac = 1.5;
+    EXPECT_THROW(policy.validate(), FatalError);
+}
+
+TEST(MixHashTest, DeterministicAndSensitiveToEveryInput)
+{
+    EXPECT_EQ(mixHash(1, 2, 3), mixHash(1, 2, 3));
+    EXPECT_NE(mixHash(1, 2, 3), mixHash(2, 2, 3));
+    EXPECT_NE(mixHash(1, 2, 3), mixHash(1, 3, 3));
+    EXPECT_NE(mixHash(1, 2, 3), mixHash(1, 2, 4));
+}
+
+TEST(MixHashTest, HashUnitCoversTheUnitInterval)
+{
+    double lo = 1.0, hi = 0.0;
+    for (uint64_t i = 0; i < 1000; ++i) {
+        const double u = hashUnit(0x5eed, i, 1);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_LT(lo, 0.05);
+    EXPECT_GT(hi, 0.95);
+}
+
+} // namespace
+} // namespace resilience
+} // namespace tdp

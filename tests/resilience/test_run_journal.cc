@@ -1,0 +1,267 @@
+/**
+ * @file
+ * RunJournal: append/replay round trips, the torn-tail tolerance that
+ * mirrors the single-write(2) append discipline, and the hard
+ * rejection of mid-file corruption, checksum damage and sequence
+ * gaps (resuming from a tampered journal could silently skip work).
+ */
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "resilience/run_journal.hh"
+
+namespace tdp {
+namespace resilience {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RunJournalTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("tdp-run-journal-test-" + std::to_string(::getpid()));
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        path_ = (dir_ / "run.journal").string();
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string
+    readAll() const
+    {
+        std::ifstream in(path_, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    }
+
+    void
+    writeAll(const std::string &bytes) const
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    /** Append every record kind once and close. */
+    void
+    writeFullJournal() const
+    {
+        RunJournal journal;
+        ASSERT_TRUE(journal.open(path_));
+        ASSERT_TRUE(journal.append(JournalKind::RunBegin, 0, 0, 0,
+                                   "batch-of-2"));
+        ASSERT_TRUE(journal.append(JournalKind::TaskQueued, 0,
+                                   0xfeedu, 0, "gcc x8"));
+        ASSERT_TRUE(journal.append(JournalKind::TaskQueued, 1,
+                                   0xbeefu, 0, "mcf x8"));
+        ASSERT_TRUE(journal.append(JournalKind::TaskStarted, 0,
+                                   0xfeedu, 1, ""));
+        ASSERT_TRUE(journal.append(JournalKind::TaskFailed, 0,
+                                   0xfeedu, 1, "injected kill"));
+        ASSERT_TRUE(journal.append(JournalKind::TaskStarted, 0,
+                                   0xfeedu, 2, ""));
+        ASSERT_TRUE(journal.append(JournalKind::TracePublished, 0,
+                                   0xfeedu, 2, "fresh"));
+        ASSERT_TRUE(journal.append(JournalKind::TaskQuarantined, 1,
+                                   0xbeefu, 3, "poisoned"));
+        ASSERT_TRUE(journal.append(JournalKind::Shutdown, 0, 0, 0,
+                                   "signal-15"));
+        ASSERT_TRUE(journal.append(JournalKind::RunEnd, 0, 0, 0,
+                                   "aborted"));
+        journal.close();
+    }
+
+    fs::path dir_;
+    std::string path_;
+};
+
+TEST_F(RunJournalTest, AppendReplayRoundTripsEveryKind)
+{
+    writeFullJournal();
+
+    const auto replay = RunJournal::replay(path_);
+    ASSERT_TRUE(replay.valid()) << replay.error;
+    EXPECT_FALSE(replay.tornTail);
+    ASSERT_EQ(replay.records.size(), 10u);
+
+    const auto &queued = replay.records[1];
+    EXPECT_EQ(queued.kind, JournalKind::TaskQueued);
+    EXPECT_EQ(queued.task, 0u);
+    EXPECT_EQ(queued.fingerprint, 0xfeedu);
+    EXPECT_EQ(queued.detail, "gcc x8");
+
+    const auto &failed = replay.records[4];
+    EXPECT_EQ(failed.kind, JournalKind::TaskFailed);
+    EXPECT_EQ(failed.attempt, 1);
+    EXPECT_EQ(failed.detail, "injected kill");
+
+    const auto &published = replay.records[6];
+    EXPECT_EQ(published.kind, JournalKind::TracePublished);
+    EXPECT_EQ(published.fingerprint, 0xfeedu);
+    EXPECT_EQ(published.detail, "fresh");
+
+    // Sequence numbers are contiguous from 0.
+    for (size_t i = 0; i < replay.records.size(); ++i)
+        EXPECT_EQ(replay.records[i].seq, i);
+}
+
+TEST_F(RunJournalTest, DetailEscapingSurvivesSpacesAndNewlines)
+{
+    {
+        RunJournal journal;
+        ASSERT_TRUE(journal.open(path_));
+        ASSERT_TRUE(journal.append(
+            JournalKind::TaskFailed, 3, 0x1u, 1,
+            "I/O error: disk full (100% used)\nretrying soon"));
+        journal.close();
+    }
+    const auto replay = RunJournal::replay(path_);
+    ASSERT_TRUE(replay.valid()) << replay.error;
+    ASSERT_EQ(replay.records.size(), 1u);
+    EXPECT_EQ(replay.records[0].detail,
+              "I/O error: disk full (100% used)\nretrying soon");
+}
+
+TEST_F(RunJournalTest, MissingFileIsAnError)
+{
+    const auto replay =
+        RunJournal::replay((dir_ / "nope.journal").string());
+    EXPECT_FALSE(replay.valid());
+    EXPECT_FALSE(replay.error.empty());
+}
+
+TEST_F(RunJournalTest, TornTailIsToleratedAndDropped)
+{
+    writeFullJournal();
+    const std::string intact = readAll();
+
+    // A crash mid-append can only tear the final record: chop the
+    // last line in half (no trailing newline).
+    const size_t last_nl = intact.rfind('\n', intact.size() - 2);
+    ASSERT_NE(last_nl, std::string::npos);
+    const size_t tear =
+        last_nl + 1 + (intact.size() - last_nl - 1) / 2;
+    writeAll(intact.substr(0, tear));
+
+    const auto replay = RunJournal::replay(path_);
+    ASSERT_TRUE(replay.valid()) << replay.error;
+    EXPECT_TRUE(replay.tornTail);
+    EXPECT_EQ(replay.records.size(), 9u);
+    EXPECT_EQ(replay.validBytes, last_nl + 1);
+}
+
+TEST_F(RunJournalTest, ReopenTruncatesTornTailAndContinuesSequence)
+{
+    writeFullJournal();
+    const std::string intact = readAll();
+    const size_t last_nl = intact.rfind('\n', intact.size() - 2);
+    writeAll(intact.substr(0, last_nl + 1 + 3));
+
+    {
+        RunJournal journal;
+        ASSERT_TRUE(journal.open(path_));
+        ASSERT_TRUE(journal.append(JournalKind::RunEnd, 0, 0, 0,
+                                   "complete"));
+        journal.close();
+    }
+
+    const auto replay = RunJournal::replay(path_);
+    ASSERT_TRUE(replay.valid()) << replay.error;
+    EXPECT_FALSE(replay.tornTail);
+    ASSERT_EQ(replay.records.size(), 10u);
+    // The new record continued the surviving sequence.
+    EXPECT_EQ(replay.records.back().seq, 9u);
+    EXPECT_EQ(replay.records.back().kind, JournalKind::RunEnd);
+    EXPECT_EQ(replay.records.back().detail, "complete");
+}
+
+TEST_F(RunJournalTest, MidFileCorruptionRejectsTheJournal)
+{
+    writeFullJournal();
+    std::string bytes = readAll();
+
+    // Damage a record in the middle: valid records follow it, so
+    // this is corruption, not a crash tear.
+    const size_t second_nl = bytes.find('\n', bytes.find('\n') + 1);
+    ASSERT_NE(second_nl, std::string::npos);
+    bytes[second_nl - 20] = '#';
+    writeAll(bytes);
+
+    const auto replay = RunJournal::replay(path_);
+    EXPECT_FALSE(replay.valid());
+    EXPECT_FALSE(replay.error.empty());
+}
+
+TEST_F(RunJournalTest, ChecksumFlipRejectsTheJournal)
+{
+    writeFullJournal();
+    std::string bytes = readAll();
+
+    // Flip one hex digit of the first record's trailing crc field.
+    const size_t first_nl = bytes.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+    char &digit = bytes[first_nl - 1];
+    digit = (digit == '0') ? '1' : '0';
+    writeAll(bytes);
+
+    const auto replay = RunJournal::replay(path_);
+    EXPECT_FALSE(replay.valid());
+}
+
+TEST_F(RunJournalTest, SequenceGapRejectsTheJournal)
+{
+    writeFullJournal();
+    std::string bytes = readAll();
+
+    // Delete a middle line entirely; every surviving record still
+    // checks out but the sequence now jumps.
+    const size_t second_nl = bytes.find('\n', bytes.find('\n') + 1);
+    const size_t third_nl = bytes.find('\n', second_nl + 1);
+    ASSERT_NE(third_nl, std::string::npos);
+    bytes.erase(second_nl + 1, third_nl - second_nl);
+    writeAll(bytes);
+
+    const auto replay = RunJournal::replay(path_);
+    EXPECT_FALSE(replay.valid());
+}
+
+TEST_F(RunJournalTest, OpenOnRejectedJournalFails)
+{
+    writeFullJournal();
+    std::string bytes = readAll();
+    const size_t second_nl = bytes.find('\n', bytes.find('\n') + 1);
+    bytes[second_nl - 20] = '#';
+    writeAll(bytes);
+
+    RunJournal journal;
+    std::string error;
+    EXPECT_FALSE(journal.open(path_, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(journal.isOpen());
+}
+
+TEST_F(RunJournalTest, WrongMagicMidFileRejectsTheJournal)
+{
+    // A lone bad line could be a torn tail; a bad line with valid
+    // records after it cannot, so foreign content must reject.
+    writeFullJournal();
+    writeAll("NOTAJOURNAL 0 run-begin 0 0 0 x 0\n" + readAll());
+    const auto replay = RunJournal::replay(path_);
+    EXPECT_FALSE(replay.valid());
+}
+
+} // namespace
+} // namespace resilience
+} // namespace tdp

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * TaskWatchdog: the deadline monitor must cancel an overrunning
+ * task's token, must leave fast tasks alone, must hand out inert
+ * leases for non-positive deadlines, and must count every firing.
+ */
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "resilience/watchdog.hh"
+
+namespace tdp {
+namespace resilience {
+namespace {
+
+void
+sleepFor(Seconds s)
+{
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(s));
+}
+
+TEST(TaskWatchdogTest, FiresTheTokenAfterTheDeadline)
+{
+    TaskWatchdog dog(0.001);
+    CancelToken token;
+    auto lease = dog.watch(0.02, &token);
+    EXPECT_FALSE(token.cancelled());
+
+    // Generous bound: poll + deadline are both tiny, so 2 s of
+    // patience makes this robust on a loaded CI box.
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (!token.cancelled() &&
+           std::chrono::steady_clock::now() < give_up)
+        sleepFor(0.001);
+
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(lease.timedOut());
+    EXPECT_EQ(dog.timeouts(), 1u);
+}
+
+TEST(TaskWatchdogTest, FastTaskIsNeverCancelled)
+{
+    TaskWatchdog dog(0.001);
+    CancelToken token;
+    {
+        auto lease = dog.watch(10.0, &token);
+        sleepFor(0.01);
+        EXPECT_FALSE(lease.timedOut());
+    }
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(dog.timeouts(), 0u);
+}
+
+TEST(TaskWatchdogTest, NonPositiveDeadlineIsInert)
+{
+    TaskWatchdog dog(0.001);
+    CancelToken token;
+    auto lease = dog.watch(0.0, &token);
+    sleepFor(0.02);
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_FALSE(lease.timedOut());
+    EXPECT_EQ(dog.timeouts(), 0u);
+}
+
+TEST(TaskWatchdogTest, TokenResetSupportsRetryAttempts)
+{
+    TaskWatchdog dog(0.001);
+    CancelToken token;
+    {
+        auto lease = dog.watch(0.01, &token);
+        while (!token.cancelled())
+            sleepFor(0.001);
+    }
+    // Attempt 2 reuses the token after a reset.
+    token.reset();
+    EXPECT_FALSE(token.cancelled());
+    {
+        auto lease = dog.watch(10.0, &token);
+        EXPECT_FALSE(lease.timedOut());
+    }
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(dog.timeouts(), 1u);
+}
+
+TEST(TaskWatchdogTest, CountsEveryFiring)
+{
+    TaskWatchdog dog(0.001);
+    CancelToken tokens[3];
+    {
+        auto a = dog.watch(0.01, &tokens[0]);
+        auto b = dog.watch(0.01, &tokens[1]);
+        auto c = dog.watch(0.01, &tokens[2]);
+        const auto give_up = std::chrono::steady_clock::now() +
+                             std::chrono::seconds(2);
+        while ((!tokens[0].cancelled() || !tokens[1].cancelled() ||
+                !tokens[2].cancelled()) &&
+               std::chrono::steady_clock::now() < give_up)
+            sleepFor(0.001);
+        EXPECT_TRUE(a.timedOut());
+        EXPECT_TRUE(b.timedOut());
+        EXPECT_TRUE(c.timedOut());
+    }
+    EXPECT_EQ(dog.timeouts(), 3u);
+}
+
+TEST(TaskWatchdogTest, MovedFromLeaseIsHarmless)
+{
+    TaskWatchdog dog(0.001);
+    CancelToken token;
+    auto lease = dog.watch(10.0, &token);
+    TaskWatchdog::Lease other = std::move(lease);
+    EXPECT_FALSE(lease.timedOut());
+    EXPECT_FALSE(other.timedOut());
+}
+
+} // namespace
+} // namespace resilience
+} // namespace tdp
