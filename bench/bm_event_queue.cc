@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/gbench_json.hh"
 #include "common/logging.hh"
 #include "sim/event_queue.hh"
 
@@ -145,14 +146,15 @@ BENCHMARK(BM_OwnedEventSchedule);
 
 } // namespace
 
-// Expanded BENCHMARK_MAIN so the logger picks up TDP_LOG_LEVEL.
+// Shared gbench main: repetition series land in
+// BENCH_bm_event_queue.json. pool_slots (peak in-flight lambda
+// events) is deterministic whatever the iteration count, so the CI
+// perf gate holds it exactly; allocs_per_event divides by the
+// machine-dependent iteration total and rides along ungated, like
+// the timing metrics.
 int
 main(int argc, char **argv)
 {
-    tdp::setLogLevelFromEnvironment();
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return tdp::bench::runGbenchMain("bm_event_queue", argc, argv,
+                                     {{"pool_slots", "exact"}});
 }

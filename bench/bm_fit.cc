@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Lane-batched fit benchmark: the fused normal-equations kernel
+ * (fitOlsNormal) timed scalar vs SIMD across the paper's 12-workload
+ * sweep, with the bit-identity contract asserted on every repetition.
+ *
+ * Protocol: simulate a short characterisation-style run of each
+ * paper workload, build the memory-style per-input quadratic design
+ * from its counter columns (tiled to a fixed row count so the kernel
+ * - not the simulator - dominates), then fit every design once per
+ * SIMD level per repetition. The scalar and SIMD paths implement the
+ * same fixed 4-lane algorithm, so their FitResults must match to the
+ * last bit; any mismatch fails the binary.
+ *
+ * Results are printed and written as BENCH_bm_fit.json (repetition
+ * series; see bench_stats.hh). `fit_speedup` is CI-gated
+ * (direction: higher), `bit_identical` is gated exact; raw seconds
+ * are recorded but never gated (machine-dependent).
+ *
+ * Usage: bm_fit [--repetitions N] [--jobs N]
+ */
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.hh"
+#include "common/logging.hh"
+#include "cpu/perf_counters.hh"
+#include "measure/trace.hh"
+#include "simd/dispatch.hh"
+#include "stats/regression.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace tdp;
+using namespace tdp::bench;
+using Clock = std::chrono::steady_clock;
+
+/** Rows per workload design: enough that the fit dominates. */
+constexpr size_t kRowsPerWorkload = 32768;
+
+/**
+ * Quadratic counter design over a trace's SoA columns ([x, x^2] per
+ * event, the paper's memory-model feature shape), tiled to
+ * kRowsPerWorkload rows so every workload contributes the same
+ * amount of kernel work regardless of its trace length.
+ */
+class TiledQuadraticDesign : public DesignSource
+{
+  public:
+    TiledQuadraticDesign(const SampleTrace &trace,
+                         const std::vector<PerfEvent> &events)
+        : response_(&trace.measuredColumn(Rail::Memory))
+    {
+        std::vector<const std::vector<double> *> inputs;
+        for (const PerfEvent event : events)
+            inputs.push_back(&trace.counterColumn(event));
+        base_ = response_->size();
+        if (base_ == 0)
+            fatal("bm_fit: empty trace");
+        k_ = inputs.size() * 2;
+
+        // Materialise the dithered base tile once: row() must be
+        // cheap so the benchmark measures the fit kernel, not the
+        // row generator. Every column -- including each squared
+        // column -- gets its own pseudo-random pattern, keeping the
+        // design full-rank even for workloads where counters are
+        // constant or mutually proportional (idle), which would
+        // otherwise make the normal equations singular.
+        tile_.resize(base_ * k_);
+        for (size_t r = 0; r < base_; ++r) {
+            for (size_t c = 0; c < k_; ++c) {
+                const double raw = (*inputs[c % inputs.size()])[r];
+                const double v =
+                    c < inputs.size() ? raw : raw * raw;
+                const uint32_t h =
+                    (static_cast<uint32_t>(r) * 2654435761u) ^
+                    (static_cast<uint32_t>(c) * 0x9e3779b9u);
+                const double s =
+                    static_cast<double>(h % 2048u) / 2048.0 - 0.5;
+                tile_[r * k_ + c] =
+                    v * (1.0 + 1e-3 * s) + 1e-6 * s;
+            }
+        }
+    }
+
+    size_t sampleCount() const override { return kRowsPerWorkload; }
+
+    size_t regressorCount() const override { return k_; }
+
+    void
+    row(size_t i, double *out) const override
+    {
+        const double *src = tile_.data() + (i % base_) * k_;
+        std::copy(src, src + k_, out);
+    }
+
+    double
+    response(size_t i) const override
+    {
+        return (*response_)[i % base_];
+    }
+
+  private:
+    std::vector<double> tile_;
+    const std::vector<double> *response_;
+    size_t base_ = 0;
+    size_t k_ = 0;
+};
+
+/** Bitwise equality of two fits (coefficients, r2, rmse, n). */
+bool
+fitsBitIdentical(const FitResult &a, const FitResult &b)
+{
+    auto same = [](double x, double y) {
+        return std::bit_cast<uint64_t>(x) == std::bit_cast<uint64_t>(y);
+    };
+    if (!same(a.intercept, b.intercept) || !same(a.r2, b.r2) ||
+        !same(a.rmse, b.rmse) || a.sampleCount != b.sampleCount ||
+        a.coefficients.size() != b.coefficients.size())
+        return false;
+    for (size_t i = 0; i < a.coefficients.size(); ++i)
+        if (!same(a.coefficients[i], b.coefficients[i]))
+            return false;
+    return true;
+}
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+
+    const std::vector<std::string> workloads = paperWorkloadOrder();
+    const std::vector<PerfEvent> events = {
+        PerfEvent::Cycles,          PerfEvent::HaltedCycles,
+        PerfEvent::FetchedUops,     PerfEvent::L3LoadMisses,
+        PerfEvent::TlbMisses,       PerfEvent::DmaOtherAccesses,
+        PerfEvent::BusTransactions, PerfEvent::PrefetchTransactions};
+
+    // Short runs: the traces only seed realistic column data; the
+    // tiling above sets the kernel workload size.
+    std::vector<RunSpec> specs;
+    for (const std::string &name : workloads) {
+        RunSpec spec = characterizationRun(name);
+        spec.duration = 40.0;
+        spec.skip = 10.0;
+        if (spec.instances > 4)
+            spec.instances = 4;
+        specs.push_back(spec);
+    }
+    std::fprintf(stderr, "bm_fit: simulating %zu workloads...\n",
+                 specs.size());
+    const std::vector<SampleTrace> traces = runTraces(specs);
+
+    std::vector<TiledQuadraticDesign> designs;
+    designs.reserve(traces.size());
+    for (const SampleTrace &trace : traces)
+        designs.emplace_back(trace, events);
+
+    const SimdLevel simd = detectedSimdLevel();
+    const int reps = benchRepetitions();
+
+    // Warm-up: one untimed sweep per level primes caches and the
+    // lazily-built column mirrors.
+    std::vector<FitResult> scalar_fits, simd_fits;
+    for (const TiledQuadraticDesign &design : designs) {
+        scalar_fits.push_back(
+            fitOlsNormalAt(SimdLevel::Scalar, design));
+        simd_fits.push_back(fitOlsNormalAt(simd, design));
+    }
+
+    std::vector<double> scalar_secs, simd_secs, speedups, identical;
+    for (int rep = 0; rep < reps; ++rep) {
+        const Clock::time_point t0 = Clock::now();
+        for (size_t w = 0; w < designs.size(); ++w)
+            scalar_fits[w] =
+                fitOlsNormalAt(SimdLevel::Scalar, designs[w]);
+        const double scalar_s = secondsSince(t0);
+
+        const Clock::time_point t1 = Clock::now();
+        for (size_t w = 0; w < designs.size(); ++w)
+            simd_fits[w] = fitOlsNormalAt(simd, designs[w]);
+        const double simd_s = secondsSince(t1);
+
+        bool all_identical = true;
+        for (size_t w = 0; w < designs.size(); ++w)
+            all_identical = all_identical &&
+                            fitsBitIdentical(scalar_fits[w],
+                                             simd_fits[w]);
+
+        scalar_secs.push_back(scalar_s);
+        simd_secs.push_back(simd_s);
+        speedups.push_back(simd_s > 0.0 ? scalar_s / simd_s : 0.0);
+        identical.push_back(all_identical ? 1.0 : 0.0);
+    }
+
+    const double total_rows = static_cast<double>(kRowsPerWorkload) *
+                              static_cast<double>(designs.size());
+    const double rows_per_sec =
+        seriesMean(simd_secs) > 0.0
+            ? total_rows / seriesMean(simd_secs)
+            : 0.0;
+    const bool all_identical =
+        seriesMean(identical) == 1.0 && !identical.empty();
+
+    std::printf("workloads           : %zu x %zu rows, k=%zu\n",
+                designs.size(), kRowsPerWorkload,
+                designs.empty() ? 0 : designs[0].regressorCount());
+    std::printf("simd level          : %s (%zu lanes)\n",
+                simdLevelName(simd), kSimdLanes);
+    std::printf("repetitions         : %d\n", reps);
+    std::printf("scalar sweep        : %.6f s (mean)\n",
+                seriesMean(scalar_secs));
+    std::printf("simd sweep          : %.6f s (mean)\n",
+                seriesMean(simd_secs));
+    std::printf("speedup             : %.2fx (mean), %.2fx (min)\n",
+                seriesMean(speedups),
+                *std::min_element(speedups.begin(), speedups.end()));
+    std::printf("rows/s (simd)       : %.3g\n", rows_per_sec);
+    std::printf("bit-identical       : %s\n",
+                all_identical ? "yes" : "NO - BUG");
+
+    writeBenchSeries(
+        "bm_fit",
+        {{"scalar_seconds", scalar_secs, "s", false, "lower"},
+         {"simd_seconds", simd_secs, "s", false, "lower"},
+         {"fit_speedup", speedups, "x", true, "higher"},
+         {"rows_per_second_simd", {rows_per_sec}, "rows/s", false,
+          "higher"},
+         {"bit_identical", identical, "", true, "exact"},
+         {"simd_level", {static_cast<double>(static_cast<int>(simd))},
+          "", false, "higher"}});
+
+    if (!all_identical) {
+        std::fprintf(stderr,
+                     "bm_fit: scalar and %s fits differ - the 4-lane "
+                     "contract is broken\n",
+                     simdLevelName(simd));
+        return 1;
+    }
+    return 0;
+}

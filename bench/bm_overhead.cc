@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/gbench_json.hh"
 #include "common/logging.hh"
 #include "core/estimator.hh"
 #include "core/events.hh"
@@ -144,14 +145,11 @@ BENCHMARK(BM_TrainQuadraticModel)->Arg(64)->Arg(512)->Arg(4096);
 
 } // namespace
 
-// Expanded BENCHMARK_MAIN so the logger picks up TDP_LOG_LEVEL.
+// Shared gbench main: repetition series land in
+// BENCH_bm_overhead.json. All metrics here are wall-clock, so none
+// are CI-gated - the committed file is a trajectory record only.
 int
 main(int argc, char **argv)
 {
-    tdp::setLogLevelFromEnvironment();
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return tdp::bench::runGbenchMain("bm_overhead", argc, argv, {});
 }

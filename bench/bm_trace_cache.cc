@@ -7,11 +7,13 @@
  * Protocol: simulate one characterisation-style run (the cold path
  * every bench pays today), store it, then reload it from the cache
  * repeatedly (the warm path) and verify each load is bit-identical
- * to the simulation. Results are printed and written as
- * BENCH_trace_cache.json (see bench_util::writeBenchJson), so the
- * repo's perf trajectory is machine-collectable.
+ * to the simulation. The warm measurement repeats --repetitions
+ * times (TDP_BENCH_REPS) and the full series is written as
+ * BENCH_bm_trace_cache.json (see bench_stats.hh), so the repo's perf
+ * trajectory carries mean/stddev, not a single noisy point.
  *
- * Usage: bm_trace_cache [workload] [instances] [seconds] [--jobs N]
+ * Usage: bm_trace_cache [workload] [instances] [seconds]
+ *                       [--repetitions N] [--jobs N]
  * Defaults: gcc 4 60. The cache directory is private to the run and
  * removed afterwards.
  */
@@ -72,24 +74,39 @@ main(int argc, char **argv)
     const uintmax_t entry_bytes =
         std::filesystem::file_size(cache.entryPath(key));
 
-    // Warm loads: repeat until the timing is stable enough to trust
-    // (>= 1 s of loads or 100 iterations, whichever first).
+    // Warm loads, one repetition series entry per measured block:
+    // each block repeats lookups until its timing is stable (>= 1 s
+    // of loads or 100 iterations, whichever first).
     std::fprintf(stderr, "warm: reloading from %s...\n", root.c_str());
-    size_t loads = 0;
+    const int reps = benchRepetitions();
+    std::vector<double> warm_series, speedup_series, identical_series;
+    size_t loads_total = 0;
     bool identical = true;
-    const Clock::time_point warm_start = Clock::now();
-    double warm_elapsed = 0.0;
-    while (loads < 100 && warm_elapsed < 1.0) {
-        SampleTrace warm;
-        if (!cache.lookup(key, warm))
-            fatal("bm_trace_cache: warm lookup missed its own entry");
-        identical = identical && traceBitIdentical(cold, warm);
-        ++loads;
-        warm_elapsed = secondsSince(warm_start);
+    for (int rep = 0; rep < reps; ++rep) {
+        size_t loads = 0;
+        bool rep_identical = true;
+        const Clock::time_point warm_start = Clock::now();
+        double warm_elapsed = 0.0;
+        while (loads < 100 && warm_elapsed < 1.0) {
+            SampleTrace warm;
+            if (!cache.lookup(key, warm))
+                fatal("bm_trace_cache: warm lookup missed its own "
+                      "entry");
+            rep_identical =
+                rep_identical && traceBitIdentical(cold, warm);
+            ++loads;
+            warm_elapsed = secondsSince(warm_start);
+        }
+        const double warm_seconds = warm_elapsed / loads;
+        warm_series.push_back(warm_seconds);
+        speedup_series.push_back(
+            warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0);
+        identical_series.push_back(rep_identical ? 1.0 : 0.0);
+        identical = identical && rep_identical;
+        loads_total += loads;
     }
-    const double warm_seconds = warm_elapsed / loads;
-    const double speedup =
-        warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+    const double warm_seconds = seriesMean(warm_series);
+    const double speedup = seriesMean(speedup_series);
 
     std::filesystem::remove_all(root);
 
@@ -98,20 +115,22 @@ main(int argc, char **argv)
     std::printf("samples             : %zu (%ju bytes on disk)\n",
                 cold.size(), static_cast<uintmax_t>(entry_bytes));
     std::printf("cold simulate       : %.3f s\n", cold_seconds);
-    std::printf("warm cache load     : %.6f s  (%zu loads)\n",
-                warm_seconds, loads);
+    std::printf("warm cache load     : %.6f s  (%zu loads, %d reps)\n",
+                warm_seconds, loads_total, reps);
     std::printf("speedup             : %.1fx\n", speedup);
     std::printf("bit-identical       : %s\n",
                 identical ? "yes" : "NO - BUG");
 
-    writeBenchJson(
-        "trace_cache",
-        {{"cold_seconds", cold_seconds, "s"},
-         {"warm_seconds", warm_seconds, "s"},
-         {"speedup", speedup, "x"},
-         {"samples", static_cast<double>(cold.size()), ""},
-         {"entry_bytes", static_cast<double>(entry_bytes), "B"},
-         {"bit_identical", identical ? 1.0 : 0.0, ""}});
+    writeBenchSeries(
+        "bm_trace_cache",
+        {{"cold_seconds", {cold_seconds}, "s", false, "lower"},
+         {"warm_seconds", warm_series, "s", false, "lower"},
+         {"speedup", speedup_series, "x", true, "higher"},
+         {"samples",
+          {static_cast<double>(cold.size())}, "", true, "exact"},
+         {"entry_bytes",
+          {static_cast<double>(entry_bytes)}, "B", true, "exact"},
+         {"bit_identical", identical_series, "", true, "exact"}});
 
     if (!identical) {
         std::fprintf(stderr,

@@ -167,6 +167,16 @@ parseRetriesValue(const char *text)
     return parsed;
 }
 
+int
+parseRepetitionsValue(const char *text)
+{
+    const int parsed = std::atoi(text);
+    if (parsed <= 0)
+        fatal("--repetitions expects a positive count, got '%s'",
+              text);
+    return parsed;
+}
+
 /** Fill unset resilience knobs from the environment (flags win). */
 void
 resolveResilienceEnv()
@@ -280,6 +290,12 @@ initBench(int argc, char **argv)
             setTaskRetries(parseRetriesValue(argv[++i]));
         } else if (std::strncmp(arg, "--task-retries=", 15) == 0) {
             setTaskRetries(parseRetriesValue(arg + 15));
+        } else if (std::strcmp(arg, "--repetitions") == 0) {
+            if (i + 1 >= argc)
+                fatal("--repetitions expects a count");
+            setBenchRepetitions(parseRepetitionsValue(argv[++i]));
+        } else if (std::strncmp(arg, "--repetitions=", 14) == 0) {
+            setBenchRepetitions(parseRepetitionsValue(arg + 14));
         }
     }
 
@@ -319,7 +335,8 @@ positionalArgs(int argc, char **argv)
             std::strcmp(arg, "--journal") == 0 ||
             std::strcmp(arg, "--resume") == 0 ||
             std::strcmp(arg, "--task-timeout") == 0 ||
-            std::strcmp(arg, "--task-retries") == 0) {
+            std::strcmp(arg, "--task-retries") == 0 ||
+            std::strcmp(arg, "--repetitions") == 0) {
             ++i; // skip the value
         } else if (std::strncmp(arg, "--jobs=", 7) != 0 &&
                    !(std::strncmp(arg, "-j", 2) == 0 &&
@@ -331,7 +348,8 @@ positionalArgs(int argc, char **argv)
                    std::strncmp(arg, "--journal=", 10) != 0 &&
                    std::strncmp(arg, "--resume=", 9) != 0 &&
                    std::strncmp(arg, "--task-timeout=", 15) != 0 &&
-                   std::strncmp(arg, "--task-retries=", 15) != 0) {
+                   std::strncmp(arg, "--task-retries=", 15) != 0 &&
+                   std::strncmp(arg, "--repetitions=", 14) != 0) {
             out.push_back(arg);
         }
     }
@@ -1009,31 +1027,26 @@ std::string
 writeBenchJson(const std::string &bench,
                const std::vector<BenchMetric> &metrics)
 {
-    const char *dir = std::getenv("TDP_BENCH_JSON_DIR");
-    const std::filesystem::path path =
-        std::filesystem::path(dir && dir[0] != '\0' ? dir : ".") /
-        ("BENCH_" + bench + ".json");
+    std::vector<MetricSeries> series;
+    series.reserve(metrics.size());
+    for (const BenchMetric &metric : metrics)
+        series.push_back(
+            {metric.name, {metric.value}, metric.unit, false,
+             "lower"});
+    return writeBenchSeries(bench, series);
+}
 
-    std::ofstream os(path);
-    if (!os)
-        fatal("writeBenchJson: cannot write %s", path.c_str());
-    os << "{\n  \"bench\": \"" << bench << "\",\n  \"metrics\": [";
-    for (size_t i = 0; i < metrics.size(); ++i) {
-        os << (i ? ",\n" : "\n");
-        os << "    {\"name\": \"" << metrics[i].name << "\", "
-           << "\"value\": "
-           << formatString("%.17g", metrics[i].value) << ", "
-           << "\"unit\": \"" << metrics[i].unit << "\"}";
-    }
-    os << "\n  ]\n}\n";
-    if (!os)
-        fatal("writeBenchJson: write to %s failed", path.c_str());
-
+std::string
+writeBenchSeries(const std::string &bench,
+                 const std::vector<MetricSeries> &metrics)
+{
+    const std::string path = writeBenchSeriesJson(bench, metrics);
     if (observabilityOn)
-        for (const BenchMetric &metric : metrics)
-            globalManifest.addMetric(
-                {metric.name, metric.value, metric.unit});
-    return path.string();
+        for (const MetricSeries &metric : metrics)
+            globalManifest.addMetric({metric.name,
+                                      seriesMean(metric.values),
+                                      metric.unit});
+    return path;
 }
 
 } // namespace bench

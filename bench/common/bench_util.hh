@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_stats.hh"
 #include "core/estimator.hh"
 #include "core/trainer.hh"
 #include "core/validator.hh"
@@ -57,7 +58,10 @@ constexpr uint64_t defaultSeed = 0x5eed2007;
  *    0 disables);
  *  - `--task-retries N` / `--task-retries=N`: attempts per task
  *    including the first (TDP_TASK_RETRIES when the flag is absent;
- *    default 3 once the resilient path is active).
+ *    default 3 once the resilient path is active);
+ *  - `--repetitions N` / `--repetitions=N`: statistical repetitions
+ *    of the measured section for benches that report repetition
+ *    series (TDP_BENCH_REPS when the flag is absent; default 5).
  *
  * Any of the journal/resume/timeout/retries knobs (or an enabled
  * chaos plan) routes runTraces() through the crash-safe orchestration
@@ -281,12 +285,22 @@ struct BenchMetric
 /**
  * Write a machine-readable bench result file named
  * `BENCH_<bench>.json` so perf trajectories can be collected by
- * scripts/CI instead of scraped from stdout. The file lands in
- * TDP_BENCH_JSON_DIR when set, else the current directory; doubles
- * are printed round-trip exact. Returns the path written.
+ * scripts/CI instead of scraped from stdout. Single-value
+ * convenience over writeBenchSeriesJson (bench_stats.hh): each
+ * metric becomes a one-repetition, ungated series, and the machine
+ * context rides along. Benches that measure repeatedly should build
+ * MetricSeries directly. Returns the path written.
  */
 std::string writeBenchJson(const std::string &bench,
                            const std::vector<BenchMetric> &metrics);
+
+/**
+ * writeBenchSeriesJson plus the manifest hook: when observability is
+ * on, each metric's mean is added to the run manifest. All the bench
+ * binaries route their JSON through here.
+ */
+std::string writeBenchSeries(const std::string &bench,
+                             const std::vector<MetricSeries> &metrics);
 
 } // namespace bench
 } // namespace tdp

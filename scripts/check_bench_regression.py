@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the committed BENCH_*.json trajectory.
+
+Compares freshly produced bench JSON (format_version 2, see
+bench/common/bench_stats.hh) against the baselines committed at the
+repo root. Only metrics marked "gate": true participate: those are
+machine-portable by construction (deterministic counters and
+scalar-vs-SIMD ratios), never wall-clock seconds.
+
+Gate rule per metric, driven by its "direction":
+  higher: fail when current mean < baseline mean - threshold
+  lower:  fail when current mean > baseline mean + threshold
+  exact:  fail on any mean change beyond epsilon
+with threshold = max(k_sigma * baseline stddev, rel_tol * |baseline
+mean|). The stddev term absorbs run-to-run noise measured at baseline
+time; the relative floor absorbs cross-machine variation (CI runners
+are not the machines baselines were recorded on).
+
+Exit status: 0 when every gated metric passes, 1 on any regression,
+2 on usage/format errors.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import sys
+
+EXACT_EPS = 1e-9
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        raise SystemExit(f"error: cannot read {path}: {err}")
+    if doc.get("format_version") != 2:
+        raise SystemExit(
+            f"error: {path}: unsupported format_version "
+            f"{doc.get('format_version')!r} (want 2)")
+    return doc
+
+
+def metric_map(doc):
+    return {m["name"]: m for m in doc.get("metrics", [])}
+
+
+def machine_line(doc):
+    machine = doc.get("machine", {})
+    return "{} x{} / {} @ {}".format(
+        machine.get("cpu", "?"), machine.get("cores", "?"),
+        machine.get("compiler", "?"), machine.get("git_sha", "?"))
+
+
+def check_bench(base_doc, cur_doc, k_sigma, rel_tol, verbose):
+    """Returns (n_checked, failures) for one bench file pair."""
+    failures = []
+    checked = 0
+    cur_metrics = metric_map(cur_doc)
+    for name, base in metric_map(base_doc).items():
+        if not base.get("gate", False):
+            continue
+        checked += 1
+        cur = cur_metrics.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        base_mean = float(base["mean"])
+        cur_mean = float(cur["mean"])
+        direction = base.get("direction", "lower")
+        if direction == "exact":
+            if math.isnan(cur_mean) or \
+                    abs(cur_mean - base_mean) > EXACT_EPS:
+                failures.append(
+                    f"{name}: expected exactly {base_mean:g}, "
+                    f"got {cur_mean:g}")
+            elif verbose:
+                print(f"    ok   {name}: {cur_mean:g} (exact)")
+            continue
+        threshold = max(k_sigma * float(base.get("stddev", 0.0)),
+                        rel_tol * abs(base_mean))
+        if direction == "higher":
+            bad = cur_mean < base_mean - threshold
+            verdict = "fell"
+        elif direction == "lower":
+            bad = cur_mean > base_mean + threshold
+            verdict = "rose"
+        else:
+            failures.append(
+                f"{name}: unknown direction {direction!r}")
+            continue
+        if math.isnan(cur_mean) or bad:
+            failures.append(
+                f"{name}: {verdict} beyond threshold "
+                f"(baseline {base_mean:g} +/- {threshold:g}, "
+                f"current {cur_mean:g})")
+        elif verbose:
+            print(f"    ok   {name}: {cur_mean:g} "
+                  f"(baseline {base_mean:g} +/- {threshold:g}, "
+                  f"{direction})")
+    return checked, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate current bench JSON against the committed "
+                    "baselines.")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory with committed BENCH_*.json "
+                             "(default: repo root)")
+    parser.add_argument("--current-dir", required=True,
+                        help="directory with freshly produced "
+                             "BENCH_*.json")
+    parser.add_argument("--k-sigma", type=float, default=3.0,
+                        help="noise multiplier on baseline stddev "
+                             "(default 3)")
+    parser.add_argument("--rel-tol", type=float, default=0.30,
+                        help="relative threshold floor for "
+                             "cross-machine variation (default 0.30)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print passing metrics too")
+    args = parser.parse_args()
+
+    baselines = sorted(
+        glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
+    if not baselines:
+        raise SystemExit(
+            f"error: no BENCH_*.json baselines in "
+            f"{args.baseline_dir}")
+
+    total_checked = 0
+    total_failures = 0
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        current_path = os.path.join(args.current_dir, name)
+        print(f"== {name}")
+        if not os.path.exists(current_path):
+            print(f"    FAIL missing current result {current_path}")
+            total_failures += 1
+            continue
+        base_doc = load(baseline_path)
+        cur_doc = load(current_path)
+        if machine_line(base_doc) != machine_line(cur_doc):
+            print(f"    note machine changed:")
+            print(f"         baseline: {machine_line(base_doc)}")
+            print(f"         current:  {machine_line(cur_doc)}")
+        checked, failures = check_bench(
+            base_doc, cur_doc, args.k_sigma, args.rel_tol,
+            args.verbose)
+        total_checked += checked
+        total_failures += len(failures)
+        for failure in failures:
+            print(f"    FAIL {failure}")
+        if not failures:
+            print(f"    {checked} gated metric(s) ok")
+
+    print(f"== {total_checked} gated metric(s) checked, "
+          f"{total_failures} regression(s)")
+    return 1 if total_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 #include "measure/counter_sampler.hh"
 
 #include "common/logging.hh"
+#include "simd/lane_math.hh"
 
 namespace tdp {
 
@@ -62,15 +63,18 @@ CounterSampler::takeSample()
         reading.perCpu.push_back(snap);
     }
 
-    const double irq_total = irqController_.lifetimeTotal();
-    const double irq_disk = irqController_.lifetimeCount(diskVector_);
-    const double irq_device = irqController_.lifetimeDeviceTotal();
-    reading.osInterruptsTotal = irq_total - lastIrqTotal_;
-    reading.osDiskInterrupts = irq_disk - lastIrqDisk_;
-    reading.osDeviceInterrupts = irq_device - lastIrqDevice_;
-    lastIrqTotal_ = irq_total;
-    lastIrqDisk_ = irq_disk;
-    lastIrqDevice_ = irq_device;
+    const std::array<double, 3> irq_now = {
+        irqController_.lifetimeTotal(),
+        irqController_.lifetimeCount(diskVector_),
+        irqController_.lifetimeDeviceTotal(),
+    };
+    std::array<double, 3> irq_delta;
+    lanes::subtract(irq_delta.data(), irq_now.data(), lastIrq_.data(),
+                    irq_now.size());
+    reading.osInterruptsTotal = irq_delta[0];
+    reading.osDiskInterrupts = irq_delta[1];
+    reading.osDeviceInterrupts = irq_delta[2];
+    lastIrq_ = irq_now;
     lastSampleTime_ = now;
 
     if (onPulse_)

@@ -9,6 +9,7 @@
 #ifndef TDP_MEASURE_COUNTER_SAMPLER_HH
 #define TDP_MEASURE_COUNTER_SAMPLER_HH
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <vector>
@@ -100,9 +101,8 @@ class CounterSampler : public SimObject
     Rng rng_;
     std::deque<CounterReading> readings_;
     Seconds lastSampleTime_ = 0.0;
-    double lastIrqTotal_ = 0.0;
-    double lastIrqDisk_ = 0.0;
-    double lastIrqDevice_ = 0.0;
+    /** Previous lifetime IRQ counts: total, disk, device. */
+    std::array<double, 3> lastIrq_{};
     bool armed_ = false;
 };
 

@@ -22,6 +22,15 @@ AlignedSample::totalCount(PerfEvent event) const
     return total;
 }
 
+CounterSnapshot
+AlignedSample::totalCounts() const
+{
+    CounterSnapshot total;
+    for (const CounterSnapshot &snap : perCpu)
+        total += snap;
+    return total;
+}
+
 const SampleTrace::Columns &
 SampleTrace::columns() const
 {
@@ -39,9 +48,12 @@ SampleTrace::columns() const
         for (int r = 0; r < numRails; ++r)
             columns_.measured[static_cast<size_t>(r)].push_back(
                 s.measured(static_cast<Rail>(r)));
+        // One lane-batched sweep across the CPUs replaces ten; the
+        // per-event totals (and therefore the columns) are unchanged.
+        const CounterSnapshot totals = s.totalCounts();
         for (int e = 0; e < numPerfEvents; ++e)
             columns_.counters[static_cast<size_t>(e)].push_back(
-                s.totalCount(static_cast<PerfEvent>(e)));
+                totals.counts[static_cast<size_t>(e)]);
     }
     columnsValid_ = true;
     return columns_;

@@ -47,6 +47,13 @@ struct AlignedSample
     /** Sum of one counter across CPUs. */
     double totalCount(PerfEvent event) const;
 
+    /**
+     * All ten counters summed across CPUs in one lane-batched pass;
+     * bit-identical to calling totalCount() per event (same per-CPU
+     * addition order).
+     */
+    CounterSnapshot totalCounts() const;
+
     /** Measured power for one rail (W). */
     double
     measured(Rail rail) const

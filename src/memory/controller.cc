@@ -11,14 +11,24 @@
 
 namespace tdp {
 
+namespace {
+
+/** Validate the DIMM count before the bank is constructed. */
+size_t
+checkedDimmCount(int dimm_count)
+{
+    if (dimm_count <= 0)
+        fatal("MemoryController: dimmCount must be positive");
+    return static_cast<size_t>(dimm_count);
+}
+
+} // namespace
+
 MemoryController::MemoryController(System &system, const std::string &name,
                                    FrontSideBus &bus, const Params &params)
-    : SimObject(system, name), params_(params), bus_(bus)
+    : SimObject(system, name), params_(params), bus_(bus),
+      dimms_(params.dimm, checkedDimmCount(params.dimmCount))
 {
-    if (params_.dimmCount <= 0)
-        fatal("MemoryController: dimmCount must be positive");
-    dimms_.assign(static_cast<size_t>(params_.dimmCount),
-                  DramModule(params_.dimm));
     // Registered after the bus so the bus's totals for the quantum are
     // final when this object ticks (same phase, construction order).
     system.addTicked(this, TickPhase::Memory);
@@ -62,10 +72,14 @@ MemoryController::tickUpdate(Tick /* now */, Tick quantum)
     const double per_dimm = 1.0 / static_cast<double>(dimms_.size());
     Watts power = params_.controllerIdlePower +
                   total * params_.controllerEnergyPerTx / dt;
-    for (DramModule &dimm : dimms_) {
-        power += dimm.advance(reads * per_dimm, writes * per_dimm,
-                              hit_rate, dt);
-    }
+    // Every DIMM sees the same traffic share, so the bank evaluates
+    // the power chain once; the sum stays one sequential add per
+    // DIMM to keep the rail power byte-identical to the per-module
+    // loop it replaces.
+    const Watts dimm_power = dimms_.advanceShared(
+        reads * per_dimm, writes * per_dimm, hit_rate, dt);
+    for (size_t d = 0; d < dimms_.size(); ++d)
+        power += dimm_power;
     lastPower_ = power;
 }
 

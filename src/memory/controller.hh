@@ -69,15 +69,15 @@ class MemoryController : public SimObject, public Ticked
     /** Memory rail power averaged over the last quantum. */
     Watts lastPower() const { return lastPower_; }
 
-    /** DIMMs behind the controller (for inspection in tests). */
-    const std::vector<DramModule> &dimms() const { return dimms_; }
+    /** DIMM bank behind the controller (for inspection in tests). */
+    const DramBank &dimms() const { return dimms_; }
 
     void tickUpdate(Tick now, Tick quantum) override;
 
   private:
     Params params_;
     FrontSideBus &bus_;
-    std::vector<DramModule> dimms_;
+    DramBank dimms_;
     double cpuPageHitRate_ = 0.55;
     Watts lastPower_ = 0.0;
 };

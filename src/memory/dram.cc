@@ -8,12 +8,23 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "simd/lane_math.hh"
 
 namespace tdp {
 
-Watts
-DramModule::advance(double reads, double writes, double page_hit_rate,
-                    Seconds dt)
+namespace {
+
+/** One quantum of the Janzen model, shared by module and bank. */
+struct QuantumResult
+{
+    double activations = 0.0;
+    double activeFraction = 0.0;
+    Watts power = 0.0;
+};
+
+QuantumResult
+advanceQuantum(const DramModule::Params &params, double reads,
+               double writes, double page_hit_rate, Seconds dt)
 {
     if (reads < 0.0 || writes < 0.0)
         panic("DramModule: negative access counts (%g, %g)", reads,
@@ -22,30 +33,65 @@ DramModule::advance(double reads, double writes, double page_hit_rate,
         panic("DramModule: non-positive quantum %g", dt);
     page_hit_rate = std::clamp(page_hit_rate, 0.0, 1.0);
 
+    QuantumResult q;
     const double accesses = reads + writes;
-    const double activations = accesses * (1.0 - page_hit_rate);
-
-    lifetimeReads_ += reads;
-    lifetimeWrites_ += writes;
-    lifetimeActivations_ += activations;
+    q.activations = accesses * (1.0 - page_hit_rate);
 
     // State residency: fraction of the quantum with at least one bank
     // active. Saturates at 1 when the module is fully busy.
-    const double busy = accesses * params_.accessBusyTime / dt;
-    const double active_fraction = std::min(1.0, busy);
-    lastActiveFraction_ = active_fraction;
+    const double busy = accesses * params.accessBusyTime / dt;
+    q.activeFraction = std::min(1.0, busy);
 
-    const double burst_energy = activations * params_.activateEnergy +
-                                reads * params_.readEnergy +
-                                writes * params_.writeEnergy;
+    const double burst_energy = q.activations * params.activateEnergy +
+                                reads * params.readEnergy +
+                                writes * params.writeEnergy;
 
-    Watts power = params_.backgroundPower;
-    power += active_fraction * params_.activeStandbyPower;
-    power += burst_energy / dt;
+    q.power = params.backgroundPower;
+    q.power += q.activeFraction * params.activeStandbyPower;
+    q.power += burst_energy / dt;
     // Superlinear bank-overlap term: with more concurrent bank
     // activity the shared charge pumps and I/O drivers run hotter.
-    power += params_.bankOverlapPower * active_fraction * active_fraction;
-    return power;
+    q.power += params.bankOverlapPower * q.activeFraction *
+               q.activeFraction;
+    return q;
+}
+
+} // namespace
+
+Watts
+DramModule::advance(double reads, double writes, double page_hit_rate,
+                    Seconds dt)
+{
+    const QuantumResult q =
+        advanceQuantum(params_, reads, writes, page_hit_rate, dt);
+    lifetimeReads_ += reads;
+    lifetimeWrites_ += writes;
+    lifetimeActivations_ += q.activations;
+    lastActiveFraction_ = q.activeFraction;
+    return q.power;
+}
+
+DramBank::DramBank(const DramModule::Params &params, size_t count)
+    : params_(params), lifetimeReads_(count, 0.0),
+      lifetimeWrites_(count, 0.0), lifetimeActivations_(count, 0.0),
+      lastActiveFraction_(count, 0.0)
+{
+}
+
+Watts
+DramBank::advanceShared(double reads, double writes,
+                        double page_hit_rate, Seconds dt)
+{
+    const QuantumResult q =
+        advanceQuantum(params_, reads, writes, page_hit_rate, dt);
+    const size_t count = size();
+    lanes::addBroadcast(lifetimeReads_.data(), reads, count);
+    lanes::addBroadcast(lifetimeWrites_.data(), writes, count);
+    lanes::addBroadcast(lifetimeActivations_.data(), q.activations,
+                        count);
+    std::fill(lastActiveFraction_.begin(), lastActiveFraction_.end(),
+              q.activeFraction);
+    return q.power;
 }
 
 } // namespace tdp

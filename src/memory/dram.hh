@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/units.hh"
 
@@ -94,6 +95,62 @@ class DramModule
     double lifetimeWrites_ = 0.0;
     double lifetimeActivations_ = 0.0;
     double lastActiveFraction_ = 0.0;
+};
+
+/**
+ * A population of identical DIMMs stepped together, with the per-DIMM
+ * bookkeeping held as structure-of-arrays so a quantum's updates are
+ * lane-batched instead of one scalar advance() per module.
+ *
+ * The controller hands every DIMM the same per-module traffic share,
+ * so the quantum's power chain is evaluated once (bit-identical to
+ * DramModule::advance on the same inputs) and the lifetime
+ * accumulators advance as broadcast lane adds. Per-DIMM inspection
+ * accessors mirror DramModule's.
+ */
+class DramBank
+{
+  public:
+    DramBank(const DramModule::Params &params, size_t count);
+
+    /** Number of DIMMs in the bank. */
+    size_t size() const { return lifetimeReads_.size(); }
+
+    /**
+     * Account one quantum of per-DIMM traffic, identical for every
+     * module, and return one module's average power over the quantum
+     * (every module draws the same). Same validation as
+     * DramModule::advance.
+     */
+    Watts advanceShared(double reads, double writes,
+                        double page_hit_rate, Seconds dt);
+
+    /** Lifetime read bursts of DIMM d. */
+    double lifetimeReads(size_t d) const { return lifetimeReads_[d]; }
+
+    /** Lifetime write bursts of DIMM d. */
+    double lifetimeWrites(size_t d) const { return lifetimeWrites_[d]; }
+
+    /** Lifetime row activations of DIMM d. */
+    double
+    lifetimeActivations(size_t d) const
+    {
+        return lifetimeActivations_[d];
+    }
+
+    /** Active-state residency fraction of DIMM d's last quantum. */
+    double
+    lastActiveFraction(size_t d) const
+    {
+        return lastActiveFraction_[d];
+    }
+
+  private:
+    DramModule::Params params_;
+    std::vector<double> lifetimeReads_;
+    std::vector<double> lifetimeWrites_;
+    std::vector<double> lifetimeActivations_;
+    std::vector<double> lastActiveFraction_;
 };
 
 } // namespace tdp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Implementation of the runtime SIMD level selection.
+ */
+
+#include "simd/dispatch.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace tdp {
+
+namespace {
+
+/** Resolve the TDP_SIMD override against the hardware level. */
+SimdLevel
+resolveFromEnvironment()
+{
+    const SimdLevel detected = detectedSimdLevel();
+    const char *raw = std::getenv("TDP_SIMD");
+    if (!raw)
+        return detected;
+
+    const std::string value(raw);
+    SimdLevel requested;
+    if (value == "0" || value == "off" || value == "scalar")
+        requested = SimdLevel::Scalar;
+    else if (value == "sse2")
+        requested = SimdLevel::Sse2;
+    else if (value == "avx2")
+        requested = SimdLevel::Avx2;
+    else if (value == "auto" || value.empty())
+        return detected;
+    else
+        fatal("TDP_SIMD: unknown level '%s' (want off, scalar, 0, "
+              "sse2, avx2 or auto)",
+              value.c_str());
+
+    if (static_cast<int>(requested) > static_cast<int>(detected)) {
+        warn("TDP_SIMD=%s exceeds this CPU's support; using %s",
+             value.c_str(), simdLevelName(detected));
+        return detected;
+    }
+    return requested;
+}
+
+std::atomic<int> active_level{-1};
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar:
+        return "scalar";
+      case SimdLevel::Sse2:
+        return "sse2";
+      case SimdLevel::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+SimdLevel
+detectedSimdLevel()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    static const SimdLevel detected = [] {
+        if (__builtin_cpu_supports("avx2"))
+            return SimdLevel::Avx2;
+        if (__builtin_cpu_supports("sse2"))
+            return SimdLevel::Sse2;
+        return SimdLevel::Scalar;
+    }();
+    return detected;
+#else
+    return SimdLevel::Scalar;
+#endif
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    int level = active_level.load(std::memory_order_relaxed);
+    if (level < 0) {
+        level = static_cast<int>(resolveFromEnvironment());
+        active_level.store(level, std::memory_order_relaxed);
+    }
+    return static_cast<SimdLevel>(level);
+}
+
+SimdLevel
+setActiveSimdLevel(SimdLevel level)
+{
+    const SimdLevel detected = detectedSimdLevel();
+    if (static_cast<int>(level) > static_cast<int>(detected))
+        level = detected;
+    const SimdLevel previous = activeSimdLevel();
+    active_level.store(static_cast<int>(level),
+                       std::memory_order_relaxed);
+    return previous;
+}
+
+} // namespace tdp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the lane-batched hot paths.
+ *
+ * Every vectorized kernel in the tree is written against a fixed
+ * *logical* lane width of four doubles (kSimdLanes), whatever the
+ * hardware provides: the AVX2 variants use one 4-wide register, the
+ * SSE2 variants two 2-wide registers, and the scalar fallback four
+ * explicit accumulators. Because all three levels perform the same
+ * operations on the same lanes in the same order, their results are
+ * bitwise identical -- the dispatch level is a pure speed knob, never
+ * a numerics knob, and tests assert exactly that.
+ *
+ * The level is picked once per process from CPUID, overridable with
+ * TDP_SIMD=off|scalar|0|sse2|avx2|auto (requests above the hardware's
+ * capability fall back with a warning). Benchmarks and tests can also
+ * force a level programmatically via setActiveSimdLevel().
+ */
+
+#ifndef TDP_SIMD_DISPATCH_HH
+#define TDP_SIMD_DISPATCH_HH
+
+#include <cstddef>
+
+namespace tdp {
+
+/** Fixed logical lane count of every lane-batched kernel. */
+constexpr size_t kSimdLanes = 4;
+
+/** Instruction-set levels the lane kernels are compiled for. */
+enum class SimdLevel : int
+{
+    Scalar = 0, ///< four explicit scalar accumulators
+    Sse2,       ///< two 2-wide registers per logical vector
+    Avx2,       ///< one 4-wide register per logical vector
+};
+
+/** Human-readable level name ("scalar", "sse2", "avx2"). */
+const char *simdLevelName(SimdLevel level);
+
+/** Best level this CPU supports (ignores the environment). */
+SimdLevel detectedSimdLevel();
+
+/**
+ * Level the lane kernels actually run at: the detected level capped
+ * by TDP_SIMD, resolved once on first use (malformed values fatal()).
+ */
+SimdLevel activeSimdLevel();
+
+/**
+ * Force the active level (for A/B benchmarks and bit-identity tests);
+ * returns the previous level. Requests above detectedSimdLevel() are
+ * clamped to it. Not thread-safe against concurrent kernel calls.
+ */
+SimdLevel setActiveSimdLevel(SimdLevel level);
+
+} // namespace tdp
+
+#endif // TDP_SIMD_DISPATCH_HH

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Per-level implementations of the elementwise lane kernels.
+ *
+ * The SSE2 variants ride the x86-64 baseline; the AVX2 variants are
+ * compiled with a function-level target switch so the TU builds (and
+ * the binary runs) on machines without AVX2. FMA is deliberately
+ * never enabled: every level computes mul-then-add so the rounding
+ * sequence matches the scalar fallback exactly.
+ */
+
+#include "simd/lane_math.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define TDP_SIMD_X86 1
+#else
+#define TDP_SIMD_X86 0
+#endif
+
+namespace tdp {
+namespace lanes {
+
+namespace {
+
+// ---------------------------------------------------------------
+// Scalar level. Outputs are per-element, so a plain loop is already
+// bitwise identical to any lane width.
+// ---------------------------------------------------------------
+
+void
+addAssignScalar(double *dst, const double *src, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] += src[i];
+}
+
+void
+addBroadcastScalar(double *dst, double v, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] += v;
+}
+
+void
+subtractScalar(double *out, const double *cur, const double *prev,
+               size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = cur[i] - prev[i];
+}
+
+void
+wrappedDeltasScalar(double *out, const double *cur, const double *prev,
+                    double span, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const double delta = cur[i] - prev[i];
+        // Keep the exact select (not delta + 0.0): adding zero would
+        // quietly rewrite -0.0 to +0.0 and break bit-identity.
+        out[i] = delta < 0.0 ? delta + span : delta;
+    }
+}
+
+void
+mulAddScalar(double *dst, const double *a, const double *b,
+             const double *c, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = a[i] * b[i] + c[i];
+}
+
+#if TDP_SIMD_X86
+
+// ---------------------------------------------------------------
+// SSE2 level: 2-wide registers, part of the x86-64 baseline.
+// ---------------------------------------------------------------
+
+void
+addAssignSse2(double *dst, const double *src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d d = _mm_loadu_pd(dst + i);
+        const __m128d s = _mm_loadu_pd(src + i);
+        _mm_storeu_pd(dst + i, _mm_add_pd(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] += src[i];
+}
+
+void
+addBroadcastSse2(double *dst, double v, size_t n)
+{
+    const __m128d vv = _mm_set1_pd(v);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        _mm_storeu_pd(dst + i,
+                      _mm_add_pd(_mm_loadu_pd(dst + i), vv));
+    }
+    for (; i < n; ++i)
+        dst[i] += v;
+}
+
+void
+subtractSse2(double *out, const double *cur, const double *prev,
+             size_t n)
+{
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d c = _mm_loadu_pd(cur + i);
+        const __m128d p = _mm_loadu_pd(prev + i);
+        _mm_storeu_pd(out + i, _mm_sub_pd(c, p));
+    }
+    for (; i < n; ++i)
+        out[i] = cur[i] - prev[i];
+}
+
+void
+wrappedDeltasSse2(double *out, const double *cur, const double *prev,
+                  double span, size_t n)
+{
+    const __m128d vspan = _mm_set1_pd(span);
+    const __m128d zero = _mm_setzero_pd();
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d c = _mm_loadu_pd(cur + i);
+        const __m128d p = _mm_loadu_pd(prev + i);
+        const __m128d d = _mm_sub_pd(c, p);
+        const __m128d wrapped = _mm_add_pd(d, vspan);
+        // Bit-select on the compare mask; SSE2 has no blendv.
+        const __m128d mask = _mm_cmplt_pd(d, zero);
+        _mm_storeu_pd(out + i,
+                      _mm_or_pd(_mm_and_pd(mask, wrapped),
+                                _mm_andnot_pd(mask, d)));
+    }
+    for (; i < n; ++i) {
+        const double delta = cur[i] - prev[i];
+        out[i] = delta < 0.0 ? delta + span : delta;
+    }
+}
+
+void
+mulAddSse2(double *dst, const double *a, const double *b,
+           const double *c, size_t n)
+{
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d va = _mm_loadu_pd(a + i);
+        const __m128d vb = _mm_loadu_pd(b + i);
+        const __m128d vc = _mm_loadu_pd(c + i);
+        _mm_storeu_pd(dst + i,
+                      _mm_add_pd(_mm_mul_pd(va, vb), vc));
+    }
+    for (; i < n; ++i)
+        dst[i] = a[i] * b[i] + c[i];
+}
+
+// ---------------------------------------------------------------
+// AVX2 level: 4-wide registers behind a function-level target switch.
+// ---------------------------------------------------------------
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+
+void
+addAssignAvx2(double *dst, const double *src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d d = _mm256_loadu_pd(dst + i);
+        const __m256d s = _mm256_loadu_pd(src + i);
+        _mm256_storeu_pd(dst + i, _mm256_add_pd(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] += src[i];
+}
+
+void
+addBroadcastAvx2(double *dst, double v, size_t n)
+{
+    const __m256d vv = _mm256_set1_pd(v);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(dst + i,
+                         _mm256_add_pd(_mm256_loadu_pd(dst + i), vv));
+    }
+    for (; i < n; ++i)
+        dst[i] += v;
+}
+
+void
+subtractAvx2(double *out, const double *cur, const double *prev,
+             size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d c = _mm256_loadu_pd(cur + i);
+        const __m256d p = _mm256_loadu_pd(prev + i);
+        _mm256_storeu_pd(out + i, _mm256_sub_pd(c, p));
+    }
+    for (; i < n; ++i)
+        out[i] = cur[i] - prev[i];
+}
+
+void
+wrappedDeltasAvx2(double *out, const double *cur, const double *prev,
+                  double span, size_t n)
+{
+    const __m256d vspan = _mm256_set1_pd(span);
+    const __m256d zero = _mm256_setzero_pd();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d c = _mm256_loadu_pd(cur + i);
+        const __m256d p = _mm256_loadu_pd(prev + i);
+        const __m256d d = _mm256_sub_pd(c, p);
+        const __m256d wrapped = _mm256_add_pd(d, vspan);
+        const __m256d mask = _mm256_cmp_pd(d, zero, _CMP_LT_OQ);
+        _mm256_storeu_pd(out + i,
+                         _mm256_blendv_pd(d, wrapped, mask));
+    }
+    for (; i < n; ++i) {
+        const double delta = cur[i] - prev[i];
+        out[i] = delta < 0.0 ? delta + span : delta;
+    }
+}
+
+void
+mulAddAvx2(double *dst, const double *a, const double *b,
+           const double *c, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d va = _mm256_loadu_pd(a + i);
+        const __m256d vb = _mm256_loadu_pd(b + i);
+        const __m256d vc = _mm256_loadu_pd(c + i);
+        _mm256_storeu_pd(dst + i,
+                         _mm256_add_pd(_mm256_mul_pd(va, vb), vc));
+    }
+    for (; i < n; ++i)
+        dst[i] = a[i] * b[i] + c[i];
+}
+
+#pragma GCC pop_options
+
+#endif // TDP_SIMD_X86
+
+} // namespace
+
+void
+addAssignAt(SimdLevel level, double *dst, const double *src, size_t n)
+{
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return addAssignAvx2(dst, src, n);
+    if (level == SimdLevel::Sse2)
+        return addAssignSse2(dst, src, n);
+#else
+    (void)level;
+#endif
+    addAssignScalar(dst, src, n);
+}
+
+void
+addAssign(double *dst, const double *src, size_t n)
+{
+    addAssignAt(activeSimdLevel(), dst, src, n);
+}
+
+void
+addBroadcastAt(SimdLevel level, double *dst, double v, size_t n)
+{
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return addBroadcastAvx2(dst, v, n);
+    if (level == SimdLevel::Sse2)
+        return addBroadcastSse2(dst, v, n);
+#else
+    (void)level;
+#endif
+    addBroadcastScalar(dst, v, n);
+}
+
+void
+addBroadcast(double *dst, double v, size_t n)
+{
+    addBroadcastAt(activeSimdLevel(), dst, v, n);
+}
+
+void
+subtractAt(SimdLevel level, double *out, const double *cur,
+           const double *prev, size_t n)
+{
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return subtractAvx2(out, cur, prev, n);
+    if (level == SimdLevel::Sse2)
+        return subtractSse2(out, cur, prev, n);
+#else
+    (void)level;
+#endif
+    subtractScalar(out, cur, prev, n);
+}
+
+void
+subtract(double *out, const double *cur, const double *prev, size_t n)
+{
+    subtractAt(activeSimdLevel(), out, cur, prev, n);
+}
+
+void
+wrappedDeltasAt(SimdLevel level, double *out, const double *cur,
+                const double *prev, double span, size_t n)
+{
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return wrappedDeltasAvx2(out, cur, prev, span, n);
+    if (level == SimdLevel::Sse2)
+        return wrappedDeltasSse2(out, cur, prev, span, n);
+#else
+    (void)level;
+#endif
+    wrappedDeltasScalar(out, cur, prev, span, n);
+}
+
+void
+wrappedDeltas(double *out, const double *cur, const double *prev,
+              double span, size_t n)
+{
+    wrappedDeltasAt(activeSimdLevel(), out, cur, prev, span, n);
+}
+
+void
+mulAddAt(SimdLevel level, double *dst, const double *a,
+         const double *b, const double *c, size_t n)
+{
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return mulAddAvx2(dst, a, b, c, n);
+    if (level == SimdLevel::Sse2)
+        return mulAddSse2(dst, a, b, c, n);
+#else
+    (void)level;
+#endif
+    mulAddScalar(dst, a, b, c, n);
+}
+
+void
+mulAdd(double *dst, const double *a, const double *b, const double *c,
+       size_t n)
+{
+    mulAddAt(activeSimdLevel(), dst, a, b, c, n);
+}
+
+} // namespace lanes
+} // namespace tdp

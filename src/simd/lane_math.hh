@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Elementwise lane kernels shared by the counter, sampler and DRAM
+ * hot paths.
+ *
+ * Every kernel here produces outputs that depend only on the
+ * same-index inputs (no cross-lane reductions), so all dispatch
+ * levels are trivially bitwise identical -- including for NaN
+ * payloads, infinities, signed zeros and denormals, which IEEE-754
+ * arithmetic propagates identically lane-by-lane. One documented
+ * carve-out: when BOTH operands of a single add/sub/mul are NaN, the
+ * hardware keeps the first operand's payload, and the compiler may
+ * commute the scalar level's operands -- so the identity contract
+ * covers inputs with at most one NaN per operation (which is all the
+ * production paths can produce; their inputs are validated finite).
+ * Each kernel has an `...At(SimdLevel, ...)` variant so tests can A/B
+ * levels explicitly; the unsuffixed form runs at activeSimdLevel().
+ */
+
+#ifndef TDP_SIMD_LANE_MATH_HH
+#define TDP_SIMD_LANE_MATH_HH
+
+#include <cstddef>
+
+#include "simd/dispatch.hh"
+
+namespace tdp {
+namespace lanes {
+
+/** dst[i] += src[i] for i in [0, n). */
+void addAssign(double *dst, const double *src, size_t n);
+void addAssignAt(SimdLevel level, double *dst, const double *src,
+                 size_t n);
+
+/** dst[i] += v for i in [0, n) (broadcast accumulate). */
+void addBroadcast(double *dst, double v, size_t n);
+void addBroadcastAt(SimdLevel level, double *dst, double v, size_t n);
+
+/** out[i] = cur[i] - prev[i]. */
+void subtract(double *out, const double *cur, const double *prev,
+              size_t n);
+void subtractAt(SimdLevel level, double *out, const double *cur,
+                const double *prev, size_t n);
+
+/**
+ * Wraparound-recovering counter deltas: out[i] = cur[i] - prev[i],
+ * plus `span` when the raw difference is negative (the counter
+ * wrapped at most once). Matches wrappedCounterDelta() bit-for-bit on
+ * in-range inputs; range validation stays with the scalar caller.
+ */
+void wrappedDeltas(double *out, const double *cur, const double *prev,
+                   double span, size_t n);
+void wrappedDeltasAt(SimdLevel level, double *out, const double *cur,
+                     const double *prev, double span, size_t n);
+
+/** dst[i] = a[i] * b[i] + c[i] (explicit mul+add, never FMA). */
+void mulAdd(double *dst, const double *a, const double *b,
+            const double *c, size_t n);
+void mulAddAt(SimdLevel level, double *dst, const double *a,
+              const double *b, const double *c, size_t n);
+
+} // namespace lanes
+} // namespace tdp
+
+#endif // TDP_SIMD_LANE_MATH_HH

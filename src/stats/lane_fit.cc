@@ -1,0 +1,660 @@
+/**
+ * @file
+ * Per-level implementations of the lane-batched OLS kernels.
+ *
+ * The scalar level is the numerical reference: it keeps the same four
+ * logical lanes as the vector levels, so SSE2 (two 2-wide registers)
+ * and AVX2 (one 4-wide register) reproduce it bit-for-bit. Compiled
+ * with -ffp-contract=off so no level can fuse mul+add differently.
+ */
+
+#include "stats/lane_fit.hh"
+
+#include <cmath>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define TDP_SIMD_X86 1
+#else
+#define TDP_SIMD_X86 0
+#endif
+
+namespace tdp {
+namespace lanefit {
+
+namespace {
+
+constexpr size_t L = kSimdLanes;
+
+// ---------------------------------------------------------------
+// Scalar level.
+// ---------------------------------------------------------------
+
+void
+colStatsScalar(const double *rows, size_t nrows, size_t k,
+               ColumnStats &stats)
+{
+    double *mean = stats.mean.data();
+    double *m2 = stats.m2.data();
+    for (size_t r = 0; r < nrows; ++r) {
+        const double *row = rows + r * k;
+        ++stats.n;
+        // One shared reciprocal per row instead of a divide per
+        // column: the same inv_n value feeds every lane at every
+        // level, so the level-independence is untouched while the
+        // divide count drops k-fold.
+        const double inv_n =
+            1.0 / static_cast<double>(stats.n);
+        for (size_t c = 0; c < k; ++c) {
+            const double x = row[c];
+            const double delta = x - mean[c];
+            mean[c] += delta * inv_n;
+            m2[c] += delta * (x - mean[c]);
+        }
+    }
+}
+
+void
+stageScalar(const double *rows, const double *y, size_t groups,
+            size_t k, LaneBlock &block)
+{
+    for (size_t g = 0; g < groups; ++g) {
+        for (size_t lane = 0; lane < L; ++lane) {
+            const size_t r = g * L + lane;
+            block.stage(g, lane, rows + r * k, y[r]);
+        }
+    }
+}
+
+size_t
+firstNonFiniteScalar(const double *values, size_t count)
+{
+    for (size_t i = 0; i < count; ++i) {
+        if (!std::isfinite(values[i]))
+            return i;
+    }
+    return SIZE_MAX;
+}
+
+void
+standardizeScalar(LaneBlock &block, const double *shift,
+                  const double *inv_scale)
+{
+    const size_t k = block.k;
+    double *z = block.z.data();
+    for (size_t g = 0; g < block.groups; ++g) {
+        for (size_t c = 0; c < k; ++c) {
+            double *zc = z + (g * k + c) * L;
+            for (size_t lane = 0; lane < L; ++lane)
+                zc[lane] = (zc[lane] - shift[c]) * inv_scale[c];
+        }
+    }
+}
+
+void
+accumulateScalar(const LaneBlock &block, double *gram_lanes,
+                 double *moment_lanes)
+{
+    const size_t k = block.k;
+    const size_t K = k + 1;
+    for (size_t g = 0; g < block.groups; ++g) {
+        const double *z = block.z.data() + g * k * L;
+        const double *yy = block.y.data() + g * L;
+
+        for (size_t lane = 0; lane < L; ++lane)
+            gram_lanes[lane] += 1.0; // (0,0): intercept x intercept
+        for (size_t b = 1; b < K; ++b) {
+            double *gl = gram_lanes + b * L; // row 0: intercept x z_b
+            const double *zb = z + (b - 1) * L;
+            for (size_t lane = 0; lane < L; ++lane)
+                gl[lane] += zb[lane];
+        }
+        for (size_t lane = 0; lane < L; ++lane)
+            moment_lanes[lane] += yy[lane];
+
+        for (size_t a = 1; a < K; ++a) {
+            const double *za = z + (a - 1) * L;
+            double *ma = moment_lanes + a * L;
+            for (size_t lane = 0; lane < L; ++lane)
+                ma[lane] += za[lane] * yy[lane];
+            for (size_t b = a; b < K; ++b) {
+                const double *zb = z + (b - 1) * L;
+                double *gl = gram_lanes + (a * K + b) * L;
+                for (size_t lane = 0; lane < L; ++lane)
+                    gl[lane] += za[lane] * zb[lane];
+            }
+        }
+    }
+}
+
+void
+goodnessScalar(const LaneBlock &block, double intercept,
+               const double *coef, double ymean, double *ss_lanes)
+{
+    const size_t k = block.k;
+    for (size_t g = 0; g < block.groups; ++g) {
+        const double *x = block.z.data() + g * k * L;
+        const double *yy = block.y.data() + g * L;
+        double pred[L];
+        for (size_t lane = 0; lane < L; ++lane)
+            pred[lane] = intercept;
+        for (size_t c = 0; c < k; ++c) {
+            const double *xc = x + c * L;
+            for (size_t lane = 0; lane < L; ++lane)
+                pred[lane] = coef[c] * xc[lane] + pred[lane];
+        }
+        for (size_t lane = 0; lane < L; ++lane) {
+            const double res = yy[lane] - pred[lane];
+            ss_lanes[lane] += res * res;
+            const double tot = yy[lane] - ymean;
+            ss_lanes[L + lane] += tot * tot;
+        }
+    }
+}
+
+#if TDP_SIMD_X86
+
+// ---------------------------------------------------------------
+// SSE2 level: each 4-lane op is two 2-wide register ops, low half
+// first, so the per-lane operation sequence matches scalar exactly.
+// ---------------------------------------------------------------
+
+void
+colStatsSse2(const double *rows, size_t nrows, size_t k,
+             ColumnStats &stats)
+{
+    double *mean = stats.mean.data();
+    double *m2 = stats.m2.data();
+    for (size_t r = 0; r < nrows; ++r) {
+        const double *row = rows + r * k;
+        ++stats.n;
+        const double inv_n =
+            1.0 / static_cast<double>(stats.n);
+        const __m128d vinv = _mm_set1_pd(inv_n);
+        size_t c = 0;
+        for (; c + 2 <= k; c += 2) {
+            const __m128d x = _mm_loadu_pd(row + c);
+            const __m128d m = _mm_loadu_pd(mean + c);
+            const __m128d delta = _mm_sub_pd(x, m);
+            const __m128d mnew =
+                _mm_add_pd(m, _mm_mul_pd(delta, vinv));
+            _mm_storeu_pd(mean + c, mnew);
+            const __m128d v = _mm_loadu_pd(m2 + c);
+            _mm_storeu_pd(
+                m2 + c,
+                _mm_add_pd(v, _mm_mul_pd(delta, _mm_sub_pd(x, mnew))));
+        }
+        for (; c < k; ++c) {
+            const double x = row[c];
+            const double delta = x - mean[c];
+            mean[c] += delta * inv_n;
+            m2[c] += delta * (x - mean[c]);
+        }
+    }
+}
+
+void
+stageSse2(const double *rows, const double *y, size_t groups,
+          size_t k, LaneBlock &block)
+{
+    double *z = block.z.data();
+    for (size_t g = 0; g < groups; ++g) {
+        const double *r0 = rows + (g * L + 0) * k;
+        const double *r1 = rows + (g * L + 1) * k;
+        const double *r2 = rows + (g * L + 2) * k;
+        const double *r3 = rows + (g * L + 3) * k;
+        double *zb = z + g * k * L;
+        size_t c = 0;
+        for (; c + 2 <= k; c += 2) {
+            // 2x2 transposes: columns c and c+1 of the low row pair,
+            // then of the high row pair.
+            const __m128d a = _mm_loadu_pd(r0 + c);
+            const __m128d b = _mm_loadu_pd(r1 + c);
+            _mm_storeu_pd(zb + (c + 0) * L, _mm_unpacklo_pd(a, b));
+            _mm_storeu_pd(zb + (c + 1) * L, _mm_unpackhi_pd(a, b));
+            const __m128d d = _mm_loadu_pd(r2 + c);
+            const __m128d e = _mm_loadu_pd(r3 + c);
+            _mm_storeu_pd(zb + (c + 0) * L + 2,
+                          _mm_unpacklo_pd(d, e));
+            _mm_storeu_pd(zb + (c + 1) * L + 2,
+                          _mm_unpackhi_pd(d, e));
+        }
+        for (; c < k; ++c) {
+            double *zc = zb + c * L;
+            zc[0] = r0[c];
+            zc[1] = r1[c];
+            zc[2] = r2[c];
+            zc[3] = r3[c];
+        }
+        _mm_storeu_pd(&block.y[g * L], _mm_loadu_pd(y + g * L));
+        _mm_storeu_pd(&block.y[g * L + 2],
+                      _mm_loadu_pd(y + g * L + 2));
+    }
+}
+
+size_t
+firstNonFiniteSse2(const double *values, size_t count)
+{
+    size_t i = 0;
+    for (; i + 2 <= count; i += 2) {
+        const __m128d x = _mm_loadu_pd(values + i);
+        // x - x is 0.0 for finite values, NaN for NaN and +/-Inf;
+        // the unordered compare then flags exactly the non-finite
+        // lanes.
+        const __m128d t = _mm_sub_pd(x, x);
+        if (_mm_movemask_pd(_mm_cmpunord_pd(t, t)) != 0)
+            break;
+    }
+    const size_t rest = firstNonFiniteScalar(values + i, count - i);
+    return rest == SIZE_MAX ? SIZE_MAX : i + rest;
+}
+
+void
+standardizeSse2(LaneBlock &block, const double *shift,
+                const double *inv_scale)
+{
+    const size_t k = block.k;
+    double *z = block.z.data();
+    for (size_t g = 0; g < block.groups; ++g) {
+        for (size_t c = 0; c < k; ++c) {
+            double *zc = z + (g * k + c) * L;
+            const __m128d sh = _mm_set1_pd(shift[c]);
+            const __m128d sc = _mm_set1_pd(inv_scale[c]);
+            _mm_storeu_pd(
+                zc, _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(zc), sh), sc));
+            _mm_storeu_pd(
+                zc + 2,
+                _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(zc + 2), sh), sc));
+        }
+    }
+}
+
+void
+accumulateSse2(const LaneBlock &block, double *gram_lanes,
+               double *moment_lanes)
+{
+    const size_t k = block.k;
+    const size_t K = k + 1;
+    const __m128d ones = _mm_set1_pd(1.0);
+    for (size_t g = 0; g < block.groups; ++g) {
+        const double *z = block.z.data() + g * k * L;
+        const double *yy = block.y.data() + g * L;
+        const __m128d y_lo = _mm_loadu_pd(yy);
+        const __m128d y_hi = _mm_loadu_pd(yy + 2);
+
+        _mm_storeu_pd(gram_lanes,
+                      _mm_add_pd(_mm_loadu_pd(gram_lanes), ones));
+        _mm_storeu_pd(gram_lanes + 2,
+                      _mm_add_pd(_mm_loadu_pd(gram_lanes + 2), ones));
+        for (size_t b = 1; b < K; ++b) {
+            double *gl = gram_lanes + b * L;
+            const double *zb = z + (b - 1) * L;
+            _mm_storeu_pd(gl, _mm_add_pd(_mm_loadu_pd(gl),
+                                         _mm_loadu_pd(zb)));
+            _mm_storeu_pd(gl + 2, _mm_add_pd(_mm_loadu_pd(gl + 2),
+                                             _mm_loadu_pd(zb + 2)));
+        }
+        _mm_storeu_pd(moment_lanes,
+                      _mm_add_pd(_mm_loadu_pd(moment_lanes), y_lo));
+        _mm_storeu_pd(moment_lanes + 2,
+                      _mm_add_pd(_mm_loadu_pd(moment_lanes + 2), y_hi));
+
+        for (size_t a = 1; a < K; ++a) {
+            const double *za = z + (a - 1) * L;
+            const __m128d a_lo = _mm_loadu_pd(za);
+            const __m128d a_hi = _mm_loadu_pd(za + 2);
+            double *ma = moment_lanes + a * L;
+            _mm_storeu_pd(ma, _mm_add_pd(_mm_loadu_pd(ma),
+                                         _mm_mul_pd(a_lo, y_lo)));
+            _mm_storeu_pd(ma + 2, _mm_add_pd(_mm_loadu_pd(ma + 2),
+                                             _mm_mul_pd(a_hi, y_hi)));
+            for (size_t b = a; b < K; ++b) {
+                const double *zb = z + (b - 1) * L;
+                double *gl = gram_lanes + (a * K + b) * L;
+                _mm_storeu_pd(
+                    gl, _mm_add_pd(_mm_loadu_pd(gl),
+                                   _mm_mul_pd(a_lo, _mm_loadu_pd(zb))));
+                _mm_storeu_pd(
+                    gl + 2,
+                    _mm_add_pd(_mm_loadu_pd(gl + 2),
+                               _mm_mul_pd(a_hi, _mm_loadu_pd(zb + 2))));
+            }
+        }
+    }
+}
+
+void
+goodnessSse2(const LaneBlock &block, double intercept,
+             const double *coef, double ymean, double *ss_lanes)
+{
+    const size_t k = block.k;
+    __m128d res_lo = _mm_loadu_pd(ss_lanes);
+    __m128d res_hi = _mm_loadu_pd(ss_lanes + 2);
+    __m128d tot_lo = _mm_loadu_pd(ss_lanes + L);
+    __m128d tot_hi = _mm_loadu_pd(ss_lanes + L + 2);
+    const __m128d vymean = _mm_set1_pd(ymean);
+    for (size_t g = 0; g < block.groups; ++g) {
+        const double *x = block.z.data() + g * k * L;
+        const double *yy = block.y.data() + g * L;
+        __m128d pred_lo = _mm_set1_pd(intercept);
+        __m128d pred_hi = pred_lo;
+        for (size_t c = 0; c < k; ++c) {
+            const __m128d vc = _mm_set1_pd(coef[c]);
+            pred_lo = _mm_add_pd(
+                _mm_mul_pd(vc, _mm_loadu_pd(x + c * L)), pred_lo);
+            pred_hi = _mm_add_pd(
+                _mm_mul_pd(vc, _mm_loadu_pd(x + c * L + 2)), pred_hi);
+        }
+        const __m128d y_lo = _mm_loadu_pd(yy);
+        const __m128d y_hi = _mm_loadu_pd(yy + 2);
+        const __m128d r_lo = _mm_sub_pd(y_lo, pred_lo);
+        const __m128d r_hi = _mm_sub_pd(y_hi, pred_hi);
+        res_lo = _mm_add_pd(res_lo, _mm_mul_pd(r_lo, r_lo));
+        res_hi = _mm_add_pd(res_hi, _mm_mul_pd(r_hi, r_hi));
+        const __m128d t_lo = _mm_sub_pd(y_lo, vymean);
+        const __m128d t_hi = _mm_sub_pd(y_hi, vymean);
+        tot_lo = _mm_add_pd(tot_lo, _mm_mul_pd(t_lo, t_lo));
+        tot_hi = _mm_add_pd(tot_hi, _mm_mul_pd(t_hi, t_hi));
+    }
+    _mm_storeu_pd(ss_lanes, res_lo);
+    _mm_storeu_pd(ss_lanes + 2, res_hi);
+    _mm_storeu_pd(ss_lanes + L, tot_lo);
+    _mm_storeu_pd(ss_lanes + L + 2, tot_hi);
+}
+
+// ---------------------------------------------------------------
+// AVX2 level: one 4-wide register per logical vector.
+// ---------------------------------------------------------------
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+
+void
+colStatsAvx2(const double *rows, size_t nrows, size_t k,
+             ColumnStats &stats)
+{
+    double *mean = stats.mean.data();
+    double *m2 = stats.m2.data();
+    for (size_t r = 0; r < nrows; ++r) {
+        const double *row = rows + r * k;
+        ++stats.n;
+        const double inv_n =
+            1.0 / static_cast<double>(stats.n);
+        const __m256d vinv = _mm256_set1_pd(inv_n);
+        size_t c = 0;
+        for (; c + 4 <= k; c += 4) {
+            const __m256d x = _mm256_loadu_pd(row + c);
+            const __m256d m = _mm256_loadu_pd(mean + c);
+            const __m256d delta = _mm256_sub_pd(x, m);
+            const __m256d mnew =
+                _mm256_add_pd(m, _mm256_mul_pd(delta, vinv));
+            _mm256_storeu_pd(mean + c, mnew);
+            const __m256d v = _mm256_loadu_pd(m2 + c);
+            _mm256_storeu_pd(
+                m2 + c,
+                _mm256_add_pd(
+                    v, _mm256_mul_pd(delta, _mm256_sub_pd(x, mnew))));
+        }
+        for (; c < k; ++c) {
+            const double x = row[c];
+            const double delta = x - mean[c];
+            mean[c] += delta * inv_n;
+            m2[c] += delta * (x - mean[c]);
+        }
+    }
+}
+
+void
+stageAvx2(const double *rows, const double *y, size_t groups,
+          size_t k, LaneBlock &block)
+{
+    double *z = block.z.data();
+    for (size_t g = 0; g < groups; ++g) {
+        const double *r0 = rows + (g * L + 0) * k;
+        const double *r1 = rows + (g * L + 1) * k;
+        const double *r2 = rows + (g * L + 2) * k;
+        const double *r3 = rows + (g * L + 3) * k;
+        double *zb = z + g * k * L;
+        size_t c = 0;
+        for (; c + 4 <= k; c += 4) {
+            // 4x4 transpose: four row segments in, four column
+            // quadruples out.
+            const __m256d a = _mm256_loadu_pd(r0 + c);
+            const __m256d b = _mm256_loadu_pd(r1 + c);
+            const __m256d d = _mm256_loadu_pd(r2 + c);
+            const __m256d e = _mm256_loadu_pd(r3 + c);
+            const __m256d t0 = _mm256_unpacklo_pd(a, b);
+            const __m256d t1 = _mm256_unpackhi_pd(a, b);
+            const __m256d t2 = _mm256_unpacklo_pd(d, e);
+            const __m256d t3 = _mm256_unpackhi_pd(d, e);
+            _mm256_storeu_pd(zb + (c + 0) * L,
+                             _mm256_permute2f128_pd(t0, t2, 0x20));
+            _mm256_storeu_pd(zb + (c + 1) * L,
+                             _mm256_permute2f128_pd(t1, t3, 0x20));
+            _mm256_storeu_pd(zb + (c + 2) * L,
+                             _mm256_permute2f128_pd(t0, t2, 0x31));
+            _mm256_storeu_pd(zb + (c + 3) * L,
+                             _mm256_permute2f128_pd(t1, t3, 0x31));
+        }
+        for (; c < k; ++c) {
+            double *zc = zb + c * L;
+            zc[0] = r0[c];
+            zc[1] = r1[c];
+            zc[2] = r2[c];
+            zc[3] = r3[c];
+        }
+        _mm256_storeu_pd(&block.y[g * L],
+                         _mm256_loadu_pd(y + g * L));
+    }
+}
+
+size_t
+firstNonFiniteAvx2(const double *values, size_t count)
+{
+    size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m256d x = _mm256_loadu_pd(values + i);
+        const __m256d t = _mm256_sub_pd(x, x);
+        if (_mm256_movemask_pd(
+                _mm256_cmp_pd(t, t, _CMP_UNORD_Q)) != 0)
+            break;
+    }
+    const size_t rest = firstNonFiniteScalar(values + i, count - i);
+    return rest == SIZE_MAX ? SIZE_MAX : i + rest;
+}
+
+void
+standardizeAvx2(LaneBlock &block, const double *shift,
+                const double *inv_scale)
+{
+    const size_t k = block.k;
+    double *z = block.z.data();
+    for (size_t g = 0; g < block.groups; ++g) {
+        for (size_t c = 0; c < k; ++c) {
+            double *zc = z + (g * k + c) * L;
+            const __m256d sh = _mm256_set1_pd(shift[c]);
+            const __m256d sc = _mm256_set1_pd(inv_scale[c]);
+            _mm256_storeu_pd(
+                zc, _mm256_mul_pd(
+                        _mm256_sub_pd(_mm256_loadu_pd(zc), sh), sc));
+        }
+    }
+}
+
+void
+accumulateAvx2(const LaneBlock &block, double *gram_lanes,
+               double *moment_lanes)
+{
+    const size_t k = block.k;
+    const size_t K = k + 1;
+    const __m256d ones = _mm256_set1_pd(1.0);
+    for (size_t g = 0; g < block.groups; ++g) {
+        const double *z = block.z.data() + g * k * L;
+        const double *yy = block.y.data() + g * L;
+        const __m256d vy = _mm256_loadu_pd(yy);
+
+        _mm256_storeu_pd(
+            gram_lanes,
+            _mm256_add_pd(_mm256_loadu_pd(gram_lanes), ones));
+        for (size_t b = 1; b < K; ++b) {
+            double *gl = gram_lanes + b * L;
+            _mm256_storeu_pd(
+                gl, _mm256_add_pd(_mm256_loadu_pd(gl),
+                                  _mm256_loadu_pd(z + (b - 1) * L)));
+        }
+        _mm256_storeu_pd(
+            moment_lanes,
+            _mm256_add_pd(_mm256_loadu_pd(moment_lanes), vy));
+
+        for (size_t a = 1; a < K; ++a) {
+            const __m256d va = _mm256_loadu_pd(z + (a - 1) * L);
+            double *ma = moment_lanes + a * L;
+            _mm256_storeu_pd(
+                ma, _mm256_add_pd(_mm256_loadu_pd(ma),
+                                  _mm256_mul_pd(va, vy)));
+            for (size_t b = a; b < K; ++b) {
+                double *gl = gram_lanes + (a * K + b) * L;
+                _mm256_storeu_pd(
+                    gl,
+                    _mm256_add_pd(
+                        _mm256_loadu_pd(gl),
+                        _mm256_mul_pd(
+                            va, _mm256_loadu_pd(z + (b - 1) * L))));
+            }
+        }
+    }
+}
+
+void
+goodnessAvx2(const LaneBlock &block, double intercept,
+             const double *coef, double ymean, double *ss_lanes)
+{
+    const size_t k = block.k;
+    __m256d res = _mm256_loadu_pd(ss_lanes);
+    __m256d tot = _mm256_loadu_pd(ss_lanes + L);
+    const __m256d vymean = _mm256_set1_pd(ymean);
+    for (size_t g = 0; g < block.groups; ++g) {
+        const double *x = block.z.data() + g * k * L;
+        const double *yy = block.y.data() + g * L;
+        __m256d pred = _mm256_set1_pd(intercept);
+        for (size_t c = 0; c < k; ++c) {
+            pred = _mm256_add_pd(
+                _mm256_mul_pd(_mm256_set1_pd(coef[c]),
+                              _mm256_loadu_pd(x + c * L)),
+                pred);
+        }
+        const __m256d vy = _mm256_loadu_pd(yy);
+        const __m256d r = _mm256_sub_pd(vy, pred);
+        res = _mm256_add_pd(res, _mm256_mul_pd(r, r));
+        const __m256d t = _mm256_sub_pd(vy, vymean);
+        tot = _mm256_add_pd(tot, _mm256_mul_pd(t, t));
+    }
+    _mm256_storeu_pd(ss_lanes, res);
+    _mm256_storeu_pd(ss_lanes + L, tot);
+}
+
+#pragma GCC pop_options
+
+#endif // TDP_SIMD_X86
+
+} // namespace
+
+void
+colStatsBlock(SimdLevel level, const double *rows, size_t nrows,
+              size_t k, ColumnStats &stats)
+{
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return colStatsAvx2(rows, nrows, k, stats);
+    if (level == SimdLevel::Sse2)
+        return colStatsSse2(rows, nrows, k, stats);
+#else
+    (void)level;
+#endif
+    colStatsScalar(rows, nrows, k, stats);
+}
+
+void
+stageBlock(SimdLevel level, const double *rows, const double *y,
+           size_t groups, size_t k, LaneBlock &block)
+{
+    block.reset(k, groups);
+    block.groups = groups;
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return stageAvx2(rows, y, groups, k, block);
+    if (level == SimdLevel::Sse2)
+        return stageSse2(rows, y, groups, k, block);
+#else
+    (void)level;
+#endif
+    stageScalar(rows, y, groups, k, block);
+}
+
+size_t
+firstNonFinite(SimdLevel level, const double *values, size_t count)
+{
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return firstNonFiniteAvx2(values, count);
+    if (level == SimdLevel::Sse2)
+        return firstNonFiniteSse2(values, count);
+#else
+    (void)level;
+#endif
+    return firstNonFiniteScalar(values, count);
+}
+
+void
+standardizeBlock(SimdLevel level, LaneBlock &block, const double *shift,
+                 const double *inv_scale)
+{
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return standardizeAvx2(block, shift, inv_scale);
+    if (level == SimdLevel::Sse2)
+        return standardizeSse2(block, shift, inv_scale);
+#else
+    (void)level;
+#endif
+    standardizeScalar(block, shift, inv_scale);
+}
+
+void
+accumulateBlock(SimdLevel level, const LaneBlock &block,
+                double *gram_lanes, double *moment_lanes)
+{
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return accumulateAvx2(block, gram_lanes, moment_lanes);
+    if (level == SimdLevel::Sse2)
+        return accumulateSse2(block, gram_lanes, moment_lanes);
+#else
+    (void)level;
+#endif
+    accumulateScalar(block, gram_lanes, moment_lanes);
+}
+
+void
+goodnessBlock(SimdLevel level, const LaneBlock &block, double intercept,
+              const double *coef, double ymean, double *ss_lanes)
+{
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return goodnessAvx2(block, intercept, coef, ymean, ss_lanes);
+    if (level == SimdLevel::Sse2)
+        return goodnessSse2(block, intercept, coef, ymean, ss_lanes);
+#else
+    (void)level;
+#endif
+    goodnessScalar(block, intercept, coef, ymean, ss_lanes);
+}
+
+double
+reduceLanes(const double *lanes)
+{
+    return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+}
+
+} // namespace lanefit
+} // namespace tdp

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Lane-batched kernels behind the fused normal-equations OLS fit.
+ *
+ * fitOlsNormal() processes rows in groups of kSimdLanes (4): lane l
+ * accumulates the rows congruent to l mod 4 within the grouped
+ * prefix, the four partial accumulators are reduced pairwise
+ * (((l0+l1)+l2)+l3), and the n % 4 trailing rows are folded in
+ * scalar after the reduction. That 4-lane algorithm -- not the
+ * hardware width -- is the numerical definition: the scalar level
+ * keeps four explicit accumulators, SSE2 uses two 2-wide registers,
+ * AVX2 one 4-wide register, and all three produce bitwise-identical
+ * fits. FMA is never used (mul-then-add everywhere) and the TU is
+ * compiled with contraction off so the compiler cannot fuse one
+ * level differently from another.
+ *
+ * Data is staged in lane-transposed blocks (`LaneBlock`): for each
+ * group of four rows, the four values of regressor column c sit in
+ * four consecutive doubles. This is the SoA column layout of
+ * SampleTrace::columns() extended one level, so that four samples --
+ * or four experiments' worth of rows appended back to back -- ride
+ * one register.
+ */
+
+#ifndef TDP_STATS_LANE_FIT_HH
+#define TDP_STATS_LANE_FIT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simd/dispatch.hh"
+
+namespace tdp {
+namespace lanefit {
+
+/**
+ * Lane-transposed staging block: `groups` row-groups of `k`
+ * regressors, laid out as z[(g * k + c) * 4 + lane], plus the four
+ * responses per group at y[g * 4 + lane].
+ */
+struct LaneBlock
+{
+    size_t k = 0;       ///< regressors per row
+    size_t groups = 0;  ///< staged row-groups (4 rows each)
+    std::vector<double> z; ///< groups * k * kSimdLanes values
+    std::vector<double> y; ///< groups * kSimdLanes responses
+
+    /** Reserve capacity for `max_groups` groups of `k` regressors. */
+    void
+    reset(size_t k_, size_t max_groups)
+    {
+        k = k_;
+        groups = 0;
+        z.resize(max_groups * k_ * kSimdLanes);
+        y.resize(max_groups * kSimdLanes);
+    }
+
+    /** Stage one row into group `g`, lane `lane`. */
+    void
+    stage(size_t g, size_t lane, const double *row, double response)
+    {
+        for (size_t c = 0; c < k; ++c)
+            z[(g * k + c) * kSimdLanes + lane] = row[c];
+        y[g * kSimdLanes + lane] = response;
+    }
+};
+
+/**
+ * Streaming per-column mean/variance state (Welford), vectorized
+ * across columns. Column c's update sequence is the reciprocal form
+ * of RunningStats::add() (mean += delta * (1/n), with one shared 1/n
+ * per row), identical at every dispatch level by construction.
+ */
+struct ColumnStats
+{
+    uint64_t n = 0;
+    std::vector<double> mean;
+    std::vector<double> m2;
+
+    void
+    reset(size_t k)
+    {
+        n = 0;
+        mean.assign(k, 0.0);
+        m2.assign(k, 0.0);
+    }
+};
+
+/** Fold `nrows` row-major rows of `k` columns into `stats`. */
+void colStatsBlock(SimdLevel level, const double *rows, size_t nrows,
+                   size_t k, ColumnStats &stats);
+
+/**
+ * Lane-transpose `groups * kSimdLanes` row-major rows and their
+ * responses into `block`, replacing its contents. Pure data
+ * movement -- every level produces the same block; the wide levels
+ * just move 2 or 4 values per instruction (2x2 / 4x4 in-register
+ * transposes).
+ */
+void stageBlock(SimdLevel level, const double *rows, const double *y,
+                size_t groups, size_t k, LaneBlock &block);
+
+/**
+ * Index of the first non-finite value in values[0..count), or
+ * SIZE_MAX when all are finite. The accept/reject set (NaN, +/-Inf)
+ * is exact at every level; the wide levels scan 2 or 4 values per
+ * instruction and rescan in scalar only to report the first offender
+ * in order.
+ */
+size_t firstNonFinite(SimdLevel level, const double *values,
+                      size_t count);
+
+/**
+ * Standardise a staged block in place:
+ * z = (z - shift[c]) * inv_scale[c]. The caller precomputes the
+ * reciprocals (k divides per fit, not per element); every level
+ * multiplies by the same value, so level-identity is preserved.
+ */
+void standardizeBlock(SimdLevel level, LaneBlock &block,
+                      const double *shift, const double *inv_scale);
+
+/**
+ * Accumulate the upper-triangle Gram lanes and moment lanes of a
+ * standardised block. `gram_lanes` holds (k+1)^2 entries of 4 lanes
+ * each (row-major over the implicit intercept-extended design);
+ * `moment_lanes` holds (k+1) entries of 4 lanes.
+ */
+void accumulateBlock(SimdLevel level, const LaneBlock &block,
+                     double *gram_lanes, double *moment_lanes);
+
+/**
+ * Accumulate residual and total sum-of-squares lanes of a raw
+ * (unstandardised) block against a fitted model:
+ * ss_lanes[0..3] += (y - pred)^2, ss_lanes[4..7] += (y - ymean)^2,
+ * with pred = intercept + sum_c coef[c] * x[c] in column order.
+ */
+void goodnessBlock(SimdLevel level, const LaneBlock &block,
+                   double intercept, const double *coef, double ymean,
+                   double *ss_lanes);
+
+/** Pairwise lane reduction: ((l0 + l1) + l2) + l3. */
+double reduceLanes(const double *lanes);
+
+} // namespace lanefit
+} // namespace tdp
+
+#endif // TDP_STATS_LANE_FIT_HH

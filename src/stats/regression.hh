@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "simd/dispatch.hh"
+
 namespace tdp {
 
 /**
@@ -92,8 +94,17 @@ FitResult fitOls(const DesignSource &source);
  * QR path (normal equations square the condition number), so this is
  * an opt-in kernel: the default everywhere stays QR to preserve the
  * project's bit-identity invariants.
+ *
+ * The accumulators are lane-batched (see stats/lane_fit.hh): rows are
+ * processed four at a time at the SIMD level picked by
+ * activeSimdLevel(). All levels implement the same fixed 4-lane
+ * algorithm, so the result is bitwise independent of the level --
+ * only the wall-clock changes.
  */
 FitResult fitOlsNormal(const DesignSource &source);
+
+/** fitOlsNormal forced to a specific SIMD level (A/B harnesses). */
+FitResult fitOlsNormalAt(SimdLevel level, const DesignSource &source);
 
 /**
  * The fit used by model training: fitOlsNormal when the TDP_FAST_FIT

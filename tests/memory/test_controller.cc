@@ -122,12 +122,12 @@ TEST(MemoryController, TrafficSplitsEvenlyAcrossDimms)
     Fixture f;
     f.bus.addTransactions(BusTxKind::DemandFill, 80e3);
     f.sys.runFor(0.001);
-    const auto &dimms = f.ctl.dimms();
-    ASSERT_FALSE(dimms.empty());
-    const double first = dimms.front().lifetimeReads();
+    const DramBank &dimms = f.ctl.dimms();
+    ASSERT_GT(dimms.size(), 0u);
+    const double first = dimms.lifetimeReads(0);
     EXPECT_GT(first, 0.0);
-    for (const DramModule &d : dimms)
-        EXPECT_NEAR(d.lifetimeReads(), first, 1e-9);
+    for (size_t d = 0; d < dimms.size(); ++d)
+        EXPECT_NEAR(dimms.lifetimeReads(d), first, 1e-9);
 }
 
 } // namespace

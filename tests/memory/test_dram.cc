@@ -129,5 +129,52 @@ TEST_P(DramRateSweep, AveragePowerIndependentOfQuantumLength)
 INSTANTIATE_TEST_SUITE_P(Rates, DramRateSweep,
                          ::testing::Values(1e5, 1e6, 5e6, 1e7));
 
+TEST(DramBank, MatchesIndependentModulesBitwise)
+{
+    // The lane-batched bank must be indistinguishable from stepping N
+    // standalone modules with the same shared traffic: same power
+    // every quantum, same lifetime accumulators per DIMM.
+    constexpr size_t kDimms = 6;
+    DramBank bank(params(), kDimms);
+    std::vector<DramModule> reference(kDimms, DramModule(params()));
+
+    const struct
+    {
+        double reads, writes, hit_rate, dt;
+    } schedule[] = {
+        {0.0, 0.0, 0.5, 1e-3},    {1e3, 3e2, 0.8, 1e-3},
+        {5e3, 5e3, 0.2, 2e-3},    {1e4, 0.0, 1.0, 5e-4},
+        {0.0, 2e3, 0.0, 1e-3},    {7e3, 1e3, 0.65, 1e-2},
+    };
+    for (const auto &q : schedule) {
+        const Watts bank_power =
+            bank.advanceShared(q.reads, q.writes, q.hit_rate, q.dt);
+        for (size_t d = 0; d < kDimms; ++d) {
+            const Watts module_power = reference[d].advance(
+                q.reads, q.writes, q.hit_rate, q.dt);
+            EXPECT_DOUBLE_EQ(bank_power, module_power);
+        }
+    }
+    for (size_t d = 0; d < kDimms; ++d) {
+        EXPECT_DOUBLE_EQ(bank.lifetimeReads(d),
+                         reference[d].lifetimeReads());
+        EXPECT_DOUBLE_EQ(bank.lifetimeWrites(d),
+                         reference[d].lifetimeWrites());
+        EXPECT_DOUBLE_EQ(bank.lifetimeActivations(d),
+                         reference[d].lifetimeActivations());
+        EXPECT_DOUBLE_EQ(bank.lastActiveFraction(d),
+                         reference[d].lastActiveFraction());
+    }
+}
+
+TEST(DramBank, SizeAndValidation)
+{
+    DramBank bank(params(), 4);
+    EXPECT_EQ(bank.size(), 4u);
+    EXPECT_THROW(bank.advanceShared(-1.0, 0.0, 0.5, 1e-3),
+                 PanicError);
+    EXPECT_THROW(bank.advanceShared(0.0, 0.0, 0.5, 0.0), PanicError);
+}
+
 } // namespace
 } // namespace tdp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the runtime SIMD level selection: naming, detection
+ * ordering, and the programmatic override used by the bit-identity
+ * A/B tests and benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simd/dispatch.hh"
+
+namespace tdp {
+namespace {
+
+TEST(SimdDispatch, LevelNames)
+{
+    EXPECT_STREQ(simdLevelName(SimdLevel::Scalar), "scalar");
+    EXPECT_STREQ(simdLevelName(SimdLevel::Sse2), "sse2");
+    EXPECT_STREQ(simdLevelName(SimdLevel::Avx2), "avx2");
+}
+
+TEST(SimdDispatch, DetectedLevelIsStable)
+{
+    const SimdLevel first = detectedSimdLevel();
+    EXPECT_EQ(first, detectedSimdLevel());
+    EXPECT_GE(static_cast<int>(first),
+              static_cast<int>(SimdLevel::Scalar));
+    EXPECT_LE(static_cast<int>(first),
+              static_cast<int>(SimdLevel::Avx2));
+#if defined(__x86_64__)
+    // Every x86-64 CPU has SSE2; scalar-only would mean detection
+    // broke, not that the hardware is old.
+    EXPECT_GE(static_cast<int>(first),
+              static_cast<int>(SimdLevel::Sse2));
+#endif
+}
+
+TEST(SimdDispatch, SetActiveReturnsPreviousAndOverrides)
+{
+    const SimdLevel original = activeSimdLevel();
+    const SimdLevel prev = setActiveSimdLevel(SimdLevel::Scalar);
+    EXPECT_EQ(prev, original);
+    EXPECT_EQ(activeSimdLevel(), SimdLevel::Scalar);
+    setActiveSimdLevel(original);
+    EXPECT_EQ(activeSimdLevel(), original);
+}
+
+TEST(SimdDispatch, RequestsAboveHardwareAreClamped)
+{
+    const SimdLevel original = activeSimdLevel();
+    setActiveSimdLevel(SimdLevel::Avx2);
+    EXPECT_EQ(activeSimdLevel(), detectedSimdLevel());
+    setActiveSimdLevel(original);
+}
+
+TEST(SimdDispatch, ActiveNeverExceedsDetected)
+{
+    EXPECT_LE(static_cast<int>(activeSimdLevel()),
+              static_cast<int>(detectedSimdLevel()));
+}
+
+} // namespace
+} // namespace tdp

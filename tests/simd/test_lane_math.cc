@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Bit-identity tests for the elementwise lane kernels: every dispatch
+ * level the CPU supports must produce byte-for-byte the scalar
+ * level's output, including on adversarial IEEE-754 inputs (NaN
+ * payloads, infinities, signed zeros, denormals) and on lengths that
+ * are not a multiple of the lane width.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "simd/dispatch.hh"
+#include "simd/lane_math.hh"
+
+namespace tdp {
+namespace {
+
+/** Levels this machine can actually execute. */
+std::vector<SimdLevel>
+supportedLevels()
+{
+    std::vector<SimdLevel> levels = {SimdLevel::Scalar};
+    if (detectedSimdLevel() >= SimdLevel::Sse2)
+        levels.push_back(SimdLevel::Sse2);
+    if (detectedSimdLevel() >= SimdLevel::Avx2)
+        levels.push_back(SimdLevel::Avx2);
+    return levels;
+}
+
+/**
+ * Adversarial values: the cases where "equal" and "bitwise equal"
+ * diverge, plus ordinary magnitudes to exercise the arithmetic.
+ *
+ * Only one side of each binary operation may carry NaNs (see the
+ * lane_math.hh contract: a two-NaN add keeps the first operand's
+ * payload, and operand order is the compiler's choice at the scalar
+ * level), so the other side draws from the NaN-free set -- which
+ * still includes infinities, signed zeros and denormals, and can
+ * still *generate* NaNs (Inf - Inf, 0 * Inf); those are the default
+ * NaN whatever the operand order.
+ */
+std::vector<double>
+adversarialValues(size_t n, uint32_t salt)
+{
+    const double quiet_nan =
+        std::bit_cast<double>(UINT64_C(0x7ff8dead00000000));
+    const double other_nan =
+        std::bit_cast<double>(UINT64_C(0x7ff8000000c0ffee));
+    const double denormal = 5e-324;
+    const double small_denormal = 2.2250738585072011e-308;
+    const double patterns[] = {
+        0.0,       -0.0,       1.0,          -1.0,
+        quiet_nan, other_nan,  1e308,        -1e308,
+        denormal,  -denormal,  small_denormal,
+        1.0 / 0.0, -1.0 / 0.0, 3.7,          -123.456,
+        1e-9,
+    };
+    constexpr size_t kPatterns = sizeof(patterns) / sizeof(double);
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = patterns[(i * 2654435761u + salt) % kPatterns];
+    return out;
+}
+
+/** Same soup minus the NaNs, for the other side of each operation. */
+std::vector<double>
+nanFreeValues(size_t n, uint32_t salt)
+{
+    const double denormal = 5e-324;
+    const double small_denormal = 2.2250738585072011e-308;
+    const double patterns[] = {
+        0.0,      -0.0,      1.0,        -1.0,   1e308,
+        -1e308,   denormal,  -denormal,  small_denormal,
+        1.0 / 0.0, -1.0 / 0.0, 3.7,      -123.456, 1e-9,
+    };
+    constexpr size_t kPatterns = sizeof(patterns) / sizeof(double);
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = patterns[(i * 2654435761u + salt) % kPatterns];
+    return out;
+}
+
+void
+expectBitEqual(const std::vector<double> &a,
+               const std::vector<double> &b, const char *what,
+               SimdLevel level)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<uint64_t>(a[i]),
+                  std::bit_cast<uint64_t>(b[i]))
+            << what << " differs from scalar at index " << i
+            << " under " << simdLevelName(level);
+    }
+}
+
+/** Lengths covering every n % kSimdLanes residue and the empty case. */
+const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 13, 64, 67};
+
+TEST(LaneMath, AddAssignBitIdenticalAcrossLevels)
+{
+    for (size_t n : kLengths) {
+        const std::vector<double> src = adversarialValues(n, 7);
+        const std::vector<double> base = nanFreeValues(n, 99);
+        std::vector<double> ref = base;
+        lanes::addAssignAt(SimdLevel::Scalar, ref.data(), src.data(),
+                           n);
+        for (SimdLevel level : supportedLevels()) {
+            std::vector<double> dst = base;
+            lanes::addAssignAt(level, dst.data(), src.data(), n);
+            expectBitEqual(ref, dst, "addAssign", level);
+        }
+    }
+}
+
+TEST(LaneMath, AddBroadcastBitIdenticalAcrossLevels)
+{
+    const double broadcasts[] = {0.0, -0.0, 2.5,
+                                 std::bit_cast<double>(
+                                     UINT64_C(0x7ff8dead00000000)),
+                                 1.0 / 0.0, 5e-324};
+    for (size_t n : kLengths) {
+        for (double v : broadcasts) {
+            // A NaN broadcast may meet NaN slots only on one side.
+            const std::vector<double> base =
+                std::isnan(v) ? nanFreeValues(n, 3)
+                              : adversarialValues(n, 3);
+            std::vector<double> ref = base;
+            lanes::addBroadcastAt(SimdLevel::Scalar, ref.data(), v, n);
+            for (SimdLevel level : supportedLevels()) {
+                std::vector<double> dst = base;
+                lanes::addBroadcastAt(level, dst.data(), v, n);
+                expectBitEqual(ref, dst, "addBroadcast", level);
+            }
+        }
+    }
+}
+
+TEST(LaneMath, SubtractBitIdenticalAcrossLevels)
+{
+    for (size_t n : kLengths) {
+        const std::vector<double> cur = adversarialValues(n, 11);
+        const std::vector<double> prev = nanFreeValues(n, 23);
+        std::vector<double> ref(n);
+        lanes::subtractAt(SimdLevel::Scalar, ref.data(), cur.data(),
+                          prev.data(), n);
+        for (SimdLevel level : supportedLevels()) {
+            std::vector<double> out(n);
+            lanes::subtractAt(level, out.data(), cur.data(),
+                              prev.data(), n);
+            expectBitEqual(ref, out, "subtract", level);
+        }
+    }
+}
+
+TEST(LaneMath, WrappedDeltasBitIdenticalAcrossLevels)
+{
+    // Mix in-range counter pairs (including wraparounds, where
+    // cur < prev) with the adversarial soup: the blend mask path must
+    // agree with scalar on every input class.
+    for (size_t n : kLengths) {
+        std::vector<double> cur = adversarialValues(n, 31);
+        std::vector<double> prev = nanFreeValues(n, 47);
+        for (size_t i = 0; i + 1 < n; i += 2) {
+            cur[i] = static_cast<double>((i * 977) % 5000);
+            prev[i] = static_cast<double>((i * 1993) % 5000);
+        }
+        const double span = 4294967296.0;
+        std::vector<double> ref(n);
+        lanes::wrappedDeltasAt(SimdLevel::Scalar, ref.data(),
+                               cur.data(), prev.data(), span, n);
+        for (SimdLevel level : supportedLevels()) {
+            std::vector<double> out(n);
+            lanes::wrappedDeltasAt(level, out.data(), cur.data(),
+                                   prev.data(), span, n);
+            expectBitEqual(ref, out, "wrappedDeltas", level);
+        }
+    }
+}
+
+TEST(LaneMath, MulAddBitIdenticalAcrossLevels)
+{
+    // mul+add is the kernel FMA contraction would silently change;
+    // identity across levels also guards the -ffp-contract=off
+    // build contract.
+    for (size_t n : kLengths) {
+        const std::vector<double> a = adversarialValues(n, 5);
+        const std::vector<double> b = nanFreeValues(n, 17);
+        const std::vector<double> c = nanFreeValues(n, 29);
+        std::vector<double> ref(n);
+        lanes::mulAddAt(SimdLevel::Scalar, ref.data(), a.data(),
+                        b.data(), c.data(), n);
+        for (SimdLevel level : supportedLevels()) {
+            std::vector<double> out(n);
+            lanes::mulAddAt(level, out.data(), a.data(), b.data(),
+                            c.data(), n);
+            expectBitEqual(ref, out, "mulAdd", level);
+        }
+    }
+}
+
+TEST(LaneMath, WrappedDeltasRecoverWraparound)
+{
+    const double span = 1000.0;
+    const double cur[] = {10.0, 950.0, 0.0};
+    const double prev[] = {990.0, 900.0, 999.0};
+    double out[3] = {};
+    lanes::wrappedDeltas(out, cur, prev, span, 3);
+    EXPECT_DOUBLE_EQ(out[0], 20.0);
+    EXPECT_DOUBLE_EQ(out[1], 50.0);
+    EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+} // namespace
+} // namespace tdp
