@@ -62,10 +62,18 @@ resolveGitSha()
     fs::path dir = fs::current_path(ec);
     if (ec)
         return "unknown";
-    for (; !dir.empty(); dir = dir.parent_path()) {
+    // Walk up until the parent stops changing: at the filesystem
+    // root parent_path() returns the root itself, never an empty
+    // path, so a "!dir.empty()" condition would spin forever
+    // whenever the bench runs outside any git checkout.
+    for (fs::path parent; true; dir = parent) {
+        parent = dir.parent_path();
         const fs::path git = dir / ".git";
-        if (!fs::exists(git, ec) || ec)
+        if (!fs::exists(git, ec) || ec) {
+            if (parent == dir || parent.empty())
+                return "unknown";
             continue;
+        }
         std::ifstream head(git / "HEAD");
         std::string line;
         if (!std::getline(head, line))

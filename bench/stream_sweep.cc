@@ -1,0 +1,542 @@
+/**
+ * @file
+ * Streaming-service sweep: drives the hardened streaming estimator
+ * (src/stream/) through 12 workload load-shapes x 5 adversarial
+ * phases and asserts the whole thing is deterministic - the service
+ * digest (every drained sample's verdict, every published watt,
+ * every refit and drift transition) must be byte-identical at
+ * --jobs 1 and --jobs N in *every* phase, including forced overload
+ * (shedding + hard overflow), full-poison (every client quarantined)
+ * and drift (per-rail fallback engagement and recovery).
+ *
+ * Phases per workload:
+ *
+ *  1. steady   - in-budget traffic; refits verified bitwise against
+ *                the from-scratch window recomputation (verifyRefits);
+ *  2. overload - tight rings + small drain budget under burst
+ *                traffic; deterministic shedding, hard overflow and
+ *                nonzero queue-delay percentiles;
+ *  3. stall    - half the fleet goes silent mid-phase (idle-timeout
+ *                eviction) and returns as fresh sessions;
+ *  4. poison   - every client turns malicious after its baseline
+ *                (chaos-plan style deterministic per-client faults:
+ *                NaN counters, duplicate and stale sequence numbers);
+ *                the full fleet must end quarantined with the service
+ *                still live;
+ *  5. drift    - the CPU rail's physics shift mid-phase; the drift
+ *                guard must engage the fallback chain, the windowed
+ *                refit must adapt, and the rail must be re-promoted.
+ *
+ * The drift-phase service of the last workload contributes the
+ * stream.* manifest sections (ingest, session, SLO, per-rail model
+ * state) that scripts/validate_manifest.py --require-stream checks
+ * in CI. Deterministic totals are reported as exact-gated metrics in
+ * BENCH_bm_stream.json; wall-clock throughput rides along ungated.
+ *
+ * Flags (after the shared bench flags, see bench_util.hh):
+ *   --stream PHASES   comma list of phases to run (default: all)
+ *   --clients N       fleet size per workload   [TDP_STREAM_CLIENTS]
+ *   --rounds N        rounds per phase          [TDP_STREAM_ROUNDS]
+ *   --window N        refit window blocks       [TDP_STREAM_WINDOW]
+ *   --seed V          admission/shed hash seed  [TDP_STREAM_SEED]
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.hh"
+#include "common/logging.hh"
+#include "measure/trace_io.hh"
+#include "resilience/retry.hh"
+#include "stream/service.hh"
+#include "stream/synthetic.hh"
+
+namespace {
+
+using namespace tdp;
+using namespace tdp::bench;
+using stream::Admission;
+using stream::DriftState;
+using stream::RailStatus;
+using stream::StreamConfig;
+using stream::StreamSample;
+using stream::StreamService;
+
+/** One workload: a deterministic load shape u(round, client). */
+struct Workload
+{
+    const char *name;
+    double base;
+    double amplitude;
+    int period;
+};
+
+/** The paper's 12-workload suite mapped onto load shapes. */
+const std::vector<Workload> suite = {
+    {"idle", 0.02, 0.02, 8},     {"gcc", 0.55, 0.35, 12},
+    {"mcf", 0.45, 0.40, 9},      {"vortex", 0.60, 0.25, 15},
+    {"dbt2", 0.35, 0.30, 7},     {"specjbb", 0.70, 0.25, 11},
+    {"art", 0.65, 0.30, 13},     {"lucas", 0.50, 0.45, 10},
+    {"mesa", 0.40, 0.35, 14},    {"mgrid", 0.55, 0.40, 8},
+    {"wupwise", 0.60, 0.30, 16}, {"diskload", 0.30, 0.25, 6}};
+
+const std::vector<std::string> allPhases = {
+    "steady", "overload", "stall", "poison", "drift"};
+
+struct SweepOptions
+{
+    int clients = 12;
+    int rounds = 32;
+    int windowBlocks = 4;
+    uint64_t seed = 0x5eedc4a7;
+    std::vector<std::string> phases = allPhases;
+};
+
+/** Load of one client at one round: triangular wave per workload. */
+double
+loadOf(const Workload &w, int round, int client)
+{
+    const int p = w.period;
+    const int phase = round % (2 * p);
+    const double tri =
+        phase < p ? static_cast<double>(phase) / p
+                  : static_cast<double>(2 * p - phase) / p;
+    double u = (w.base + w.amplitude * tri) *
+               (0.75 + 0.02 * (client % 8));
+    if (u < 0.0)
+        u = 0.0;
+    if (u > 1.0)
+        u = 1.0;
+    return u;
+}
+
+/** Everything a phase run must reproduce at any worker count. */
+struct PhaseResult
+{
+    uint64_t digest = 0;
+    uint64_t offered = 0;
+    uint64_t shed = 0;
+    uint64_t overflow = 0;
+    uint64_t accepted = 0;
+    uint64_t invalid = 0;
+    uint64_t quarantines = 0;
+    uint64_t evicted = 0;
+    uint64_t refits = 0;
+    uint64_t verifiedRefits = 0;
+    uint64_t driftEngaged = 0;
+    uint64_t driftRecovered = 0;
+    uint64_t p99Ticks = 0;
+};
+
+StreamConfig
+phaseConfig(const SweepOptions &opt, size_t workload,
+            const std::string &phase)
+{
+    StreamConfig cfg;
+    cfg.ingest.shards = 4;
+    cfg.ingest.ringCapacity = 256;
+    cfg.ingest.highWatermark = 224;
+    cfg.ingest.seed = opt.seed ^ (workload * 0x9e3779b9u);
+    cfg.session.counterWidthBits = 40;
+    cfg.session.idleTimeoutTicks = 64;
+    cfg.session.quarantineThreshold = 4;
+    cfg.session.wattsWindow = 8;
+    cfg.drift.window = 16;
+    cfg.drift.factor = 3.0;
+    cfg.drift.floorWatts = 0.5;
+    cfg.drift.healthyWindows = 2;
+    cfg.refitBlockRows = 8;
+    cfg.refitWindowBlocks =
+        static_cast<size_t>(opt.windowBlocks);
+    cfg.drainBudget = 64;
+    cfg.evictEveryTicks = 16;
+    cfg.verifyRefits = true;
+
+    if (phase == "overload") {
+        // Tight rings and a small drain budget: the burst traffic
+        // must ramp through shedding into hard overflow, and queued
+        // samples must age enough to move the p99 latency.
+        cfg.ingest.shards = 2;
+        cfg.ingest.ringCapacity = 16;
+        cfg.ingest.highWatermark = 8;
+        cfg.drainBudget = 4;
+    } else if (phase == "stall") {
+        cfg.session.idleTimeoutTicks = 6;
+        cfg.evictEveryTicks = 4;
+    }
+    return cfg;
+}
+
+/** Chaos-plan style deterministic per-(client, round) decision. */
+bool
+chaosHit(uint64_t seed, uint64_t client, uint64_t round,
+         double probability)
+{
+    return resilience::hashUnit(seed ^ 0xc4a05u, client, round) <
+           probability;
+}
+
+PhaseResult
+runPhase(const SweepOptions &opt, size_t workload,
+         const std::string &phase, int jobs)
+{
+    const Workload &w = suite[workload];
+    StreamConfig cfg = phaseConfig(opt, workload, phase);
+    StreamService service(cfg, stream::synthetic::trainedEstimator());
+    const ExperimentPool pool(jobs);
+    stream::synthetic::Fleet fleet(opt.clients, 40);
+
+    PhaseResult result;
+    const int half = opt.rounds / 2;
+    for (int round = 0; round < opt.rounds; ++round) {
+        for (int c = 0; c < opt.clients; ++c) {
+            const double u = loadOf(w, round, c);
+            if (phase == "stall" && c < opt.clients / 2 &&
+                round >= half / 2 && round < half + half / 2)
+                continue; // half the fleet goes silent mid-phase
+
+            const double shift =
+                phase == "drift" && round >= half ? 35.0 : 0.0;
+            StreamSample sample = fleet.next(c, u, shift);
+            if (phase == "poison" && round >= 2) {
+                // Full poison: every client misbehaves, with the
+                // fault class hashed per (client, round) so the run
+                // is reproducible at any worker count.
+                if (chaosHit(cfg.ingest.seed, sample.client, round,
+                             0.5)) {
+                    sample.raw.counts[0] = std::nan("");
+                } else if (chaosHit(cfg.ingest.seed ^ 1,
+                                    sample.client, round, 0.5)) {
+                    sample.seq = 1; // stale sequence number
+                } else {
+                    sample.time = 0.0; // stale timestamp
+                }
+            }
+            ++result.offered;
+            service.offer(sample);
+            if (phase == "overload") {
+                // Burst: four extra offers per client per round.
+                for (int burst = 0; burst < 4; ++burst) {
+                    ++result.offered;
+                    service.offer(fleet.next(c, u));
+                }
+            }
+        }
+        service.tick(pool);
+    }
+    // Drain the backlog the overload phase leaves in the rings.
+    for (int i = 0; i < 64; ++i)
+        service.tick(pool);
+
+    result.digest = service.digest();
+    result.shed = service.ingestStats().shed;
+    result.overflow = service.ingestStats().overflow;
+    const auto sessions = service.sessionStats();
+    result.accepted = sessions.accepted;
+    result.invalid = sessions.nonFinite + sessions.outOfRange +
+                     sessions.duplicateSeq + sessions.outOfOrderSeq +
+                     sessions.staleTime + sessions.zeroCycles;
+    result.quarantines = sessions.quarantines;
+    result.evicted = sessions.evicted;
+    for (int r = 0; r < numRails; ++r) {
+        const RailStatus status =
+            service.railStatus(static_cast<Rail>(r));
+        result.refits += status.refits;
+        result.verifiedRefits += status.verifiedRefits;
+        result.driftEngaged += status.drift.engaged;
+        result.driftRecovered += status.drift.recovered;
+    }
+    result.p99Ticks = service.slo().p99Ticks;
+
+    // The last workload's drift-phase service carries the stream.*
+    // manifest sections CI validates (drift engagement + recovery
+    // visible in stream.rails).
+    if (observabilityEnabled() && phase == "drift" &&
+        workload + 1 == suite.size() && jobs > 1)
+        service.addManifestSections(runManifest());
+    return result;
+}
+
+void
+assertSamePhase(const PhaseResult &serial, const PhaseResult &wide,
+                const char *workload, const std::string &phase,
+                int jobs)
+{
+    if (serial.digest != wide.digest)
+        fatal("stream_sweep: %s/%s digest diverged between --jobs 1 "
+              "(%016llx) and --jobs %d (%016llx)",
+              workload, phase.c_str(),
+              static_cast<unsigned long long>(serial.digest), jobs,
+              static_cast<unsigned long long>(wide.digest));
+    if (std::memcmp(&serial, &wide, sizeof serial) != 0)
+        fatal("stream_sweep: %s/%s counters diverged between worker "
+              "counts",
+              workload, phase.c_str());
+}
+
+/** Per-phase invariants: each phase must exercise what it claims. */
+void
+assertPhaseInteresting(const PhaseResult &r, const char *workload,
+                       const std::string &phase)
+{
+    if (r.accepted == 0)
+        fatal("stream_sweep: %s/%s accepted nothing", workload,
+              phase.c_str());
+    if (phase == "steady" &&
+        (r.refits == 0 || r.verifiedRefits == 0))
+        fatal("stream_sweep: %s/steady saw no verified refits",
+              workload);
+    if (phase == "overload" && (r.shed == 0 || r.overflow == 0))
+        fatal("stream_sweep: %s/overload shed %llu, overflowed %llu "
+              "- the overload phase proved nothing",
+              workload, static_cast<unsigned long long>(r.shed),
+              static_cast<unsigned long long>(r.overflow));
+    if (phase == "stall" && r.evicted == 0)
+        fatal("stream_sweep: %s/stall evicted nobody", workload);
+    if (phase == "poison" && r.quarantines == 0)
+        fatal("stream_sweep: %s/poison quarantined nobody", workload);
+    if (phase == "drift" &&
+        (r.driftEngaged == 0 || r.driftRecovered == 0))
+        fatal("stream_sweep: %s/drift engaged %llu, recovered %llu "
+              "- fallback/recovery not demonstrated",
+              workload,
+              static_cast<unsigned long long>(r.driftEngaged),
+              static_cast<unsigned long long>(r.driftRecovered));
+}
+
+SweepOptions
+parseOptions(const std::vector<std::string> &args)
+{
+    SweepOptions opt;
+    if (const char *env = std::getenv("TDP_STREAM_CLIENTS"))
+        opt.clients = std::atoi(env);
+    if (const char *env = std::getenv("TDP_STREAM_ROUNDS"))
+        opt.rounds = std::atoi(env);
+    if (const char *env = std::getenv("TDP_STREAM_WINDOW"))
+        opt.windowBlocks = std::atoi(env);
+    if (const char *env = std::getenv("TDP_STREAM_SEED"))
+        opt.seed = std::strtoull(env, nullptr, 0);
+
+    auto intValue = [&](const std::string &text, const char *flag) {
+        const int value = std::atoi(text.c_str());
+        if (value <= 0)
+            fatal("stream_sweep: %s needs a positive integer, got "
+                  "'%s'",
+                  flag, text.c_str());
+        return value;
+    };
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto value = [&](const char *name,
+                         const char *prefix) -> std::string {
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.substr(std::strlen(prefix));
+            if (i + 1 >= args.size())
+                fatal("stream_sweep: %s needs a value", name);
+            return args[++i];
+        };
+        if (arg == "--clients" || arg.rfind("--clients=", 0) == 0) {
+            opt.clients =
+                intValue(value("--clients", "--clients="),
+                         "--clients");
+        } else if (arg == "--rounds" ||
+                   arg.rfind("--rounds=", 0) == 0) {
+            opt.rounds = intValue(value("--rounds", "--rounds="),
+                                  "--rounds");
+        } else if (arg == "--window" ||
+                   arg.rfind("--window=", 0) == 0) {
+            opt.windowBlocks =
+                intValue(value("--window", "--window="), "--window");
+        } else if (arg == "--seed" || arg.rfind("--seed=", 0) == 0) {
+            opt.seed = std::strtoull(
+                value("--seed", "--seed=").c_str(), nullptr, 0);
+        } else if (arg == "--stream" ||
+                   arg.rfind("--stream=", 0) == 0) {
+            opt.phases.clear();
+            std::string list = value("--stream", "--stream=");
+            size_t start = 0;
+            while (start <= list.size()) {
+                const size_t comma = list.find(',', start);
+                const std::string phase = list.substr(
+                    start, comma == std::string::npos
+                               ? std::string::npos
+                               : comma - start);
+                if (!phase.empty()) {
+                    bool known = false;
+                    for (const std::string &p : allPhases)
+                        known = known || p == phase;
+                    if (!known)
+                        fatal("stream_sweep: unknown phase '%s'",
+                              phase.c_str());
+                    opt.phases.push_back(phase);
+                }
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            if (opt.phases.empty())
+                fatal("stream_sweep: --stream selected no phases");
+        } else {
+            fatal("stream_sweep: unknown argument '%s'",
+                  arg.c_str());
+        }
+    }
+    if (opt.clients < 2)
+        fatal("stream_sweep: need at least 2 clients");
+    if (opt.rounds < 8)
+        fatal("stream_sweep: need at least 8 rounds");
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+    const SweepOptions opt = parseOptions(positionalArgs(argc, argv));
+    const int wide = jobs() > 1 ? jobs() : 2;
+
+    std::printf("Stream sweep: hardened streaming estimation "
+                "service\n");
+    std::printf("suite: %zu workloads x %zu phases, %d clients, %d "
+                "rounds, window %d blocks\n\n",
+                suite.size(), opt.phases.size(), opt.clients,
+                opt.rounds, opt.windowBlocks);
+
+    const int reps = benchRepetitions();
+    std::vector<double> throughput, wallSeconds;
+    PhaseResult totals;
+    uint64_t digestChain = 0;
+
+    for (int rep = 0; rep < reps; ++rep) {
+        PhaseResult sum;
+        uint64_t chain = fnv1aBasis;
+        const auto start = std::chrono::steady_clock::now();
+        for (size_t wl = 0; wl < suite.size(); ++wl) {
+            for (const std::string &phase : opt.phases) {
+                if (rep == 0) {
+                    std::printf("  [%2zu/%zu] %-8s %-8s\n", wl + 1,
+                                suite.size(), suite[wl].name,
+                                phase.c_str());
+                    std::fflush(stdout);
+                }
+                const PhaseResult serial =
+                    runPhase(opt, wl, phase, 1);
+                const PhaseResult parallel =
+                    runPhase(opt, wl, phase, wide);
+                assertSamePhase(serial, parallel, suite[wl].name,
+                                phase, wide);
+                assertPhaseInteresting(serial, suite[wl].name,
+                                       phase);
+                chain = fnv1a64(&serial.digest,
+                                sizeof serial.digest, chain);
+                sum.offered += serial.offered;
+                sum.shed += serial.shed;
+                sum.overflow += serial.overflow;
+                sum.accepted += serial.accepted;
+                sum.invalid += serial.invalid;
+                sum.quarantines += serial.quarantines;
+                sum.evicted += serial.evicted;
+                sum.refits += serial.refits;
+                sum.verifiedRefits += serial.verifiedRefits;
+                sum.driftEngaged += serial.driftEngaged;
+                sum.driftRecovered += serial.driftRecovered;
+            }
+        }
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        // Each phase ran twice (serial + parallel reference).
+        throughput.push_back(
+            seconds > 0.0
+                ? static_cast<double>(2 * sum.offered) / seconds
+                : 0.0);
+        wallSeconds.push_back(seconds);
+        if (rep == 0) {
+            totals = sum;
+            digestChain = chain;
+        } else if (chain != digestChain) {
+            fatal("stream_sweep: repetition %d produced a different "
+                  "digest chain - the sweep is not deterministic",
+                  rep + 1);
+        }
+    }
+
+    std::printf("digest chain     %016llx (identical at --jobs 1 "
+                "and --jobs %d, %d repetition(s))\n",
+                static_cast<unsigned long long>(digestChain), wide,
+                reps);
+    std::printf("offered          %llu\n",
+                static_cast<unsigned long long>(totals.offered));
+    std::printf("accepted         %llu\n",
+                static_cast<unsigned long long>(totals.accepted));
+    std::printf("shed/overflow    %llu/%llu\n",
+                static_cast<unsigned long long>(totals.shed),
+                static_cast<unsigned long long>(totals.overflow));
+    std::printf("invalid          %llu\n",
+                static_cast<unsigned long long>(totals.invalid));
+    std::printf("quarantines      %llu\n",
+                static_cast<unsigned long long>(totals.quarantines));
+    std::printf("evicted          %llu\n",
+                static_cast<unsigned long long>(totals.evicted));
+    std::printf("refits           %llu (%llu verified bitwise)\n",
+                static_cast<unsigned long long>(totals.refits),
+                static_cast<unsigned long long>(
+                    totals.verifiedRefits));
+    std::printf("drift            %llu engaged, %llu recovered\n",
+                static_cast<unsigned long long>(totals.driftEngaged),
+                static_cast<unsigned long long>(
+                    totals.driftRecovered));
+
+    const auto exact = [](const char *name, double value,
+                          int reps_count) {
+        MetricSeries series;
+        series.name = name;
+        series.values.assign(static_cast<size_t>(reps_count), value);
+        series.unit = "count";
+        series.gate = true;
+        series.direction = "exact";
+        return series;
+    };
+    std::vector<MetricSeries> metrics;
+    metrics.push_back(exact("offered", double(totals.offered), reps));
+    metrics.push_back(
+        exact("accepted", double(totals.accepted), reps));
+    metrics.push_back(exact("shed", double(totals.shed), reps));
+    metrics.push_back(
+        exact("overflow", double(totals.overflow), reps));
+    metrics.push_back(
+        exact("quarantines", double(totals.quarantines), reps));
+    metrics.push_back(exact("evicted", double(totals.evicted), reps));
+    metrics.push_back(exact("refits", double(totals.refits), reps));
+    metrics.push_back(exact("drift_engaged",
+                            double(totals.driftEngaged), reps));
+    metrics.push_back(exact("drift_recovered",
+                            double(totals.driftRecovered), reps));
+
+    MetricSeries tput;
+    tput.name = "ingest_samples_per_s";
+    tput.values = throughput;
+    tput.unit = "samples/s";
+    tput.gate = false;
+    tput.direction = "higher";
+    metrics.push_back(tput);
+    MetricSeries wall;
+    wall.name = "sweep_seconds";
+    wall.values = wallSeconds;
+    wall.unit = "s";
+    wall.gate = false;
+    wall.direction = "lower";
+    metrics.push_back(wall);
+    const std::string path = writeBenchSeries("bm_stream", metrics);
+    std::printf("\nwrote %s\n", path.c_str());
+    std::printf("stream sweep: all checks passed\n");
+    return 0;
+}

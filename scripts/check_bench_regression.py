@@ -65,10 +65,21 @@ def check_bench(base_doc, cur_doc, k_sigma, rel_tol, verbose):
         checked += 1
         cur = cur_metrics.get(name)
         if cur is None:
-            failures.append(f"{name}: missing from current run")
+            failures.append(
+                f"{name}: gated in the baseline but missing from "
+                f"the current run - if the metric was renamed or "
+                f"removed, refresh the committed baseline in the "
+                f"same commit")
             continue
-        base_mean = float(base["mean"])
-        cur_mean = float(cur["mean"])
+        try:
+            base_mean = float(base["mean"])
+            cur_mean = float(cur["mean"])
+        except (KeyError, TypeError, ValueError) as err:
+            failures.append(
+                f"{name}: malformed metric (missing or non-numeric "
+                f"'mean': {err!r}) - regenerate the JSON with the "
+                f"current bench binary")
+            continue
         direction = base.get("direction", "lower")
         if direction == "exact":
             if math.isnan(cur_mean) or \
@@ -103,6 +114,154 @@ def check_bench(base_doc, cur_doc, k_sigma, rel_tol, verbose):
     return checked, failures
 
 
+def run_gate(baseline_dir, current_dir, k_sigma, rel_tol, verbose):
+    baselines = sorted(
+        glob.glob(os.path.join(baseline_dir, "BENCH_*.json")))
+    if not baselines:
+        raise SystemExit(
+            f"error: no BENCH_*.json baselines in {baseline_dir}")
+
+    total_checked = 0
+    total_failures = 0
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        current_path = os.path.join(current_dir, name)
+        print(f"== {name}")
+        if not os.path.exists(current_path):
+            print(f"    FAIL baseline {name} has no counterpart in "
+                  f"the current run ({current_path} not found).\n"
+                  f"         If the bench still exists, its CI run "
+                  f"step is missing or failed upstream; if the "
+                  f"bench was removed, delete the committed "
+                  f"baseline {name} in the same commit.")
+            total_failures += 1
+            continue
+        base_doc = load(baseline_path)
+        cur_doc = load(current_path)
+        if machine_line(base_doc) != machine_line(cur_doc):
+            print(f"    note machine changed:")
+            print(f"         baseline: {machine_line(base_doc)}")
+            print(f"         current:  {machine_line(cur_doc)}")
+        checked, failures = check_bench(
+            base_doc, cur_doc, k_sigma, rel_tol, verbose)
+        total_checked += checked
+        total_failures += len(failures)
+        for failure in failures:
+            print(f"    FAIL {failure}")
+        if not failures:
+            print(f"    {checked} gated metric(s) ok")
+
+    # The reverse direction: a fresh result with no committed
+    # baseline means a new bench joined the suite but nothing will
+    # ever gate it - fail with the recipe instead of silently
+    # passing forever.
+    known = {os.path.basename(p) for p in baselines}
+    for current_path in sorted(
+            glob.glob(os.path.join(current_dir, "BENCH_*.json"))):
+        name = os.path.basename(current_path)
+        if name in known:
+            continue
+        print(f"== {name}")
+        print(f"    FAIL current run produced {name} but no "
+              f"baseline is committed.\n"
+              f"         Commit a baseline: run the bench with "
+              f"--repetitions 5 on a quiet machine and commit the "
+              f"resulting {name} at the repo root (next to the "
+              f"other BENCH_*.json files).")
+        total_failures += 1
+
+    print(f"== {total_checked} gated metric(s) checked, "
+          f"{total_failures} regression(s)")
+    return 1 if total_failures else 0
+
+
+def self_test():
+    """Exercise the gate end-to-end against synthetic dirs.
+
+    Covers the failure modes CI relies on: a clean pass, an exact
+    metric drifting, a baseline whose current result is missing, a
+    new current result with no baseline, and a malformed metric -
+    each must fail with a message, never a traceback.
+    """
+    import contextlib
+    import io
+    import tempfile
+
+    def doc(mean=5.0, name="ops", gate=True, drop_mean=False):
+        metric = {"name": name, "unit": "count", "gate": gate,
+                  "direction": "exact", "mean": mean, "stddev": 0.0,
+                  "min": mean, "max": mean, "values": [mean]}
+        if drop_mean:
+            del metric["mean"]
+        return {"bench": "self", "format_version": 2,
+                "machine": {"cpu": "x", "cores": 1, "compiler": "y",
+                            "git_sha": "z"},
+                "repetitions": 1, "metrics": [metric]}
+
+    def write(directory, filename, payload):
+        with open(os.path.join(directory, filename), "w",
+                  encoding="utf-8") as fh:
+            json.dump(payload, fh)
+
+    def gate(base_dir, cur_dir):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            status = run_gate(base_dir, cur_dir, 3.0, 0.30, False)
+        return status, out.getvalue()
+
+    failures = []
+
+    def expect(label, status, want_status, text, *want_text):
+        if status != want_status:
+            failures.append(
+                f"{label}: exit {status}, want {want_status}")
+        for fragment in want_text:
+            if fragment not in text:
+                failures.append(
+                    f"{label}: output lacks {fragment!r}")
+
+    with tempfile.TemporaryDirectory() as root:
+        base = os.path.join(root, "base")
+        cur = os.path.join(root, "cur")
+        os.mkdir(base)
+        os.mkdir(cur)
+
+        write(base, "BENCH_a.json", doc())
+        write(cur, "BENCH_a.json", doc())
+        status, text = gate(base, cur)
+        expect("clean pass", status, 0, text, "1 gated metric(s) ok")
+
+        write(cur, "BENCH_a.json", doc(mean=6.0))
+        status, text = gate(base, cur)
+        expect("exact drift", status, 1, text, "expected exactly 5")
+
+        write(cur, "BENCH_a.json", doc())
+        write(base, "BENCH_gone.json", doc(name="x"))
+        status, text = gate(base, cur)
+        expect("missing current", status, 1, text,
+               "no counterpart in the current run",
+               "delete the committed baseline")
+        os.remove(os.path.join(base, "BENCH_gone.json"))
+
+        write(cur, "BENCH_new.json", doc(name="fresh"))
+        status, text = gate(base, cur)
+        expect("missing baseline", status, 1, text,
+               "no baseline is committed", "Commit a baseline")
+        os.remove(os.path.join(cur, "BENCH_new.json"))
+
+        write(base, "BENCH_a.json", doc(drop_mean=True))
+        status, text = gate(base, cur)
+        expect("malformed metric", status, 1, text,
+               "malformed metric")
+
+    if failures:
+        for failure in failures:
+            print(f"self-test FAIL: {failure}")
+        return 1
+    print("self-test ok: 5 scenario(s)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Gate current bench JSON against the committed "
@@ -110,7 +269,7 @@ def main():
     parser.add_argument("--baseline-dir", default=".",
                         help="directory with committed BENCH_*.json "
                              "(default: repo root)")
-    parser.add_argument("--current-dir", required=True,
+    parser.add_argument("--current-dir",
                         help="directory with freshly produced "
                              "BENCH_*.json")
     parser.add_argument("--k-sigma", type=float, default=3.0,
@@ -121,44 +280,17 @@ def main():
                              "cross-machine variation (default 0.30)")
     parser.add_argument("--verbose", action="store_true",
                         help="print passing metrics too")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in scenario suite and "
+                             "exit")
     args = parser.parse_args()
 
-    baselines = sorted(
-        glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
-    if not baselines:
-        raise SystemExit(
-            f"error: no BENCH_*.json baselines in "
-            f"{args.baseline_dir}")
-
-    total_checked = 0
-    total_failures = 0
-    for baseline_path in baselines:
-        name = os.path.basename(baseline_path)
-        current_path = os.path.join(args.current_dir, name)
-        print(f"== {name}")
-        if not os.path.exists(current_path):
-            print(f"    FAIL missing current result {current_path}")
-            total_failures += 1
-            continue
-        base_doc = load(baseline_path)
-        cur_doc = load(current_path)
-        if machine_line(base_doc) != machine_line(cur_doc):
-            print(f"    note machine changed:")
-            print(f"         baseline: {machine_line(base_doc)}")
-            print(f"         current:  {machine_line(cur_doc)}")
-        checked, failures = check_bench(
-            base_doc, cur_doc, args.k_sigma, args.rel_tol,
-            args.verbose)
-        total_checked += checked
-        total_failures += len(failures)
-        for failure in failures:
-            print(f"    FAIL {failure}")
-        if not failures:
-            print(f"    {checked} gated metric(s) ok")
-
-    print(f"== {total_checked} gated metric(s) checked, "
-          f"{total_failures} regression(s)")
-    return 1 if total_failures else 0
+    if args.self_test:
+        return self_test()
+    if not args.current_dir:
+        parser.error("--current-dir is required (or --self-test)")
+    return run_gate(args.baseline_dir, args.current_dir,
+                    args.k_sigma, args.rel_tol, args.verbose)
 
 
 if __name__ == "__main__":

@@ -52,6 +52,53 @@ def check_stats(stats):
                f"histogram {name}: bucket sum != count")
 
 
+STREAM_INGEST_KEYS = (
+    "offered", "admitted", "shed", "overflow", "high_water",
+    "quarantined_at_door", "ticks", "drained")
+STREAM_SESSION_KEYS = (
+    "created", "accepted", "baselines", "wraps", "non_finite",
+    "out_of_range", "duplicate_seq", "out_of_order_seq", "stale_time",
+    "zero_cycles", "rejected_quarantined", "quarantines", "evicted",
+    "active", "quarantined_now")
+STREAM_SLO_KEYS = ("samples", "p50_ticks", "p99_ticks", "max_ticks")
+STREAM_RAILS = ("cpu", "chipset", "memory", "io", "disk")
+STREAM_RAIL_COUNTER_KEYS = (
+    "refits", "full_qr_refits", "verified_refits",
+    "degraded_publishes", "unestimable", "drift_engaged",
+    "drift_recovered", "drift_relapses", "rls_rows")
+STREAM_DRIFT_STATES = ("healthy", "degraded", "probation")
+
+
+def check_stream_sections(sections):
+    """Schema of the StreamService manifest sections (PR 7)."""
+    for name, keys in (("stream.ingest", STREAM_INGEST_KEYS),
+                       ("stream.session", STREAM_SESSION_KEYS),
+                       ("stream.slo", STREAM_SLO_KEYS)):
+        expect(name in sections, f"section {name} missing "
+               f"(did the sweep run a drift phase with observability "
+               f"on?)")
+        for key in keys:
+            expect(key in sections[name],
+                   f"section {name}.{key} missing")
+            check_number(sections[name][key], f"section {name}.{key}")
+
+    expect("stream.rails" in sections, "section stream.rails missing")
+    rails = sections["stream.rails"]
+    for rail in STREAM_RAILS:
+        state = rails.get(f"{rail}.state")
+        expect(isinstance(state, str)
+               and state.lower() in STREAM_DRIFT_STATES,
+               f"stream.rails.{rail}.state must be one of "
+               f"{STREAM_DRIFT_STATES}, got {state!r}")
+        for key in STREAM_RAIL_COUNTER_KEYS:
+            full = f"{rail}.{key}"
+            expect(full in rails, f"stream.rails.{full} missing")
+            check_number(rails[full], f"stream.rails.{full}")
+        for key in ("baseline_rmse", "last_refit_rmse"):
+            check_number(rails.get(f"{rail}.{key}"),
+                         f"stream.rails.{rail}.{key}")
+
+
 def check_manifest(doc, expect_runs):
     expect(isinstance(doc, dict), "document must be a JSON object")
     expect(doc.get("schema") == "tdp-run-manifest",
@@ -119,6 +166,10 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("manifest")
     parser.add_argument("--expect-runs", type=int, default=None)
+    parser.add_argument("--require-stream", action="store_true",
+                        help="additionally require the stream.* "
+                             "sections written by the streaming "
+                             "estimation service")
     args = parser.parse_args()
 
     try:
@@ -128,6 +179,8 @@ def main():
         fail(f"cannot load {args.manifest}: {err}")
 
     check_manifest(doc, args.expect_runs)
+    if args.require_stream:
+        check_stream_sections(doc.get("sections", {}))
     print(f"validate_manifest: {args.manifest} OK "
           f"({len(doc['runs'])} runs, {len(doc['metrics'])} metrics, "
           f"{len(doc['stats']['counters'])} counters)")

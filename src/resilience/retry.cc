@@ -57,13 +57,14 @@ RetryPolicy::delayFor(int attempt, uint64_t taskKey) const
     if (attempt < 1)
         fatal("RetryPolicy::delayFor: attempt must be >= 1, got %d",
               attempt);
+    const int step = std::min(attempt, attemptSaturation);
     Seconds delay = baseDelay;
-    for (int i = 1; i < attempt && delay < maxDelay; ++i)
+    for (int i = 1; i < step && delay < maxDelay; ++i)
         delay *= 2.0;
     delay = std::min(delay, maxDelay);
     if (jitterFrac > 0.0) {
         const double unit =
-            hashUnit(seed, taskKey, static_cast<uint64_t>(attempt));
+            hashUnit(seed, taskKey, static_cast<uint64_t>(step));
         delay *= 1.0 + jitterFrac * (2.0 * unit - 1.0);
     }
     return delay;

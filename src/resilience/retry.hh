@@ -76,6 +76,17 @@ struct RetryPolicy
     uint64_t seed = 0;
 
     /**
+     * Attempt count beyond which delayFor saturates: attempt 64 and
+     * every attempt after it share one delay (and one jitter draw).
+     * By 64 doublings any representable baseDelay has pinned at any
+     * representable maxDelay, so the clamp changes nothing for
+     * attempt <= 64 - it only stops an unbounded ceiling from
+     * overflowing the backoff to infinity and keeps long-lived
+     * retry loops from drawing fresh jitter without bound.
+     */
+    static constexpr int attemptSaturation = 64;
+
+    /**
      * Backoff before retry number `attempt` (the attempt that just
      * failed: 1 for the first). Deterministic in (seed, taskKey,
      * attempt). fatal() if the policy is malformed.

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Implementation of the windowed residual drift detector.
+ */
+
+#include "stream/drift.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tdp {
+namespace stream {
+
+const char *
+driftStateName(DriftState state)
+{
+    switch (state) {
+      case DriftState::Healthy:
+        return "healthy";
+      case DriftState::Degraded:
+        return "degraded";
+      case DriftState::Probation:
+        return "probation";
+      default:
+        return "unknown";
+    }
+}
+
+DriftGuard::DriftGuard(const DriftConfig &config)
+    : cfg_(config)
+{
+    if (cfg_.window == 0)
+        fatal("DriftGuard: window must be >= 1");
+    if (cfg_.factor < 1.0)
+        fatal("DriftGuard: factor must be >= 1, got %g", cfg_.factor);
+    if (cfg_.floorWatts < 0.0 || !std::isfinite(cfg_.floorWatts))
+        fatal("DriftGuard: floorWatts must be finite and >= 0");
+    if (cfg_.healthyWindows == 0)
+        fatal("DriftGuard: healthyWindows must be >= 1");
+}
+
+void
+DriftGuard::onRefit(double rmse)
+{
+    if (!std::isfinite(rmse) || rmse < 0.0)
+        return;
+    baseline_ = rmse;
+    hasBaseline_ = true;
+}
+
+DriftGuard::Event
+DriftGuard::observe(double residual)
+{
+    Event event;
+    sumSq_ += residual * residual;
+    ++count_;
+    if (count_ < cfg_.window)
+        return event;
+
+    const double rmse =
+        std::sqrt(sumSq_ / static_cast<double>(cfg_.window));
+    sumSq_ = 0.0;
+    count_ = 0;
+    event.evaluated = true;
+    event.windowRmse = rmse;
+
+    // Without a baseline there is nothing to compare against; the
+    // window is informational only.
+    if (!hasBaseline_)
+        return event;
+    ++stats_.windows;
+
+    if (rmse > threshold()) {
+        if (state_ == DriftState::Healthy) {
+            state_ = DriftState::Degraded;
+            ++stats_.engaged;
+            event.engaged = true;
+        } else if (state_ == DriftState::Probation) {
+            state_ = DriftState::Degraded;
+            ++stats_.relapses;
+            event.relapsed = true;
+        }
+        healthyStreak_ = 0;
+        return event;
+    }
+
+    if (state_ == DriftState::Degraded) {
+        state_ = DriftState::Probation;
+        healthyStreak_ = 1;
+    } else if (state_ == DriftState::Probation) {
+        ++healthyStreak_;
+    }
+    if (state_ == DriftState::Probation &&
+        healthyStreak_ >= cfg_.healthyWindows) {
+        state_ = DriftState::Healthy;
+        healthyStreak_ = 0;
+        ++stats_.recovered;
+        event.recovered = true;
+    }
+    return event;
+}
+
+} // namespace stream
+} // namespace tdp

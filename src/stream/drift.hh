@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Online drift detection per rail model.
+ *
+ * The guard watches the stream of *primary-model* residuals (estimate
+ * minus measured watts, where measured watts exist) in fixed-size
+ * windows and compares each window's RMSE against the goodness the
+ * model itself reported at its last (re)fit. A window grossly worse
+ * than training-time goodness means the workload has drifted away
+ * from the data the model was fitted on; the rail is then *degraded*
+ * and the service publishes from the PR 2 fallback chain instead.
+ *
+ * Recovery is deliberately sticky: a degraded rail must produce
+ * `healthyWindows` consecutive healthy windows (the first moves it to
+ * probation) before it is re-promoted, so a model oscillating around
+ * the threshold does not flap between rungs. Residuals are always
+ * observed on the primary model - even while degraded - otherwise the
+ * guard could never notice that the primary became trustworthy again.
+ */
+
+#ifndef TDP_STREAM_DRIFT_HH
+#define TDP_STREAM_DRIFT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tdp {
+namespace stream {
+
+/** Health of one rail's primary model. */
+enum class DriftState : uint8_t
+{
+    Healthy,  ///< primary model publishes
+    Degraded, ///< fallback rung publishes; primary under watch
+    Probation ///< healthy again, awaiting the re-promotion streak
+};
+
+/** Display name of a drift state. */
+const char *driftStateName(DriftState state);
+
+/** Detector tuning. */
+struct DriftConfig
+{
+    /** Residuals per evaluation window. */
+    size_t window = 32;
+
+    /** Alarm when window RMSE > factor * baseline + floorWatts. */
+    double factor = 3.0;
+
+    /** Absolute slack (W) so tiny baselines don't hair-trigger. */
+    double floorWatts = 1.0;
+
+    /** Consecutive healthy windows required to re-promote. */
+    uint32_t healthyWindows = 2;
+};
+
+/** Deterministic drift accounting. */
+struct DriftStats
+{
+    /** Windows evaluated (baseline known). */
+    uint64_t windows = 0;
+
+    /** Healthy -> Degraded transitions. */
+    uint64_t engaged = 0;
+
+    /** Probation -> Healthy re-promotions. */
+    uint64_t recovered = 0;
+
+    /** Probation -> Degraded relapses. */
+    uint64_t relapses = 0;
+};
+
+/** Windowed residual drift detector for one rail. */
+class DriftGuard
+{
+  public:
+    /** What one observation did. */
+    struct Event
+    {
+        /** True when this residual completed a window. */
+        bool evaluated = false;
+
+        /** Transition flags for the completed window. @{ */
+        bool engaged = false;
+        bool recovered = false;
+        bool relapsed = false;
+        /** @} */
+
+        /** RMSE of the completed window (when evaluated). */
+        double windowRmse = 0.0;
+    };
+
+    /** fatal() on a malformed config. */
+    explicit DriftGuard(const DriftConfig &config);
+
+    /**
+     * Training-time goodness changed: adopt @p rmse as the new
+     * baseline. Ignored when non-finite or negative.
+     */
+    void onRefit(double rmse);
+
+    /** Observe one primary-model residual (W). */
+    Event observe(double residual);
+
+    DriftState state() const { return state_; }
+    bool hasBaseline() const { return hasBaseline_; }
+    double baselineRmse() const { return baseline_; }
+
+    /** Current alarm threshold (W); meaningful with a baseline. */
+    double
+    threshold() const
+    {
+        return cfg_.factor * baseline_ + cfg_.floorWatts;
+    }
+
+    const DriftConfig &config() const { return cfg_; }
+    const DriftStats &stats() const { return stats_; }
+
+  private:
+    DriftConfig cfg_;
+    DriftStats stats_;
+    DriftState state_ = DriftState::Healthy;
+    double baseline_ = 0.0;
+    bool hasBaseline_ = false;
+    double sumSq_ = 0.0;
+    size_t count_ = 0;
+    uint32_t healthyStreak_ = 0;
+};
+
+} // namespace stream
+} // namespace tdp
+
+#endif // TDP_STREAM_DRIFT_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fixed-capacity ring queue of stream samples.
+ *
+ * The per-shard ingest queues extend the PR 1 event-queue discipline:
+ * storage is allocated once at construction and samples are stored by
+ * value, so the admission hot path never touches the allocator. A
+ * full ring refuses the push - backpressure is the caller's decision
+ * (shed or overflow), never an implicit eviction, so an overload run
+ * stays deterministic.
+ */
+
+#ifndef TDP_STREAM_RING_HH
+#define TDP_STREAM_RING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+#include "stream/sample.hh"
+
+namespace tdp {
+namespace stream {
+
+/** Bounded FIFO of StreamSample, allocation-free after construction. */
+class SampleRing
+{
+  public:
+    /** @param capacity fixed slot count (>= 1). */
+    explicit SampleRing(size_t capacity) : slots_(capacity)
+    {
+        if (capacity == 0)
+            fatal("SampleRing: capacity must be >= 1");
+    }
+
+    /** Samples currently queued. */
+    size_t size() const { return count_; }
+
+    /** Fixed slot count. */
+    size_t capacity() const { return slots_.size(); }
+
+    /** True when nothing is queued. */
+    bool empty() const { return count_ == 0; }
+
+    /** True when a push would be refused. */
+    bool full() const { return count_ == slots_.size(); }
+
+    /** Enqueue one sample; false (untouched ring) when full. */
+    bool
+    push(const StreamSample &sample)
+    {
+        if (full())
+            return false;
+        slots_[(head_ + count_) % slots_.size()] = sample;
+        ++count_;
+        return true;
+    }
+
+    /** Dequeue the oldest sample into @p out; false when empty. */
+    bool
+    pop(StreamSample &out)
+    {
+        if (empty())
+            return false;
+        out = slots_[head_];
+        head_ = (head_ + 1) % slots_.size();
+        --count_;
+        return true;
+    }
+
+  private:
+    std::vector<StreamSample> slots_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace stream
+} // namespace tdp
+
+#endif // TDP_STREAM_RING_HH

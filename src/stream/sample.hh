@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The wire sample of the streaming estimation service.
+ *
+ * A client periodically ships the *raw cumulative* PMU counter values
+ * of its node (wrapping at the configured counter width, exactly like
+ * a real perfctr read), the OS-attributed interrupt deltas, and -
+ * when the node has sense hardware - the measured rail powers of the
+ * same window. The service recovers counter deltas per client via
+ * wrappedCounterDelta and derives the paper's event rates from them;
+ * measured watts, when finite, feed the drift-guarded incremental
+ * refits.
+ *
+ * The struct is fixed-size and trivially copyable on purpose: the
+ * per-shard ingest rings store samples by value, so admission never
+ * allocates.
+ */
+
+#ifndef TDP_STREAM_SAMPLE_HH
+#define TDP_STREAM_SAMPLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/perf_counters.hh"
+#include "measure/rail.hh"
+
+namespace tdp {
+namespace stream {
+
+/** One client sample offered to the ingest path. */
+struct StreamSample
+{
+    /** Stable client identity (sharding + session key). */
+    uint64_t client = 0;
+
+    /** Per-client monotonically increasing sequence number (>= 1). */
+    uint64_t seq = 0;
+
+    /** Client clock at the window end (s). */
+    double time = 0.0;
+
+    /** Sampling window length (s). */
+    double interval = 1.0;
+
+    /**
+     * Raw cumulative counters summed across the client's CPUs,
+     * wrapping at the session's configured counter width. The session
+     * layer turns consecutive reads into deltas.
+     */
+    CounterSnapshot raw;
+
+    /** Interrupt *delta* of the disk HBA vector over the window. */
+    double osDiskInterrupts = 0.0;
+
+    /** Interrupt *delta* of all device vectors over the window. */
+    double osDeviceInterrupts = 0.0;
+
+    /**
+     * Measured rail powers over the window (W). NaN entries mean "no
+     * sense hardware on this rail"; such samples are estimated but do
+     * not feed the refit windows.
+     */
+    std::array<double, numRails> measuredWatts{};
+
+    /** CPUs the raw counters were summed over (>= 1). */
+    int cpus = 1;
+
+    /** Service tick at admission; stamped by the ingest layer. */
+    uint64_t enqueueTick = 0;
+};
+
+} // namespace stream
+} // namespace tdp
+
+#endif // TDP_STREAM_SAMPLE_HH

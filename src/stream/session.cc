@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Implementation of the per-client session table.
+ */
+
+#include "stream/session.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tdp {
+namespace stream {
+
+const char *
+verdictName(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::Accepted:
+        return "accepted";
+      case Verdict::Baseline:
+        return "baseline";
+      case Verdict::NonFinite:
+        return "non-finite";
+      case Verdict::OutOfRange:
+        return "out-of-range";
+      case Verdict::DuplicateSeq:
+        return "duplicate-seq";
+      case Verdict::OutOfOrderSeq:
+        return "out-of-order-seq";
+      case Verdict::StaleTime:
+        return "stale-time";
+      case Verdict::ZeroCycles:
+        return "zero-cycles";
+      case Verdict::Quarantined:
+        return "quarantined";
+      default:
+        return "unknown";
+    }
+}
+
+bool
+verdictIsInvalid(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::NonFinite:
+      case Verdict::OutOfRange:
+      case Verdict::DuplicateSeq:
+      case Verdict::OutOfOrderSeq:
+      case Verdict::StaleTime:
+      case Verdict::ZeroCycles:
+        return true;
+      default:
+        return false;
+    }
+}
+
+SessionTable::SessionTable(const SessionConfig &config)
+    : config_(config)
+{
+    if (config_.counterWidthBits < 1 || config_.counterWidthBits > 52)
+        fatal("SessionTable: counterWidthBits must be in [1, 52], "
+              "got %d",
+              config_.counterWidthBits);
+    if (config_.idleTimeoutTicks == 0)
+        fatal("SessionTable: idleTimeoutTicks must be >= 1");
+    if (config_.quarantineThreshold == 0)
+        fatal("SessionTable: quarantineThreshold must be >= 1");
+    if (config_.wattsWindow == 0)
+        fatal("SessionTable: wattsWindow must be >= 1");
+}
+
+uint32_t
+SessionTable::rowOf(uint64_t client, uint64_t tick)
+{
+    auto it = index_.find(client);
+    if (it != index_.end())
+        return it->second;
+    const uint32_t row = static_cast<uint32_t>(clients_.size());
+    clients_.push_back(client);
+    lastSeq_.push_back(0);
+    lastTime_.push_back(0.0);
+    lastSeen_.push_back(tick);
+    quarantined_.push_back(0);
+    hasBaseline_.push_back(0);
+    invalidCount_.push_back(0);
+    lastRaw_.resize(lastRaw_.size() + numPerfEvents, 0.0);
+    watts_.resize(watts_.size() + config_.wattsWindow, 0.0);
+    wattsCount_.push_back(0);
+    index_.emplace(client, row);
+    ++stats_.created;
+    return row;
+}
+
+void
+SessionTable::recordInvalid(uint32_t row, Admit &admit)
+{
+    ++invalidCount_[row];
+    if (!quarantined_[row] &&
+        invalidCount_[row] >= config_.quarantineThreshold) {
+        quarantined_[row] = 1;
+        ++quarantinedNow_;
+        ++stats_.quarantines;
+        admit.newlyQuarantined = true;
+    }
+}
+
+SessionTable::Admit
+SessionTable::admit(uint64_t tick, const StreamSample &sample)
+{
+    Admit admit;
+    const uint32_t row = rowOf(sample.client, tick);
+
+    // Any contact (even a reject) proves the client alive: eviction
+    // is about silence, not behaviour.
+    lastSeen_[row] = tick;
+
+    if (quarantined_[row]) {
+        ++stats_.rejectedQuarantined;
+        admit.verdict = Verdict::Quarantined;
+        return admit;
+    }
+
+    // Sequence discipline first: replays and reordering are protocol
+    // violations regardless of payload quality.
+    if (hasBaseline_[row]) {
+        if (sample.seq == lastSeq_[row]) {
+            ++stats_.duplicateSeq;
+            admit.verdict = Verdict::DuplicateSeq;
+            recordInvalid(row, admit);
+            return admit;
+        }
+        if (sample.seq < lastSeq_[row]) {
+            ++stats_.outOfOrderSeq;
+            admit.verdict = Verdict::OutOfOrderSeq;
+            recordInvalid(row, admit);
+            return admit;
+        }
+    }
+
+    // Payload validation. Raw counters must be finite and inside
+    // [0, 2^width) *before* wrappedCounterDelta sees them - it
+    // (correctly) fatals on garbage, and a remote client must never
+    // be able to crash the service.
+    const double span = counterSpan(config_.counterWidthBits);
+    bool finite = std::isfinite(sample.time) &&
+                  std::isfinite(sample.interval) &&
+                  std::isfinite(sample.osDiskInterrupts) &&
+                  std::isfinite(sample.osDeviceInterrupts);
+    bool inRange = sample.interval > 0.0 && sample.cpus >= 1 &&
+                   sample.osDiskInterrupts >= 0.0 &&
+                   sample.osDeviceInterrupts >= 0.0;
+    for (int e = 0; e < numPerfEvents; ++e) {
+        const double raw = sample.raw.counts[static_cast<size_t>(e)];
+        if (!std::isfinite(raw))
+            finite = false;
+        else if (raw < 0.0 || raw >= span)
+            inRange = false;
+    }
+    if (!finite) {
+        ++stats_.nonFinite;
+        admit.verdict = Verdict::NonFinite;
+        recordInvalid(row, admit);
+        return admit;
+    }
+    if (!inRange) {
+        ++stats_.outOfRange;
+        admit.verdict = Verdict::OutOfRange;
+        recordInvalid(row, admit);
+        return admit;
+    }
+
+    if (hasBaseline_[row] && sample.time <= lastTime_[row]) {
+        ++stats_.staleTime;
+        admit.verdict = Verdict::StaleTime;
+        recordInvalid(row, admit);
+        return admit;
+    }
+
+    double *raw_column =
+        &lastRaw_[static_cast<size_t>(row) * numPerfEvents];
+
+    if (!hasBaseline_[row]) {
+        // First valid contact primes the wrap recovery; nothing to
+        // estimate yet.
+        for (int e = 0; e < numPerfEvents; ++e)
+            raw_column[e] = sample.raw.counts[static_cast<size_t>(e)];
+        hasBaseline_[row] = 1;
+        lastSeq_[row] = sample.seq;
+        lastTime_[row] = sample.time;
+        ++stats_.baselines;
+        admit.verdict = Verdict::Baseline;
+        return admit;
+    }
+
+    // Recover deltas, counting wraps. A wrapped read is *valid* - it
+    // is what real width-limited PMU counters do.
+    uint32_t wraps = 0;
+    CounterSnapshot deltas;
+    for (int e = 0; e < numPerfEvents; ++e) {
+        const double cur = sample.raw.counts[static_cast<size_t>(e)];
+        if (cur < raw_column[e])
+            ++wraps;
+        deltas.counts[static_cast<size_t>(e)] = wrappedCounterDelta(
+            raw_column[e], cur, config_.counterWidthBits);
+    }
+    if (deltas[PerfEvent::Cycles] <= 0.0) {
+        // No cycle progress: the rate derivation would divide by
+        // zero. Advance the session (the raw read itself is sound) but
+        // refuse the sample.
+        for (int e = 0; e < numPerfEvents; ++e)
+            raw_column[e] = sample.raw.counts[static_cast<size_t>(e)];
+        lastSeq_[row] = sample.seq;
+        lastTime_[row] = sample.time;
+        ++stats_.zeroCycles;
+        admit.verdict = Verdict::ZeroCycles;
+        recordInvalid(row, admit);
+        return admit;
+    }
+
+    for (int e = 0; e < numPerfEvents; ++e)
+        raw_column[e] = sample.raw.counts[static_cast<size_t>(e)];
+    lastSeq_[row] = sample.seq;
+    lastTime_[row] = sample.time;
+    ++stats_.accepted;
+    stats_.wraps += wraps;
+    admit.verdict = Verdict::Accepted;
+    admit.deltas = deltas;
+    admit.wraps = wraps;
+    return admit;
+}
+
+bool
+SessionTable::isQuarantined(uint64_t client) const
+{
+    auto it = index_.find(client);
+    return it != index_.end() && quarantined_[it->second] != 0;
+}
+
+void
+SessionTable::recordWatts(uint64_t client, double watts)
+{
+    auto it = index_.find(client);
+    if (it == index_.end())
+        return;
+    const uint32_t row = it->second;
+    const size_t base = static_cast<size_t>(row) * config_.wattsWindow;
+    watts_[base + wattsCount_[row] % config_.wattsWindow] = watts;
+    ++wattsCount_[row];
+}
+
+double
+SessionTable::windowMeanWatts(uint64_t client) const
+{
+    auto it = index_.find(client);
+    if (it == index_.end())
+        return std::nan("");
+    const uint32_t row = it->second;
+    const size_t filled = std::min<size_t>(
+        wattsCount_[row], config_.wattsWindow);
+    if (filled == 0)
+        return std::nan("");
+    const size_t base = static_cast<size_t>(row) * config_.wattsWindow;
+    double sum = 0.0;
+    for (size_t i = 0; i < filled; ++i)
+        sum += watts_[base + i];
+    return sum / static_cast<double>(filled);
+}
+
+void
+SessionTable::removeRow(uint32_t row)
+{
+    const uint32_t last = static_cast<uint32_t>(clients_.size() - 1);
+    if (quarantined_[row])
+        --quarantinedNow_;
+    index_.erase(clients_[row]);
+    if (row != last) {
+        clients_[row] = clients_[last];
+        lastSeq_[row] = lastSeq_[last];
+        lastTime_[row] = lastTime_[last];
+        lastSeen_[row] = lastSeen_[last];
+        quarantined_[row] = quarantined_[last];
+        hasBaseline_[row] = hasBaseline_[last];
+        invalidCount_[row] = invalidCount_[last];
+        for (int e = 0; e < numPerfEvents; ++e) {
+            lastRaw_[static_cast<size_t>(row) * numPerfEvents + e] =
+                lastRaw_[static_cast<size_t>(last) * numPerfEvents + e];
+        }
+        for (size_t i = 0; i < config_.wattsWindow; ++i) {
+            watts_[static_cast<size_t>(row) * config_.wattsWindow + i] =
+                watts_[static_cast<size_t>(last) * config_.wattsWindow +
+                       i];
+        }
+        wattsCount_[row] = wattsCount_[last];
+        index_[clients_[row]] = row;
+    }
+    clients_.pop_back();
+    lastSeq_.pop_back();
+    lastTime_.pop_back();
+    lastSeen_.pop_back();
+    quarantined_.pop_back();
+    hasBaseline_.pop_back();
+    invalidCount_.pop_back();
+    lastRaw_.resize(lastRaw_.size() - numPerfEvents);
+    watts_.resize(watts_.size() - config_.wattsWindow);
+    wattsCount_.pop_back();
+}
+
+size_t
+SessionTable::evictIdle(uint64_t now)
+{
+    size_t evicted = 0;
+    uint32_t row = 0;
+    while (row < clients_.size()) {
+        const uint64_t idle = now - lastSeen_[row];
+        if (idle >= config_.idleTimeoutTicks) {
+            removeRow(row);
+            ++evicted;
+            // The swapped-in row is re-examined at the same index.
+        } else {
+            ++row;
+        }
+    }
+    stats_.evicted += evicted;
+    return evicted;
+}
+
+} // namespace stream
+} // namespace tdp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Synthetic client fleet for streaming tests and the stream sweep:
+ * clients with exactly model-shaped ground-truth rail powers whose
+ * raw cumulative counters wrap at a configurable width, like real
+ * perfctr reads. The same generator builds the training trace, so a
+ * trained estimator tracks the streamed samples almost exactly -
+ * which is what makes drift injection, shedding and quarantine
+ * behaviour observable against a near-zero residual floor.
+ */
+
+#ifndef TDP_STREAM_SYNTHETIC_HH
+#define TDP_STREAM_SYNTHETIC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/estimator.hh"
+#include "measure/trace.hh"
+#include "stream/sample.hh"
+
+namespace tdp {
+namespace stream {
+namespace synthetic {
+
+/**
+ * One sample at load @p u in [0, 1], with per-rail measured watts
+ * that are exactly representable by the paper's model forms. @p i
+ * varies the secondary activity (uops, interrupts, DMA) so refit
+ * windows are full-rank.
+ */
+AlignedSample syntheticSample(double u, int i, int cpus = 4);
+
+/** Training trace sweeping the full load range. */
+SampleTrace trainingTrace(int samples = 64);
+
+/** A fully trained degradable model set for this fleet's physics. */
+SystemPowerEstimator trainedEstimator();
+
+/**
+ * A fleet of clients shipping raw *cumulative* counters that wrap at
+ * the given width. Cumulative sums stay far below 2^53, so the wrap
+ * arithmetic is exact and runs reproduce bitwise.
+ */
+class Fleet
+{
+  public:
+    Fleet(int clients, int width_bits, uint64_t base_client = 100);
+
+    /**
+     * Next sample of client @p c at load @p u. @p cpu_shift_watts
+     * offsets the *measured* CPU watts (injected drift: the physics
+     * changed but the counters did not).
+     */
+    StreamSample next(int c, double u, double cpu_shift_watts = 0.0);
+
+    /** Client id of fleet slot @p c. */
+    uint64_t clientId(int c) const
+    {
+        return baseClient_ + static_cast<uint64_t>(c);
+    }
+
+  private:
+    struct Client
+    {
+        uint64_t seq = 0;
+        double time = 0.0;
+        std::array<double, numPerfEvents> cumulative{};
+    };
+
+    int widthBits_;
+    uint64_t baseClient_;
+    std::vector<Client> clients_;
+};
+
+} // namespace synthetic
+} // namespace stream
+} // namespace tdp
+
+#endif // TDP_STREAM_SYNTHETIC_HH

@@ -225,6 +225,65 @@ TEST_F(AlignerFaults, TrailingWindowWaitsForItsReading)
     EXPECT_DOUBLE_EQ(trace_[1].time, 2.0);
 }
 
+TEST_F(AlignerFaults, ResyncsAfterLeadingOrphanReadingBurst)
+{
+    // The DAQ came up late: the counter collector had already queued
+    // readings at t=1..3 before the first pulse window ever closed.
+    // The whole leading burst must be discarded as orphans and the
+    // stream must then align one-to-one - not wedge, not mispair an
+    // early reading with a later window.
+    for (Seconds t : {4.0, 5.0, 6.0})
+        addPulse(t);
+    for (Seconds t : {1.0, 2.0, 3.0, 5.0, 6.0})
+        addReading(t);
+    fillBlocks(4.0, 6.0, 40.0f);
+
+    aligner_.drainInto(readings_, trace_);
+
+    EXPECT_EQ(aligner_.orphanReadings(), 3u);
+    EXPECT_EQ(aligner_.alignedCount(), 2u);
+    ASSERT_EQ(trace_.size(), 2u);
+    EXPECT_DOUBLE_EQ(trace_[0].time, 5.0);
+    EXPECT_DOUBLE_EQ(trace_[1].time, 6.0);
+    EXPECT_DOUBLE_EQ(trace_[0].measuredWatts[0], 40.0);
+
+    // Once resynced, the next drain is clean: no new orphans.
+    addPulse(7.0);
+    addReading(7.0);
+    fillBlocks(6.0, 7.0, 30.0f);
+    aligner_.drainInto(readings_, trace_);
+    EXPECT_EQ(aligner_.orphanReadings(), 3u);
+    EXPECT_EQ(aligner_.alignedCount(), 3u);
+    ASSERT_EQ(trace_.size(), 3u);
+    EXPECT_DOUBLE_EQ(trace_[2].measuredWatts[0], 30.0);
+}
+
+TEST_F(AlignerFaults, ResyncsAfterLeadingOrphanWindowBurst)
+{
+    // The mirror fault: pulses and power flowed from t=0 but the
+    // counter collector only started at t=4. Every window before the
+    // first reading is an orphan window; alignment then locks on.
+    for (Seconds t : {0.0, 1.0, 2.0, 3.0, 4.0, 5.0})
+        addPulse(t);
+    addReading(4.0);
+    addReading(5.0);
+    fillBlocks(0.0, 3.0, 20.0f);
+    fillBlocks(3.0, 5.0, 40.0f);
+
+    aligner_.drainInto(readings_, trace_);
+
+    EXPECT_EQ(aligner_.orphanWindows(), 3u);
+    EXPECT_EQ(aligner_.orphanReadings(), 0u);
+    EXPECT_EQ(aligner_.alignedCount(), 2u);
+    ASSERT_EQ(trace_.size(), 2u);
+    EXPECT_DOUBLE_EQ(trace_[0].time, 4.0);
+    EXPECT_DOUBLE_EQ(trace_[1].time, 5.0);
+    // The orphan windows consumed their own power blocks: the
+    // aligned samples only average the spans they cover.
+    EXPECT_DOUBLE_EQ(trace_[0].measuredWatts[0], 40.0);
+    EXPECT_DOUBLE_EQ(trace_[1].measuredWatts[0], 40.0);
+}
+
 TEST_F(AlignerFaults, AccountingAccumulatesAcrossDrains)
 {
     // First drain: one dropped reading.

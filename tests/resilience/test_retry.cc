@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <climits>
+#include <cmath>
+#include <limits>
+
 #include "common/logging.hh"
 #include "resilience/retry.hh"
 
@@ -74,6 +78,34 @@ TEST(RetryPolicyTest, DifferentKeysDecorrelate)
         if (policy.delayFor(1, key) != first)
             ++distinct;
     EXPECT_GT(distinct, 40);
+}
+
+TEST(RetryPolicyTest, AttemptCountSaturatesAtSixtyFour)
+{
+    RetryPolicy policy = plainPolicy();
+    policy.jitterFrac = 0.5;
+
+    // From the saturation point on, every attempt shares one delay:
+    // the doubling loop and the jitter draw both see attempt 64, so
+    // a retry loop that never gives up cannot keep shifting its
+    // backoff (or overflow an unbounded ceiling to infinity).
+    const Seconds at64 =
+        policy.delayFor(RetryPolicy::attemptSaturation, 42);
+    EXPECT_DOUBLE_EQ(policy.delayFor(65, 42), at64);
+    EXPECT_DOUBLE_EQ(policy.delayFor(100000, 42), at64);
+    EXPECT_DOUBLE_EQ(policy.delayFor(INT_MAX, 42), at64);
+
+    // Below the clamp the jitter stream is untouched: distinct
+    // attempts still draw distinct jitter.
+    EXPECT_NE(policy.delayFor(63, 42), at64);
+
+    // An unbounded ceiling stays finite even at absurd attempts.
+    policy.maxDelay = std::numeric_limits<double>::max();
+    const Seconds unbounded = policy.delayFor(INT_MAX, 42);
+    EXPECT_TRUE(std::isfinite(unbounded));
+    EXPECT_DOUBLE_EQ(
+        unbounded,
+        policy.delayFor(RetryPolicy::attemptSaturation, 42));
 }
 
 TEST(RetryPolicyTest, MalformedPolicyIsFatal)

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Test alias for the shared synthetic streaming fleet
+ * (src/stream/synthetic.hh) - the bench sweep uses the same
+ * generator, so tests and bench exercise identical physics.
+ */
+
+#ifndef TDP_TESTS_STREAM_STREAM_FLEET_HH
+#define TDP_TESTS_STREAM_STREAM_FLEET_HH
+
+#include "stream/synthetic.hh"
+
+namespace tdp {
+namespace stream {
+namespace testutil {
+
+constexpr size_t
+idx(Rail r)
+{
+    return static_cast<size_t>(r);
+}
+
+using synthetic::Fleet;
+using synthetic::syntheticSample;
+using synthetic::trainedEstimator;
+using synthetic::trainingTrace;
+
+} // namespace testutil
+} // namespace stream
+} // namespace tdp
+
+#endif // TDP_TESTS_STREAM_STREAM_FLEET_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the windowed residual drift detector state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "stream/drift.hh"
+
+namespace tdp {
+namespace stream {
+namespace {
+
+DriftConfig
+config()
+{
+    DriftConfig cfg;
+    cfg.window = 4;
+    cfg.factor = 3.0;
+    cfg.floorWatts = 0.5;
+    cfg.healthyWindows = 2;
+    return cfg;
+}
+
+/** Feed one whole window of constant residuals. */
+DriftGuard::Event
+feedWindow(DriftGuard &guard, double residual)
+{
+    DriftGuard::Event last;
+    for (size_t i = 0; i < guard.config().window; ++i)
+        last = guard.observe(residual);
+    return last;
+}
+
+TEST(DriftGuard, NoEvaluationWithoutBaseline)
+{
+    DriftGuard guard(config());
+    const auto event = feedWindow(guard, 100.0);
+    EXPECT_TRUE(event.evaluated);
+    EXPECT_FALSE(event.engaged);
+    EXPECT_EQ(guard.state(), DriftState::Healthy);
+    EXPECT_EQ(guard.stats().windows, 0u);
+}
+
+TEST(DriftGuard, EngagesWhenResidualsExplode)
+{
+    DriftGuard guard(config());
+    guard.onRefit(1.0); // threshold = 3 * 1 + 0.5 = 3.5 W
+
+    EXPECT_FALSE(feedWindow(guard, 2.0).engaged);
+    EXPECT_EQ(guard.state(), DriftState::Healthy);
+
+    const auto event = feedWindow(guard, 10.0);
+    EXPECT_TRUE(event.evaluated);
+    EXPECT_TRUE(event.engaged);
+    EXPECT_DOUBLE_EQ(event.windowRmse, 10.0);
+    EXPECT_EQ(guard.state(), DriftState::Degraded);
+    EXPECT_EQ(guard.stats().engaged, 1u);
+}
+
+TEST(DriftGuard, RecoveryNeedsTheFullHealthyStreak)
+{
+    DriftGuard guard(config()); // healthyWindows = 2
+    guard.onRefit(1.0);
+    feedWindow(guard, 10.0);
+    ASSERT_EQ(guard.state(), DriftState::Degraded);
+
+    // First healthy window: probation, not yet recovered.
+    auto event = feedWindow(guard, 0.5);
+    EXPECT_FALSE(event.recovered);
+    EXPECT_EQ(guard.state(), DriftState::Probation);
+
+    // Second consecutive healthy window: re-promoted.
+    event = feedWindow(guard, 0.5);
+    EXPECT_TRUE(event.recovered);
+    EXPECT_EQ(guard.state(), DriftState::Healthy);
+    EXPECT_EQ(guard.stats().recovered, 1u);
+}
+
+TEST(DriftGuard, RelapseFromProbation)
+{
+    DriftGuard guard(config());
+    guard.onRefit(1.0);
+    feedWindow(guard, 10.0);
+    feedWindow(guard, 0.5);
+    ASSERT_EQ(guard.state(), DriftState::Probation);
+
+    const auto event = feedWindow(guard, 10.0);
+    EXPECT_TRUE(event.relapsed);
+    EXPECT_EQ(guard.state(), DriftState::Degraded);
+    EXPECT_EQ(guard.stats().relapses, 1u);
+
+    // The streak starts over: one healthy window is probation again.
+    feedWindow(guard, 0.5);
+    EXPECT_EQ(guard.state(), DriftState::Probation);
+}
+
+TEST(DriftGuard, RefitUpdatesTheBaseline)
+{
+    DriftGuard guard(config());
+    guard.onRefit(1.0);
+    EXPECT_DOUBLE_EQ(guard.threshold(), 3.5);
+
+    // The model adapted: its training rmse grew, so the same window
+    // rmse that engaged before is now within tolerance.
+    guard.onRefit(5.0);
+    EXPECT_DOUBLE_EQ(guard.threshold(), 15.5);
+    EXPECT_FALSE(feedWindow(guard, 10.0).engaged);
+    EXPECT_EQ(guard.state(), DriftState::Healthy);
+
+    // Non-finite or negative refit goodness is ignored.
+    guard.onRefit(-1.0);
+    EXPECT_DOUBLE_EQ(guard.baselineRmse(), 5.0);
+}
+
+TEST(DriftGuard, MalformedConfigIsFatal)
+{
+    DriftConfig bad = config();
+    bad.window = 0;
+    EXPECT_THROW(DriftGuard guard(bad), FatalError);
+
+    DriftConfig factor = config();
+    factor.factor = 0.5;
+    EXPECT_THROW(DriftGuard guard(factor), FatalError);
+}
+
+} // namespace
+} // namespace stream
+} // namespace tdp

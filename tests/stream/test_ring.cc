@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the fixed-capacity sample ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stream/ring.hh"
+
+namespace tdp {
+namespace stream {
+namespace {
+
+StreamSample
+sampleWithSeq(uint64_t seq)
+{
+    StreamSample s;
+    s.client = 7;
+    s.seq = seq;
+    return s;
+}
+
+TEST(SampleRing, StartsEmpty)
+{
+    SampleRing ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.full());
+
+    StreamSample out;
+    EXPECT_FALSE(ring.pop(out));
+}
+
+TEST(SampleRing, FifoOrder)
+{
+    SampleRing ring(4);
+    for (uint64_t i = 1; i <= 3; ++i)
+        EXPECT_TRUE(ring.push(sampleWithSeq(i)));
+    StreamSample out;
+    for (uint64_t i = 1; i <= 3; ++i) {
+        ASSERT_TRUE(ring.pop(out));
+        EXPECT_EQ(out.seq, i);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SampleRing, RefusesWhenFull)
+{
+    SampleRing ring(2);
+    EXPECT_TRUE(ring.push(sampleWithSeq(1)));
+    EXPECT_TRUE(ring.push(sampleWithSeq(2)));
+    EXPECT_TRUE(ring.full());
+    EXPECT_FALSE(ring.push(sampleWithSeq(3)));
+    EXPECT_EQ(ring.size(), 2u);
+
+    // Earlier entries survive the refused push untouched.
+    StreamSample out;
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out.seq, 1u);
+}
+
+TEST(SampleRing, WrapsAroundStorage)
+{
+    SampleRing ring(3);
+    StreamSample out;
+    // Interleave pushes and pops so head walks past the end.
+    for (uint64_t i = 1; i <= 20; ++i) {
+        EXPECT_TRUE(ring.push(sampleWithSeq(i)));
+        ASSERT_TRUE(ring.pop(out));
+        EXPECT_EQ(out.seq, i);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SampleRing, ZeroCapacityIsFatal)
+{
+    EXPECT_THROW(SampleRing ring(0), FatalError);
+}
+
+} // namespace
+} // namespace stream
+} // namespace tdp

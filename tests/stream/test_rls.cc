@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the blockwise windowed incremental fit: agreement with
+ * the QR reference, the bitwise from-scratch contract, window
+ * sliding, and the numerical-health guard ladder.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "stats/regression.hh"
+#include "stream/rls.hh"
+
+namespace tdp {
+namespace stream {
+namespace {
+
+bool
+bitEqual(double a, double b)
+{
+    uint64_t ab, bb;
+    std::memcpy(&ab, &a, sizeof ab);
+    std::memcpy(&bb, &b, sizeof bb);
+    return ab == bb;
+}
+
+RlsConfig
+config(size_t inputs, size_t block_rows = 8, size_t window_blocks = 4)
+{
+    RlsConfig cfg;
+    cfg.inputs = inputs;
+    cfg.blockRows = block_rows;
+    cfg.windowBlocks = window_blocks;
+    return cfg;
+}
+
+/** Deterministic two-input row i of a known linear relationship. */
+void
+makeRow(size_t i, double *row, double *y, double intercept = 2.0,
+        double c0 = 3.0, double c1 = -1.5)
+{
+    row[0] = 0.1 * static_cast<double>(i) +
+             0.3 * static_cast<double>(i % 5);
+    row[1] = 1.0 + 0.07 * static_cast<double>(i % 11);
+    // Small deterministic "noise" so the fit is not exact.
+    const double noise =
+        0.01 * (static_cast<double>((i * 7) % 13) - 6.0);
+    *y = intercept + c0 * row[0] + c1 * row[1] + noise;
+}
+
+TEST(WindowedRls, MatchesQrReferenceOnFullWindow)
+{
+    WindowedRls rls(config(2));
+    std::vector<std::vector<double>> columns(2);
+    std::vector<double> ys;
+    for (size_t i = 0; i < 32; ++i) { // exactly 4 sealed blocks
+        double row[2], y;
+        makeRow(i, row, &y);
+        rls.add(row, y);
+        columns[0].push_back(row[0]);
+        columns[1].push_back(row[1]);
+        ys.push_back(y);
+    }
+    ASSERT_TRUE(rls.windowFull());
+
+    const auto refit = rls.refit();
+    ASSERT_TRUE(refit.ok);
+    EXPECT_FALSE(refit.usedFullQr);
+
+    const FitResult qr = fitOls(columns, ys);
+    EXPECT_NEAR(refit.fit.intercept, qr.intercept, 1e-8);
+    ASSERT_EQ(refit.fit.coefficients.size(), 2u);
+    EXPECT_NEAR(refit.fit.coefficients[0], qr.coefficients[0], 1e-8);
+    EXPECT_NEAR(refit.fit.coefficients[1], qr.coefficients[1], 1e-8);
+    EXPECT_NEAR(refit.fit.rmse, qr.rmse, 1e-8);
+    EXPECT_EQ(refit.fit.sampleCount, 32u);
+    EXPECT_EQ(rls.stats().refits, 1u);
+    EXPECT_EQ(rls.stats().fullQrRefits, 0u);
+}
+
+TEST(WindowedRls, IncrementalRefitIsBitwiseFromScratch)
+{
+    WindowedRls rls(config(2, 8, 4));
+    // Push well past the window so several blocks have been dropped:
+    // the cached partials then cover a different lifetime than the
+    // stored rows, which is exactly what the contract must survive.
+    for (size_t i = 0; i < 97; ++i) {
+        double row[2], y;
+        makeRow(i, row, &y);
+        rls.add(row, y);
+    }
+    const auto refit = rls.refit();
+    ASSERT_TRUE(refit.ok);
+    ASSERT_FALSE(refit.usedFullQr);
+
+    const FitResult scratch = rls.refitFromScratch();
+    EXPECT_TRUE(bitEqual(refit.fit.intercept, scratch.intercept));
+    ASSERT_EQ(refit.fit.coefficients.size(),
+              scratch.coefficients.size());
+    for (size_t c = 0; c < scratch.coefficients.size(); ++c) {
+        EXPECT_TRUE(bitEqual(refit.fit.coefficients[c],
+                             scratch.coefficients[c]))
+            << "coefficient " << c;
+    }
+    EXPECT_TRUE(bitEqual(refit.fit.rmse, scratch.rmse));
+    EXPECT_TRUE(bitEqual(refit.fit.r2, scratch.r2));
+    EXPECT_EQ(refit.fit.sampleCount, scratch.sampleCount);
+}
+
+TEST(WindowedRls, WindowSlidesToTheRecentRegime)
+{
+    WindowedRls rls(config(1, 4, 3)); // window = 12 rows
+    // Old regime: y = 1 + x.
+    for (size_t i = 0; i < 12; ++i) {
+        const double x = static_cast<double>(i % 7);
+        const double y = 1.0 + x;
+        rls.add(&x, y);
+    }
+    auto first = rls.refit();
+    ASSERT_TRUE(first.ok);
+    EXPECT_NEAR(first.fit.coefficients[0], 1.0, 1e-9);
+
+    // New regime: y = 10 + 5x. After a full window of new rows the
+    // old blocks are gone and the fit must see only the new law.
+    for (size_t i = 0; i < 12; ++i) {
+        const double x = static_cast<double>(i % 7);
+        const double y = 10.0 + 5.0 * x;
+        rls.add(&x, y);
+    }
+    auto second = rls.refit();
+    ASSERT_TRUE(second.ok);
+    EXPECT_NEAR(second.fit.intercept, 10.0, 1e-9);
+    EXPECT_NEAR(second.fit.coefficients[0], 5.0, 1e-9);
+    EXPECT_NEAR(second.fit.rmse, 0.0, 1e-9);
+}
+
+TEST(WindowedRls, InterceptOnlyFitIsTheWindowMean)
+{
+    WindowedRls rls(config(0, 4, 2)); // window = 8 rows
+    for (size_t i = 0; i < 8; ++i) {
+        const double y = 10.0 + static_cast<double>(i);
+        rls.add(nullptr, y);
+    }
+    const auto refit = rls.refit();
+    ASSERT_TRUE(refit.ok);
+    EXPECT_DOUBLE_EQ(refit.fit.intercept, 13.5);
+    EXPECT_TRUE(refit.fit.coefficients.empty());
+}
+
+TEST(WindowedRls, InsufficientRowsIsGuarded)
+{
+    WindowedRls rls(config(2, 8, 4));
+    double row[2] = {1.0, 2.0};
+    rls.add(row, 3.0); // open block only, nothing sealed
+    const auto refit = rls.refit();
+    EXPECT_FALSE(refit.ok);
+    EXPECT_STREQ(refit.guard, "insufficient-rows");
+    EXPECT_EQ(rls.stats().guardInsufficient, 1u);
+}
+
+TEST(WindowedRls, CollinearInputsTripTheSingularGuard)
+{
+    WindowedRls rls(config(2, 8, 2));
+    for (size_t i = 0; i < 16; ++i) {
+        const double x = 0.5 * static_cast<double>(i);
+        double row[2] = {x, x}; // perfectly collinear
+        rls.add(row, 1.0 + 2.0 * x);
+    }
+    const auto refit = rls.refit();
+    // The moments solve must refuse; the QR reference is equally
+    // rank-deficient, so the refit reports failure instead of
+    // publishing garbage - the caller keeps its previous model.
+    EXPECT_FALSE(refit.ok);
+    EXPECT_EQ(rls.stats().guardSingular, 1u);
+    EXPECT_EQ(rls.stats().refits, 0u);
+}
+
+TEST(WindowedRls, NonFiniteResponseTripsTheGuard)
+{
+    WindowedRls rls(config(1, 4, 2));
+    for (size_t i = 0; i < 8; ++i) {
+        const double x = static_cast<double>(i);
+        const double y = i == 3 ? std::nan("") : x;
+        rls.add(&x, y);
+    }
+    const auto refit = rls.refit();
+    EXPECT_FALSE(refit.ok);
+    EXPECT_EQ(rls.stats().guardNonFinite, 1u);
+}
+
+TEST(WindowedRls, AccountsBlocksAndRows)
+{
+    WindowedRls rls(config(1, 4, 2));
+    double x = 1.0;
+    for (size_t i = 0; i < 11; ++i)
+        rls.add(&x, 2.0);
+    EXPECT_EQ(rls.stats().rowsAdded, 11u);
+    EXPECT_EQ(rls.stats().blocksSealed, 2u);
+    EXPECT_EQ(rls.windowRows(), 8u);
+    EXPECT_TRUE(rls.windowFull());
+}
+
+TEST(WindowedRls, MalformedConfigIsFatal)
+{
+    RlsConfig bad;
+    bad.blockRows = 0;
+    EXPECT_THROW(WindowedRls rls(bad), FatalError);
+}
+
+} // namespace
+} // namespace stream
+} // namespace tdp
