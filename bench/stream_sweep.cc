@@ -35,10 +35,20 @@
  *
  * Flags (after the shared bench flags, see bench_util.hh):
  *   --stream PHASES   comma list of phases to run (default: all)
- *   --clients N       fleet size per workload   [TDP_STREAM_CLIENTS]
+ *   --clients N       fleet size per workload, 2..4096
+ *                                               [TDP_STREAM_CLIENTS]
  *   --rounds N        rounds per phase          [TDP_STREAM_ROUNDS]
  *   --window N        refit window blocks       [TDP_STREAM_WINDOW]
  *   --seed V          admission/shed hash seed  [TDP_STREAM_SEED]
+ *
+ * --clients is capped at 4096: the sweep is a correctness harness
+ * that replays every phase twice (serial + parallel reference), so
+ * fleet-scale runs belong in bench/stream_scale. --clients also
+ * interacts with --window: refit blocks seal every refitBlockRows
+ * *accepted* samples, so a small fleet fills a wide window slowly
+ * and early refits run on a partial window (fewer sealed blocks than
+ * --window) - more clients per round means more sealed blocks and
+ * tighter refit cadence at the same --window.
  */
 
 #include <chrono>
@@ -87,6 +97,13 @@ const std::vector<Workload> suite = {
 
 const std::vector<std::string> allPhases = {
     "steady", "overload", "stall", "poison", "drift"};
+
+/**
+ * Correctness-sweep fleet ceiling: each phase runs twice per
+ * workload, so the sweep scales as 2 x 12 x 5 x clients x rounds.
+ * Fleet-scale throughput runs belong in bench/stream_scale.
+ */
+constexpr int maxSweepClients = 4096;
 
 struct SweepOptions
 {
@@ -388,6 +405,16 @@ parseOptions(const std::vector<std::string> &args)
     }
     if (opt.clients < 2)
         fatal("stream_sweep: need at least 2 clients");
+    if (opt.clients > maxSweepClients)
+        fatal("stream_sweep: --clients %d exceeds the %d ceiling. "
+              "This sweep replays every workload/phase pair twice "
+              "(serial + parallel reference) with refit "
+              "verification on, so large fleets multiply into hours "
+              "- for fleet-scale ingest measurements use "
+              "bench/stream_scale, which drives millions of "
+              "clients through the same service once per "
+              "repetition",
+              opt.clients, maxSweepClients);
     if (opt.rounds < 8)
         fatal("stream_sweep: need at least 8 rounds");
     return opt;

@@ -16,8 +16,14 @@ mean|). The stddev term absorbs run-to-run noise measured at baseline
 time; the relative floor absorbs cross-machine variation (CI runners
 are not the machines baselines were recorded on).
 
-Exit status: 0 when every gated metric passes, 1 on any regression,
-2 on usage/format errors.
+The gate never stops at the first problem: every bench file and
+every gated metric is checked and reported in one run, so a single
+CI pass shows the complete damage (an unreadable or wrong-format
+file counts as that bench's failure and the remaining benches are
+still checked).
+
+Exit status: 0 when every gated metric passes, 1 on any regression
+or unreadable file, 2 on usage errors.
 """
 
 import argparse
@@ -31,16 +37,20 @@ EXACT_EPS = 1e-9
 
 
 def load(path):
+    """Returns (doc, None), or (None, reason) on a bad file.
+
+    Load problems are per-bench failures, not process aborts: one
+    corrupt file must not hide regressions in the benches after it.
+    """
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, ValueError) as err:
-        raise SystemExit(f"error: cannot read {path}: {err}")
+        return None, f"cannot read {path}: {err}"
     if doc.get("format_version") != 2:
-        raise SystemExit(
-            f"error: {path}: unsupported format_version "
-            f"{doc.get('format_version')!r} (want 2)")
-    return doc
+        return None, (f"{path}: unsupported format_version "
+                      f"{doc.get('format_version')!r} (want 2)")
+    return doc, None
 
 
 def metric_map(doc):
@@ -136,8 +146,14 @@ def run_gate(baseline_dir, current_dir, k_sigma, rel_tol, verbose):
                   f"baseline {name} in the same commit.")
             total_failures += 1
             continue
-        base_doc = load(baseline_path)
-        cur_doc = load(current_path)
+        base_doc, base_err = load(baseline_path)
+        cur_doc, cur_err = load(current_path)
+        if base_err or cur_err:
+            print(f"    FAIL {base_err or cur_err} - regenerate "
+                  f"the file; the remaining benches were still "
+                  f"checked")
+            total_failures += 1
+            continue
         if machine_line(base_doc) != machine_line(cur_doc):
             print(f"    note machine changed:")
             print(f"         baseline: {machine_line(base_doc)}")
@@ -254,11 +270,37 @@ def self_test():
         expect("malformed metric", status, 1, text,
                "malformed metric")
 
+        # Everything in one run: a corrupt baseline file plus two
+        # independently drifted metrics in another bench must all
+        # appear in a single report - the gate never stops at the
+        # first failure.
+        write(base, "BENCH_a.json", doc())
+        with open(os.path.join(base, "BENCH_broken.json"), "w",
+                  encoding="utf-8") as fh:
+            fh.write("{not json")
+        write(cur, "BENCH_broken.json", doc())
+
+        def two_metrics(first_mean, second_mean):
+            payload = doc(mean=first_mean)
+            second = dict(payload["metrics"][0])
+            second.update(name="ops2", mean=second_mean,
+                          min=second_mean, max=second_mean,
+                          values=[second_mean])
+            payload["metrics"].append(second)
+            return payload
+
+        write(base, "BENCH_multi.json", two_metrics(5.0, 7.0))
+        write(cur, "BENCH_multi.json", two_metrics(6.0, 8.0))
+        status, text = gate(base, cur)
+        expect("all failures in one run", status, 1, text,
+               "cannot read", "expected exactly 5",
+               "expected exactly 7", "3 regression(s)")
+
     if failures:
         for failure in failures:
             print(f"self-test FAIL: {failure}")
         return 1
-    print("self-test ok: 5 scenario(s)")
+    print("self-test ok: 6 scenario(s)")
     return 0
 
 

@@ -13,6 +13,15 @@ EventVector
 EventVector::fromSample(const AlignedSample &sample)
 {
     EventVector ev;
+    fromSampleInto(sample, ev);
+    return ev;
+}
+
+void
+EventVector::fromSampleInto(const AlignedSample &sample,
+                            EventVector &out)
+{
+    EventVector &ev = out;
     ev.interval = sample.interval;
     const size_t n = sample.perCpu.size();
     if (n == 0)
@@ -50,7 +59,6 @@ EventVector::fromSample(const AlignedSample &sample)
         rates.deviceInterruptsPerCycle =
             sample.osDeviceInterrupts / static_cast<double>(n) / cycles;
     }
-    return ev;
 }
 
 double

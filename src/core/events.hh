@@ -68,6 +68,15 @@ struct EventVector
     /** Build from an aligned sample. */
     static EventVector fromSample(const AlignedSample &sample);
 
+    /**
+     * Fill @p out from @p sample, reusing out's storage: once
+     * out.cpu has capacity for the sample's CPU count this performs
+     * no heap allocation (the streaming drain path's steady-state
+     * contract). Results are bit-identical to fromSample().
+     */
+    static void fromSampleInto(const AlignedSample &sample,
+                               EventVector &out);
+
     /** Sum of one rate across CPUs (member pointer selector). */
     double total(double CpuEventRates::*field) const;
 

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Per-level implementations of the lane classification kernels.
+ *
+ * Every kernel reduces to comparisons folded into a bit mask, so the
+ * only correctness subtlety is NaN ordering: all range/less-than
+ * compares are *ordered* (NaN clears the bit) to match the scalar
+ * verdict code, and non-finiteness uses the (x - x) != 0 trick where
+ * the != is deliberately unordered (NaN sets the bit).
+ */
+
+#include "simd/lane_check.hh"
+
+#include "common/logging.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define TDP_SIMD_X86 1
+#else
+#define TDP_SIMD_X86 0
+#endif
+
+namespace tdp {
+namespace lanes {
+
+namespace {
+
+void
+checkMaskWidth(size_t n)
+{
+    if (n > 64)
+        fatal("lane_check: mask kernels take at most 64 inputs, "
+              "got %zu",
+              n);
+}
+
+uint64_t
+nonFiniteMaskScalar(const double *x, size_t n)
+{
+    uint64_t mask = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const double d = x[i] - x[i];
+        // NaN != 0.0 is true (unordered), finite - finite == +0.0.
+        if (d != 0.0)
+            mask |= uint64_t(1) << i;
+    }
+    return mask;
+}
+
+uint64_t
+outOfRangeMaskScalar(const double *x, double lo, double hi, size_t n)
+{
+    uint64_t mask = 0;
+    for (size_t i = 0; i < n; ++i) {
+        // Ordered compares: NaN < lo and NaN >= hi are both false.
+        if (x[i] < lo || x[i] >= hi)
+            mask |= uint64_t(1) << i;
+    }
+    return mask;
+}
+
+uint64_t
+lessThanMaskScalar(const double *a, const double *b, size_t n)
+{
+    uint64_t mask = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (a[i] < b[i])
+            mask |= uint64_t(1) << i;
+    }
+    return mask;
+}
+
+#if TDP_SIMD_X86
+
+uint64_t
+nonFiniteMaskSse2(const double *x, size_t n)
+{
+    uint64_t mask = 0;
+    size_t i = 0;
+    const __m128d zero = _mm_setzero_pd();
+    for (; i + 2 <= n; i += 2) {
+        const __m128d v = _mm_loadu_pd(x + i);
+        const __m128d d = _mm_sub_pd(v, v);
+        // cmpneq is unordered-or-unequal: NaN - NaN = NaN sets it,
+        // Inf - Inf = NaN sets it, finite - finite = +0.0 clears it.
+        const int bits =
+            _mm_movemask_pd(_mm_cmpneq_pd(d, zero));
+        mask |= static_cast<uint64_t>(bits) << i;
+    }
+    mask |= nonFiniteMaskScalar(x + i, n - i) << i;
+    return mask;
+}
+
+uint64_t
+outOfRangeMaskSse2(const double *x, double lo, double hi, size_t n)
+{
+    uint64_t mask = 0;
+    size_t i = 0;
+    const __m128d vlo = _mm_set1_pd(lo);
+    const __m128d vhi = _mm_set1_pd(hi);
+    for (; i + 2 <= n; i += 2) {
+        const __m128d v = _mm_loadu_pd(x + i);
+        // Ordered compares; NaN contributes to neither operand.
+        const __m128d below = _mm_cmplt_pd(v, vlo);
+        const __m128d atOrAbove = _mm_cmpge_pd(v, vhi);
+        const int bits =
+            _mm_movemask_pd(_mm_or_pd(below, atOrAbove));
+        mask |= static_cast<uint64_t>(bits) << i;
+    }
+    mask |= outOfRangeMaskScalar(x + i, lo, hi, n - i) << i;
+    return mask;
+}
+
+uint64_t
+lessThanMaskSse2(const double *a, const double *b, size_t n)
+{
+    uint64_t mask = 0;
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d va = _mm_loadu_pd(a + i);
+        const __m128d vb = _mm_loadu_pd(b + i);
+        const int bits = _mm_movemask_pd(_mm_cmplt_pd(va, vb));
+        mask |= static_cast<uint64_t>(bits) << i;
+    }
+    mask |= lessThanMaskScalar(a + i, b + i, n - i) << i;
+    return mask;
+}
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+
+uint64_t
+nonFiniteMaskAvx2(const double *x, size_t n)
+{
+    uint64_t mask = 0;
+    size_t i = 0;
+    const __m256d zero = _mm256_setzero_pd();
+    for (; i + 4 <= n; i += 4) {
+        const __m256d v = _mm256_loadu_pd(x + i);
+        const __m256d d = _mm256_sub_pd(v, v);
+        const int bits = _mm256_movemask_pd(
+            _mm256_cmp_pd(d, zero, _CMP_NEQ_UQ));
+        mask |= static_cast<uint64_t>(bits) << i;
+    }
+    mask |= nonFiniteMaskScalar(x + i, n - i) << i;
+    return mask;
+}
+
+uint64_t
+outOfRangeMaskAvx2(const double *x, double lo, double hi, size_t n)
+{
+    uint64_t mask = 0;
+    size_t i = 0;
+    const __m256d vlo = _mm256_set1_pd(lo);
+    const __m256d vhi = _mm256_set1_pd(hi);
+    for (; i + 4 <= n; i += 4) {
+        const __m256d v = _mm256_loadu_pd(x + i);
+        const __m256d below =
+            _mm256_cmp_pd(v, vlo, _CMP_LT_OQ);
+        const __m256d atOrAbove =
+            _mm256_cmp_pd(v, vhi, _CMP_GE_OQ);
+        const int bits =
+            _mm256_movemask_pd(_mm256_or_pd(below, atOrAbove));
+        mask |= static_cast<uint64_t>(bits) << i;
+    }
+    mask |= outOfRangeMaskScalar(x + i, lo, hi, n - i) << i;
+    return mask;
+}
+
+uint64_t
+lessThanMaskAvx2(const double *a, const double *b, size_t n)
+{
+    uint64_t mask = 0;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d va = _mm256_loadu_pd(a + i);
+        const __m256d vb = _mm256_loadu_pd(b + i);
+        const int bits = _mm256_movemask_pd(
+            _mm256_cmp_pd(va, vb, _CMP_LT_OQ));
+        mask |= static_cast<uint64_t>(bits) << i;
+    }
+    mask |= lessThanMaskScalar(a + i, b + i, n - i) << i;
+    return mask;
+}
+
+#pragma GCC pop_options
+
+#endif // TDP_SIMD_X86
+
+} // namespace
+
+uint64_t
+nonFiniteMaskAt(SimdLevel level, const double *x, size_t n)
+{
+    checkMaskWidth(n);
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return nonFiniteMaskAvx2(x, n);
+    if (level == SimdLevel::Sse2)
+        return nonFiniteMaskSse2(x, n);
+#else
+    (void)level;
+#endif
+    return nonFiniteMaskScalar(x, n);
+}
+
+uint64_t
+nonFiniteMask(const double *x, size_t n)
+{
+    return nonFiniteMaskAt(activeSimdLevel(), x, n);
+}
+
+uint64_t
+outOfRangeMaskAt(SimdLevel level, const double *x, double lo,
+                 double hi, size_t n)
+{
+    checkMaskWidth(n);
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return outOfRangeMaskAvx2(x, lo, hi, n);
+    if (level == SimdLevel::Sse2)
+        return outOfRangeMaskSse2(x, lo, hi, n);
+#else
+    (void)level;
+#endif
+    return outOfRangeMaskScalar(x, lo, hi, n);
+}
+
+uint64_t
+outOfRangeMask(const double *x, double lo, double hi, size_t n)
+{
+    return outOfRangeMaskAt(activeSimdLevel(), x, lo, hi, n);
+}
+
+uint64_t
+lessThanMaskAt(SimdLevel level, const double *a, const double *b,
+               size_t n)
+{
+    checkMaskWidth(n);
+#if TDP_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return lessThanMaskAvx2(a, b, n);
+    if (level == SimdLevel::Sse2)
+        return lessThanMaskSse2(a, b, n);
+#else
+    (void)level;
+#endif
+    return lessThanMaskScalar(a, b, n);
+}
+
+uint64_t
+lessThanMask(const double *a, const double *b, size_t n)
+{
+    return lessThanMaskAt(activeSimdLevel(), a, b, n);
+}
+
+} // namespace lanes
+} // namespace tdp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lane-batched classification kernels for the stream verdict
+ * pipeline.
+ *
+ * Unlike the arithmetic kernels in lane_math.hh, these produce
+ * *integer bit masks* (bit i describes input i), so cross-level
+ * bit-identity is trivial by construction: a comparison either holds
+ * for a lane or it does not, at every dispatch level, for every IEEE
+ * input class including NaN payloads, infinities, signed zeros and
+ * denormals. The session layer batches 4 popped samples into the
+ * fixed 4-lane contract (dispatch.hh) and classifies their raw
+ * counters through these kernels; anything rarer than the clean
+ * accept path falls back to the scalar verdict code.
+ *
+ * Mask semantics (chosen to match the scalar validation in
+ * SessionTable::admit exactly):
+ *
+ *  - nonFiniteMask: bit set iff x[i] is NaN or +/-Inf, via the
+ *    (x - x) != 0 trick (finite - finite == +0.0 exactly);
+ *  - outOfRangeMask: bit set iff x[i] < lo or x[i] >= hi, with
+ *    *ordered* compares so NaN never sets a bit (the scalar path
+ *    classifies NaN as NonFinite first, never OutOfRange);
+ *  - lessThanMask: bit set iff a[i] < b[i] (ordered; NaN clears),
+ *    used to count counter wraps exactly like the scalar
+ *    `cur < prev` test.
+ *
+ * n is capped at 64 inputs per call (one mask word); the production
+ * callers batch kSimdLanes at a time.
+ */
+
+#ifndef TDP_SIMD_LANE_CHECK_HH
+#define TDP_SIMD_LANE_CHECK_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/dispatch.hh"
+
+namespace tdp {
+namespace lanes {
+
+/** Bit i set iff x[i] is NaN or +/-Inf. */
+uint64_t nonFiniteMask(const double *x, size_t n);
+uint64_t nonFiniteMaskAt(SimdLevel level, const double *x, size_t n);
+
+/** Bit i set iff x[i] < lo or x[i] >= hi (ordered; NaN clears). */
+uint64_t outOfRangeMask(const double *x, double lo, double hi,
+                        size_t n);
+uint64_t outOfRangeMaskAt(SimdLevel level, const double *x, double lo,
+                          double hi, size_t n);
+
+/** Bit i set iff a[i] < b[i] (ordered; NaN clears). */
+uint64_t lessThanMask(const double *a, const double *b, size_t n);
+uint64_t lessThanMaskAt(SimdLevel level, const double *a,
+                        const double *b, size_t n);
+
+} // namespace lanes
+} // namespace tdp
+
+#endif // TDP_SIMD_LANE_CHECK_HH

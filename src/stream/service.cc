@@ -123,7 +123,13 @@ StreamService::StreamService(const StreamConfig &config,
     sessions_.reserve(shards);
     for (size_t s = 0; s < shards; ++s)
         sessions_.emplace_back(cfg_.session);
+    // Staging is sized by the drain budget once; tick() writes the
+    // slots in place so the steady-state drain never allocates.
     staged_.resize(shards);
+    for (std::vector<Staged> &staged : staged_)
+        staged.resize(cfg_.drainBudget);
+    stagedCount_.assign(shards, 0);
+    alignedScratch_.resize(shards);
 
     for (int r = 0; r < numRails; ++r) {
         RlsConfig rls;
@@ -198,27 +204,42 @@ StreamService::tick(const ExperimentPool &pool)
 
     // Parallel phase: each worker owns one shard end to end (ring,
     // session table, staging buffer), so the staged content is a pure
-    // function of the shard's queue - identical at any --jobs.
+    // function of the shard's queue - identical at any --jobs. The
+    // drain pops up to kSimdLanes samples at a time so the session
+    // layer can classify a full batch through the lane kernels, and
+    // every Staged slot is written in place: in steady state this
+    // loop performs zero heap allocations.
     pool.forEach(shards, [&](size_t s) {
         std::vector<Staged> &staged = staged_[s];
-        staged.clear();
+        size_t count = 0;
         SampleRing &ring = ingest_.shard(static_cast<int>(s));
-        StreamSample sample;
-        for (size_t budget = cfg_.drainBudget;
-             budget > 0 && ring.pop(sample); --budget) {
-            SessionTable::Admit admit =
-                sessions_[s].admit(now_, sample);
-            Staged entry;
-            entry.client = sample.client;
-            entry.seq = sample.seq;
-            entry.enqueueTick = sample.enqueueTick;
-            entry.verdict = admit.verdict;
-            entry.newlyQuarantined = admit.newlyQuarantined;
-            if (admit.verdict == Verdict::Accepted) {
+        AlignedSample &aligned = alignedScratch_[s];
+        StreamSample popped[kSimdLanes];
+        SessionTable::Admit admits[kSimdLanes];
+        size_t budget = cfg_.drainBudget;
+        while (budget > 0) {
+            size_t batch = 0;
+            while (batch < kSimdLanes && batch < budget &&
+                   ring.pop(popped[batch]))
+                ++batch;
+            if (batch == 0)
+                break;
+            budget -= batch;
+            sessions_[s].admitBatch(now_, popped, batch, admits);
+            for (size_t k = 0; k < batch; ++k) {
+                const StreamSample &sample = popped[k];
+                const SessionTable::Admit &admit = admits[k];
+                Staged &entry = staged[count++];
+                entry.client = sample.client;
+                entry.seq = sample.seq;
+                entry.enqueueTick = sample.enqueueTick;
+                entry.verdict = admit.verdict;
+                entry.newlyQuarantined = admit.newlyQuarantined;
+                if (admit.verdict != Verdict::Accepted)
+                    continue;
                 // Spread the summed deltas evenly over the client's
                 // CPUs - the readCsv reconstruction semantics, exact
                 // for the summed per-CPU model forms.
-                AlignedSample aligned;
                 aligned.time = sample.time;
                 aligned.interval = sample.interval;
                 const size_t n = static_cast<size_t>(sample.cpus);
@@ -235,18 +256,18 @@ StreamService::tick(const ExperimentPool &pool)
                 aligned.osDiskInterrupts = sample.osDiskInterrupts;
                 aligned.osDeviceInterrupts =
                     sample.osDeviceInterrupts;
-                entry.events = EventVector::fromSample(aligned);
+                EventVector::fromSampleInto(aligned, entry.events);
                 entry.measured = sample.measuredWatts;
             }
-            staged.push_back(std::move(entry));
         }
+        stagedCount_[s] = count;
     });
 
     // Serial fold: shard order, then ring order - the estimator's
     // health accounting and the digest chain are order-sensitive.
     for (size_t s = 0; s < shards; ++s) {
-        for (const Staged &entry : staged_[s])
-            foldStaged(static_cast<int>(s), entry);
+        for (size_t k = 0; k < stagedCount_[s]; ++k)
+            foldStaged(static_cast<int>(s), staged_[s][k]);
     }
 
     for (int r = 0; r < numRails; ++r)
@@ -417,12 +438,15 @@ StreamService::maybeRefit(Rail rail)
 void
 StreamService::applyCoefficients(Rail rail, const FitResult &fit)
 {
-    std::vector<double> flat;
-    flat.reserve(1 + fit.coefficients.size());
-    flat.push_back(fit.intercept);
-    flat.insert(flat.end(), fit.coefficients.begin(),
-                fit.coefficients.end());
-    est_.model(rail).setCoefficients(flat);
+    // Member scratch: refits happen per sealed block per rail, and
+    // the serial fold must not churn the allocator for a vector whose
+    // size is known and tiny.
+    coefScratch_.clear();
+    coefScratch_.reserve(1 + fit.coefficients.size());
+    coefScratch_.push_back(fit.intercept);
+    coefScratch_.insert(coefScratch_.end(), fit.coefficients.begin(),
+                        fit.coefficients.end());
+    est_.model(rail).setCoefficients(coefScratch_);
 }
 
 SessionTable::Stats
@@ -464,6 +488,15 @@ StreamService::quarantinedSessions() const
     for (const SessionTable &table : sessions_)
         quarantined += table.quarantinedCount();
     return quarantined;
+}
+
+size_t
+StreamService::sessionMemoryBytes() const
+{
+    size_t bytes = 0;
+    for (const SessionTable &table : sessions_)
+        bytes += table.memoryBytes();
+    return bytes;
 }
 
 RailStatus

@@ -177,6 +177,12 @@ class StreamService
     /** Quarantined sessions across shards. */
     size_t quarantinedSessions() const;
 
+    /**
+     * Session-state bytes across shards (SoA columns plus flat
+     * index), for the scale bench's bytes/session metric.
+     */
+    size_t sessionMemoryBytes() const;
+
     /** Streaming-side status of one rail. */
     RailStatus railStatus(Rail rail) const;
 
@@ -249,8 +255,22 @@ class StreamService
     SystemPowerEstimator est_;
     ShardedIngest ingest_;
     std::vector<SessionTable> sessions_;
+
+    /**
+     * Per-shard staging, sized to drainBudget once at construction
+     * and written in place each tick (stagedCount_[s] live entries):
+     * the accepted-sample drain path performs zero heap allocations
+     * in steady state because every Staged slot's EventVector and the
+     * per-shard AlignedSample scratch reuse their capacity.
+     */
     std::vector<std::vector<Staged>> staged_;
+    std::vector<size_t> stagedCount_;
+    std::vector<AlignedSample> alignedScratch_;
+
     std::array<RailState, numRails> rails_;
+
+    /** Reused flattened-coefficient buffer (applyCoefficients). */
+    std::vector<double> coefScratch_;
 
     uint64_t now_ = 0;
     uint64_t digest_;

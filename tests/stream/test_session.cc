@@ -4,8 +4,11 @@
  * recovery, quarantine and idle eviction.
  */
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -252,6 +255,149 @@ TEST(SessionTable, SlidingWattsWindow)
         table.recordWatts(1, static_cast<double>(i * 10));
     // Window holds the last 4 records: 30, 40, 50, 60.
     EXPECT_DOUBLE_EQ(table.windowMeanWatts(1), 45.0);
+}
+
+TEST(SessionTable, EvictedQuarantinedRowNeverAliasesMovedSession)
+{
+    SessionTable table(config()); // threshold 3, idle timeout 8
+    // Three clients in row order 1, 2, 3: client 2 sits mid-table.
+    table.admit(0, validSample(1, 1));
+    table.admit(0, validSample(2, 1));
+    table.admit(0, validSample(3, 1));
+    table.recordWatts(3, 80.0);
+    table.recordWatts(3, 120.0);
+
+    // Quarantine the mid-table client.
+    StreamSample bad = validSample(2, 2);
+    bad.raw.counts[0] = std::nan("");
+    for (uint64_t seq = 2; seq <= 4; ++seq) {
+        bad.seq = seq;
+        table.admit(1, bad);
+    }
+    ASSERT_TRUE(table.isQuarantined(2));
+
+    // Clients 1 and 3 keep talking; client 2 goes silent, so the
+    // sweep evicts exactly the mid-table row and the last row
+    // (client 3) is swapped into its slot.
+    EXPECT_EQ(table.admit(7, validSample(1, 2)).verdict,
+              Verdict::Accepted);
+    EXPECT_EQ(table.admit(7, validSample(3, 2)).verdict,
+              Verdict::Accepted);
+    EXPECT_EQ(table.evictIdle(9), 1u);
+    EXPECT_EQ(table.active(), 2u);
+    EXPECT_EQ(table.quarantinedCount(), 0u);
+
+    // The readmitted id must get a *fresh* session - not client 3's
+    // moved row, and not the stale quarantine flag.
+    EXPECT_FALSE(table.isQuarantined(2));
+    EXPECT_EQ(table.admit(10, validSample(2, 1)).verdict,
+              Verdict::Baseline);
+    EXPECT_FALSE(table.isQuarantined(2));
+    EXPECT_TRUE(std::isnan(table.windowMeanWatts(2)));
+
+    // And the moved client's state survived the swap intact: its
+    // watts window still averages, and its next delta is exact.
+    EXPECT_DOUBLE_EQ(table.windowMeanWatts(3), 100.0);
+    const auto next = table.admit(10, validSample(3, 3));
+    ASSERT_EQ(next.verdict, Verdict::Accepted);
+    for (int e = 0; e < numPerfEvents; ++e) {
+        EXPECT_DOUBLE_EQ(
+            next.deltas.counts[static_cast<size_t>(e)], 1000.0);
+    }
+    EXPECT_EQ(table.admit(10, validSample(1, 3)).verdict,
+              Verdict::Accepted);
+}
+
+/**
+ * admitBatch must be bit-identical to per-sample admit() in ring
+ * order - verdicts, recovered deltas, wrap counts, quarantine
+ * transitions and stats - including duplicate clients inside one
+ * batch and every adversarial payload class.
+ */
+TEST(SessionTable, AdmitBatchMatchesScalarAdmitBitwise)
+{
+    const double span = counterSpan(widthBits);
+    std::vector<StreamSample> stream;
+    // Clients 1..4 interleaved so batches mix clients; client 2
+    // appears twice in several batches (state must stay sequential).
+    for (uint64_t seq = 1; seq <= 9; ++seq) {
+        for (uint64_t client : {1u, 2u, 2u, 3u, 4u}) {
+            StreamSample s =
+                validSample(client, client == 2 ? 2 * seq : seq);
+            switch ((seq + client) % 7) {
+            case 0:
+                s.raw.counts[0] = std::nan("");
+                break;
+            case 1:
+                s.raw.counts[3] =
+                    std::numeric_limits<double>::infinity();
+                break;
+            case 2:
+                s.raw.counts[5] = -1.0;
+                break;
+            case 3:
+                s.raw.counts[7] = span;
+                break;
+            case 4:
+                s.time = 0.0; // stale clock after the baseline
+                break;
+            default:
+                break; // clean sample
+            }
+            stream.push_back(s);
+        }
+    }
+    // A crafted wrap pair on a fifth client.
+    StreamSample wrapBase = validSample(5, 1);
+    wrapBase.raw.counts[static_cast<size_t>(PerfEvent::Cycles)] =
+        span - 500.0;
+    stream.push_back(wrapBase);
+    StreamSample wrapped = validSample(5, 2);
+    wrapped.raw.counts[static_cast<size_t>(PerfEvent::Cycles)] =
+        500.0;
+    stream.push_back(wrapped);
+
+    SessionTable single(config());
+    SessionTable batched(config());
+    std::vector<SessionTable::Admit> one(stream.size());
+    std::vector<SessionTable::Admit> batch(stream.size());
+    for (size_t i = 0; i < stream.size(); ++i)
+        one[i] = single.admit(i / 4, stream[i]);
+    for (size_t base = 0; base < stream.size(); base += 4) {
+        const size_t count = std::min<size_t>(
+            4, stream.size() - base);
+        batched.admitBatch(base / 4, stream.data() + base, count,
+                           batch.data() + base);
+    }
+
+    for (size_t i = 0; i < stream.size(); ++i) {
+        ASSERT_EQ(one[i].verdict, batch[i].verdict) << "sample " << i;
+        EXPECT_EQ(one[i].wraps, batch[i].wraps) << "sample " << i;
+        EXPECT_EQ(one[i].newlyQuarantined, batch[i].newlyQuarantined)
+            << "sample " << i;
+        EXPECT_EQ(std::memcmp(one[i].deltas.counts.data(),
+                              batch[i].deltas.counts.data(),
+                              sizeof(one[i].deltas.counts)),
+                  0)
+            << "sample " << i;
+    }
+    EXPECT_EQ(std::memcmp(&single.stats(), &batched.stats(),
+                          sizeof(SessionTable::Stats)),
+              0);
+    EXPECT_EQ(single.active(), batched.active());
+    EXPECT_EQ(single.quarantinedCount(), batched.quarantinedCount());
+}
+
+TEST(SessionTable, MemoryBytesTracksSessions)
+{
+    SessionTable table(config());
+    const size_t empty = table.memoryBytes();
+    for (uint64_t client = 1; client <= 256; ++client)
+        table.admit(0, validSample(client, 1));
+    EXPECT_GT(table.memoryBytes(), empty);
+    // Per-session footprint stays within the scale bench's budget
+    // expectations (order hundreds of bytes, not kilobytes).
+    EXPECT_LT(table.memoryBytes() / table.active(), 4096u);
 }
 
 TEST(SessionTable, MalformedConfigIsFatal)
