@@ -252,10 +252,15 @@ writeBenchSeriesJson(const std::string &bench,
             fatal("writeBenchSeriesJson: metric '%s' has no values",
                   m.name.c_str());
         if (m.direction != "higher" && m.direction != "lower" &&
-            m.direction != "exact")
+            m.direction != "exact" && m.direction != "ceiling")
             fatal("writeBenchSeriesJson: metric '%s' direction must "
-                  "be 'higher', 'lower' or 'exact', got '%s'",
+                  "be 'higher', 'lower', 'exact' or 'ceiling', got "
+                  "'%s'",
                   m.name.c_str(), m.direction.c_str());
+        if (m.direction == "ceiling" && !(m.limit > 0.0))
+            fatal("writeBenchSeriesJson: ceiling metric '%s' needs a "
+                  "positive limit, got %g",
+                  m.name.c_str(), m.limit);
         const double lo =
             *std::min_element(m.values.begin(), m.values.end());
         const double hi =
@@ -264,8 +269,11 @@ writeBenchSeriesJson(const std::string &bench,
         os << "    {\"name\": \"" << jsonEscape(m.name) << "\", "
            << "\"unit\": \"" << jsonEscape(m.unit) << "\", "
            << "\"gate\": " << (m.gate ? "true" : "false") << ", "
-           << "\"direction\": \"" << m.direction << "\",\n"
-           << "     \"mean\": "
+           << "\"direction\": \"" << m.direction << "\",\n";
+        if (m.direction == "ceiling")
+            os << "     \"limit\": "
+               << formatString("%.17g", m.limit) << ",\n";
+        os << "     \"mean\": "
            << formatString("%.17g", seriesMean(m.values)) << ", "
            << "\"stddev\": "
            << formatString("%.17g", seriesStddev(m.values)) << ", "

@@ -16,8 +16,10 @@
  *    mean/stddev/min/max, a unit label, and the gating contract the
  *    CI perf gate (scripts/check_bench_regression.py) enforces:
  *    "gate" marks metrics stable enough to compare across commits,
- *    "direction" says which way is better ("higher", "lower") or
- *    that any change is a failure ("exact").
+ *    "direction" says which way is better ("higher", "lower"),
+ *    that any change is a failure ("exact"), or that the mean must
+ *    stay under a hard "limit" carried in the file ("ceiling" -
+ *    used for the telemetry overhead ratio).
  *
  * Wall-clock metrics are never gated: they are not comparable across
  * machines, and the committed baselines are refreshed per PR, not
@@ -48,8 +50,15 @@ struct MetricSeries
     /** True when the CI perf gate should compare this metric. */
     bool gate = false;
 
-    /** "higher", "lower" (better) or "exact" (any change fails). */
+    /**
+     * "higher", "lower" (better), "exact" (any change fails) or
+     * "ceiling" (fail when the current mean exceeds `limit`; the
+     * limit is carried in the baseline, not re-derived from noise).
+     */
     std::string direction = "lower";
+
+    /** Hard upper bound for "ceiling" metrics (must be > 0). */
+    double limit = 0.0;
 };
 
 /** Mean of a repetition series (0 when empty). */

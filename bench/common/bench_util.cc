@@ -16,10 +16,12 @@
 #include <thread>
 #include <unordered_set>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "exp/experiment_pool.hh"
 #include "measure/trace_io.hh"
+#include "obs/prom_writer.hh"
 #include "obs/span_tracer.hh"
 #include "obs/stats_registry.hh"
 #include "resilience/retry.hh"
@@ -46,6 +48,12 @@ bool observabilityOn = false;
 
 /** Manifest output path; empty when no manifest was requested. */
 std::string manifestPath;
+
+/** Stream-timeline dump path; empty when none was requested. */
+std::string timelinePath;
+
+/** Prometheus text-exposition path; empty when none was requested. */
+std::string promPath;
 
 /** The manifest the run helpers accumulate into. */
 obs::RunManifest globalManifest;
@@ -227,6 +235,8 @@ initBench(int argc, char **argv)
 
     std::string trace_out;
     std::string manifest_out;
+    std::string timeline_out;
+    std::string prom_out;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--jobs") == 0 ||
@@ -262,6 +272,22 @@ initBench(int argc, char **argv)
             if (arg[15] == '\0')
                 fatal("--manifest-out= expects a file path");
             manifest_out = arg + 15;
+        } else if (std::strcmp(arg, "--timeline-out") == 0) {
+            if (i + 1 >= argc)
+                fatal("--timeline-out expects a file path");
+            timeline_out = argv[++i];
+        } else if (std::strncmp(arg, "--timeline-out=", 15) == 0) {
+            if (arg[15] == '\0')
+                fatal("--timeline-out= expects a file path");
+            timeline_out = arg + 15;
+        } else if (std::strcmp(arg, "--prom-out") == 0) {
+            if (i + 1 >= argc)
+                fatal("--prom-out expects a file path");
+            prom_out = argv[++i];
+        } else if (std::strncmp(arg, "--prom-out=", 11) == 0) {
+            if (arg[11] == '\0')
+                fatal("--prom-out= expects a file path");
+            prom_out = arg + 11;
         } else if (std::strcmp(arg, "--journal") == 0) {
             if (i + 1 >= argc)
                 fatal("--journal expects a file path");
@@ -309,11 +335,24 @@ initBench(int argc, char **argv)
         if (env && env[0] != '\0')
             manifest_out = env;
     }
-    if (trace_out.empty() && manifest_out.empty())
+    if (timeline_out.empty()) {
+        const char *env = std::getenv("TDP_TIMELINE_OUT");
+        if (env && env[0] != '\0')
+            timeline_out = env;
+    }
+    if (prom_out.empty()) {
+        const char *env = std::getenv("TDP_PROM_OUT");
+        if (env && env[0] != '\0')
+            prom_out = env;
+    }
+    if (trace_out.empty() && manifest_out.empty() &&
+        timeline_out.empty() && prom_out.empty())
         return;
 
     observabilityOn = true;
     manifestPath = manifest_out;
+    timelinePath = timeline_out;
+    promPath = prom_out;
     globalManifest.setTool(toolName(argc > 0 ? argv[0] : nullptr));
     obs::StatsRegistry::global().setEnabled(true);
     if (!trace_out.empty())
@@ -332,6 +371,8 @@ positionalArgs(int argc, char **argv)
             std::strcmp(arg, "-j") == 0 ||
             std::strcmp(arg, "--trace-out") == 0 ||
             std::strcmp(arg, "--manifest-out") == 0 ||
+            std::strcmp(arg, "--timeline-out") == 0 ||
+            std::strcmp(arg, "--prom-out") == 0 ||
             std::strcmp(arg, "--journal") == 0 ||
             std::strcmp(arg, "--resume") == 0 ||
             std::strcmp(arg, "--task-timeout") == 0 ||
@@ -345,6 +386,8 @@ positionalArgs(int argc, char **argv)
                    std::strcmp(arg, "--no-trace-cache") != 0 &&
                    std::strncmp(arg, "--trace-out=", 12) != 0 &&
                    std::strncmp(arg, "--manifest-out=", 15) != 0 &&
+                   std::strncmp(arg, "--timeline-out=", 15) != 0 &&
+                   std::strncmp(arg, "--prom-out=", 11) != 0 &&
                    std::strncmp(arg, "--journal=", 10) != 0 &&
                    std::strncmp(arg, "--resume=", 9) != 0 &&
                    std::strncmp(arg, "--task-timeout=", 15) != 0 &&
@@ -444,6 +487,18 @@ observabilityEnabled()
     return observabilityOn;
 }
 
+const std::string &
+timelineOutPath()
+{
+    return timelinePath;
+}
+
+const std::string &
+promOutPath()
+{
+    return promPath;
+}
+
 obs::RunManifest &
 runManifest()
 {
@@ -461,6 +516,22 @@ flushObservability()
         tracer.flush();
         globalManifest.setSpanTrace(tracer.outputPath(),
                                     spans.recorded, spans.dropped);
+    }
+    if (!promPath.empty()) {
+        // Best-effort (atexit context): a failed write warns and
+        // moves on.
+        std::string error;
+        const bool ok = writeFileAtomic(
+            promPath,
+            [](std::ostream &os) {
+                obs::writePrometheusText(
+                    os, obs::StatsRegistry::global().snapshot());
+                return os.good();
+            },
+            &error);
+        if (!ok)
+            warn("prometheus export: writing %s failed: %s",
+                 promPath.c_str(), error.c_str());
     }
     if (manifestPath.empty())
         return;

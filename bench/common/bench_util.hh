@@ -46,6 +46,14 @@ constexpr uint64_t defaultSeed = 0x5eed2007;
  *  - `--manifest-out FILE` / `--manifest-out=FILE`: write the unified
  *    run manifest (runs, metrics, stats snapshot) to FILE at exit
  *    (TDP_MANIFEST_OUT when the flag is absent);
+ *  - `--timeline-out FILE` / `--timeline-out=FILE`: enable stream
+ *    telemetry and dump the tick-indexed timeline + flight recorder
+ *    to FILE (TDP_TIMELINE_OUT when the flag is absent). Consumed by
+ *    the stream benches via timelineOutPath(); also answers SIGUSR2
+ *    mid-run dumps (suffix `.sigusr2`);
+ *  - `--prom-out FILE` / `--prom-out=FILE`: write the stats registry
+ *    in Prometheus text exposition format to FILE at exit
+ *    (TDP_PROM_OUT when the flag is absent);
  *  - `--journal FILE` / `--journal=FILE`: append a write-ahead run
  *    journal of task transitions to FILE (TDP_RUN_JOURNAL when the
  *    flag is absent);
@@ -73,8 +81,8 @@ constexpr uint64_t defaultSeed = 0x5eed2007;
  * directory itself). The cache defaults OFF: with it disabled every
  * bench byte-stream is identical to a build without the cache code.
  *
- * Either observability flag enables the global StatsRegistry; with
- * both absent the instrumentation stays off and every bench
+ * Any observability flag enables the global StatsRegistry; with all
+ * of them absent the instrumentation stays off and every bench
  * byte-stream (stdout in particular) is identical to a build without
  * the telemetry code. Also applies TDP_LOG_LEVEL to the logger.
  */
@@ -218,8 +226,14 @@ resilience::ChaosInjector *chaosInjector();
  */
 bool resilienceActive();
 
-/** True when --trace-out/--manifest-out (or env) enabled telemetry. */
+/** True when any observability flag (or env) enabled telemetry. */
 bool observabilityEnabled();
+
+/** Stream-timeline dump path (--timeline-out); empty when unset. */
+const std::string &timelineOutPath();
+
+/** Prometheus text output path (--prom-out); empty when unset. */
+const std::string &promOutPath();
 
 /**
  * The process-wide run manifest the helpers accumulate into (runs,

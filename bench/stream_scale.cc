@@ -27,6 +27,15 @@
  *     shed or overflow; every sample is drained and estimated. The
  *     run digest must be identical across repetitions.
  *
+ * With --timeline-out (or TDP_TIMELINE_OUT) each repetition runs the
+ * scale pass twice - telemetry off (the reported throughput leg) and
+ * telemetry on - asserting the digests identical and reporting the
+ * ceiling-gated telemetry_overhead_ratio metric (min over
+ * repetitions, limit 1.05). The final service contributes stream.*
+ * manifest sections and writes the telemetry dump at exit; SIGUSR2
+ * writes a `.sigusr2` side file mid-run and SIGTERM drains with
+ * partial sections, the timeline and exit code 113.
+ *
  * Flags (after the shared bench flags, see bench_util.hh):
  *   --clients N         scale-pass fleet size     [TDP_SCALE_CLIENTS]
  *   --rounds N          samples per client        [TDP_SCALE_ROUNDS]
@@ -42,6 +51,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +59,7 @@
 #include "common/logging.hh"
 #include "measure/trace_io.hh"
 #include "resilience/retry.hh"
+#include "resilience/shutdown.hh"
 #include "simd/dispatch.hh"
 #include "stream/service.hh"
 #include "stream/synthetic.hh"
@@ -60,6 +71,49 @@ using namespace tdp::bench;
 using stream::StreamConfig;
 using stream::StreamSample;
 using stream::StreamService;
+
+/**
+ * The service a mid-run dump (SIGUSR2, SIGTERM, fatal) snapshots.
+ * Passes run one at a time on the main thread; the pointer is
+ * cleared before its service is destroyed (or left pointing at the
+ * service kept alive for the manifest/exit dump).
+ */
+const StreamService *liveService = nullptr;
+
+/** True when --timeline-out / TDP_TIMELINE_OUT enabled telemetry. */
+bool
+timelineActive()
+{
+    return !timelineOutPath().empty();
+}
+
+/**
+ * Poll the async-signal flags between ticks. SIGUSR2 dumps the live
+ * telemetry to a side file and continues; SIGTERM flushes partial
+ * stream.* manifest sections plus the timeline and exits with the
+ * clean-abort code, so a drained scale run still leaves a
+ * postmortem.
+ */
+void
+pollSignals(const StreamService &service)
+{
+    if (resilience::dumpRequested()) {
+        if (timelineActive())
+            service.writeTimeline(timelineOutPath() + ".sigusr2",
+                                  "bm_stream_scale", "sigusr2");
+        resilience::clearDumpRequest();
+    }
+    if (!resilience::shutdownRequested())
+        return;
+    if (observabilityEnabled()) {
+        service.addManifestSections(runManifest());
+        if (timelineActive())
+            service.writeTimeline(timelineOutPath(),
+                                  "bm_stream_scale", "sigterm");
+        flushObservability();
+    }
+    std::exit(resilience::cleanAbortExitCode);
+}
 
 struct ScaleOptions
 {
@@ -145,10 +199,12 @@ runVerifyPass(const ScaleOptions &opt, int jobs)
     cfg.session.quarantineThreshold = 6;
     cfg.drainBudget = 512;
     cfg.evictEveryTicks = 0;
+    cfg.telemetry.timeline = timelineActive();
     StreamService service(cfg,
                           stream::synthetic::trainedEstimator());
     const ExperimentPool pool(jobs);
     stream::synthetic::Fleet fleet(opt.verifyClients, 34);
+    liveService = &service;
 
     PassResult result;
     const int rounds = 12;
@@ -176,15 +232,19 @@ runVerifyPass(const ScaleOptions &opt, int jobs)
             service.offer(sample);
         }
         service.tick(pool);
+        pollSignals(service);
         while (service.stats().drained <
-               service.ingestStats().admitted)
+               service.ingestStats().admitted) {
             service.tick(pool);
+            pollSignals(service);
+        }
     }
     if (service.ingestStats().shed != 0 ||
         service.ingestStats().overflow != 0)
         fatal("stream_scale: verify pass shed/overflowed - ring "
               "sizing is broken");
     accumulateSessions(service, result);
+    liveService = nullptr;
     return result;
 }
 
@@ -193,11 +253,17 @@ runVerifyPass(const ScaleOptions &opt, int jobs)
  * 3/4 of the aggregate drain budget, so per-shard arrivals stay under
  * the per-tick drain even with hash imbalance and the rings never
  * shed. Returns the deterministic counters plus tick timings.
+ *
+ * @p telemetry turns the timeline/HDR layer on for this pass (the
+ * flight recorder is always on). When @p keep_service is non-null
+ * the drained service is handed back alive, so the caller can add
+ * its manifest sections and write the exit telemetry dump.
  */
 PassResult
 runDrainPass(const ScaleOptions &opt, int clients, int rounds,
              int shards, size_t drain_budget,
-             std::vector<double> *tick_seconds_out)
+             std::vector<double> *tick_seconds_out, bool telemetry,
+             std::unique_ptr<StreamService> *keep_service)
 {
     StreamConfig cfg;
     cfg.ingest.shards = shards;
@@ -208,10 +274,17 @@ runDrainPass(const ScaleOptions &opt, int clients, int rounds,
     cfg.session.idleTimeoutTicks = 1u << 20;
     cfg.drainBudget = drain_budget;
     cfg.evictEveryTicks = 0;
-    StreamService service(cfg,
-                          stream::synthetic::trainedEstimator());
+    cfg.telemetry.timeline = telemetry;
+    // A scale pass runs only a handful of ticks (one per offered
+    // chunk plus the drain tail), so seal a window every tick or the
+    // exit dump would be empty at CI fleet sizes.
+    cfg.telemetry.windowTicks = 1;
+    auto servicePtr = std::make_unique<StreamService>(
+        cfg, stream::synthetic::trainedEstimator());
+    StreamService &service = *servicePtr;
     const ExperimentPool pool(jobs());
     stream::synthetic::Fleet fleet(clients, 40);
+    liveService = &service;
 
     const int chunk = static_cast<int>(
         static_cast<size_t>(shards) * drain_budget * 3 / 4);
@@ -226,6 +299,7 @@ runDrainPass(const ScaleOptions &opt, int clients, int rounds,
                                   std::chrono::steady_clock::now() -
                                   start)
                                   .count());
+        pollSignals(service);
     };
     for (int round = 0; round < rounds; ++round) {
         for (int base = 0; base < clients; base += chunk) {
@@ -263,6 +337,10 @@ runDrainPass(const ScaleOptions &opt, int clients, int rounds,
                                   0.99 * sorted.size())))];
     if (tick_seconds_out)
         *tick_seconds_out = tickSeconds;
+    if (keep_service)
+        *keep_service = std::move(servicePtr);
+    else
+        liveService = nullptr;
     return result;
 }
 
@@ -349,12 +427,9 @@ exactSeries(const char *name, double value, int reps)
     return series;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runScale(int argc, char **argv)
 {
-    initBench(argc, argv);
     const ScaleOptions opt =
         parseOptions(positionalArgs(argc, argv));
     const int wide = jobs() > 1 ? jobs() : 2;
@@ -402,16 +477,18 @@ main(int argc, char **argv)
     std::vector<double> speedup, samplesPerSec, p99Ms, bytesPerSess,
         scaleSeconds;
     PassResult scaleFirst;
+    std::unique_ptr<StreamService> scaleService;
+    double overheadRatio = 0.0;
 
     for (int rep = 0; rep < reps; ++rep) {
         // Pass 2: scalar-vs-dispatched ratio on a mid-size fleet.
         const int ratioClients = 32768;
         setActiveSimdLevel(SimdLevel::Scalar);
         const PassResult slow = runDrainPass(
-            opt, ratioClients, 6, 8, 1024, nullptr);
+            opt, ratioClients, 6, 8, 1024, nullptr, false, nullptr);
         setActiveSimdLevel(best);
         const PassResult fast = runDrainPass(
-            opt, ratioClients, 6, 8, 1024, nullptr);
+            opt, ratioClients, 6, 8, 1024, nullptr, false, nullptr);
         if (!sameResult(slow, fast))
             fatal("stream_scale: ratio digest diverged between "
                   "scalar (%016llx) and %s (%016llx)",
@@ -422,16 +499,54 @@ main(int argc, char **argv)
                               ? slow.tickSeconds / fast.tickSeconds
                               : 1.0);
 
-        // Pass 3: the full fleet.
-        const PassResult scale =
-            runDrainPass(opt, opt.clients, opt.rounds, opt.shards,
-                         drainBudget, nullptr);
+        // Pass 3: the full fleet, telemetry off - the baseline leg
+        // every reported throughput number comes from. The service
+        // of the last repetition's final leg is kept alive so the
+        // scale run contributes its stream.* manifest sections and
+        // the exit telemetry dump (it never did before this).
+        const bool lastRep = rep + 1 == reps;
+        const PassResult scale = runDrainPass(
+            opt, opt.clients, opt.rounds, opt.shards, drainBudget,
+            nullptr, false,
+            lastRep && observabilityEnabled() && !timelineActive()
+                ? &scaleService
+                : nullptr);
         if (rep == 0)
             scaleFirst = scale;
         else if (!sameResult(scaleFirst, scale))
             fatal("stream_scale: repetition %d produced a different "
                   "scale digest - the run is not deterministic",
                   rep + 1);
+
+        if (timelineActive()) {
+            // Telemetry-on leg of the same fleet: the digest must be
+            // bitwise unchanged and the wall-clock ratio feeds the
+            // ceiling-gated telemetry_overhead_ratio metric. Min
+            // over repetitions: scheduler noise only ever inflates a
+            // leg, so the smallest ratio is the tightest sound
+            // estimate of the true overhead.
+            const PassResult withTelemetry = runDrainPass(
+                opt, opt.clients, opt.rounds, opt.shards,
+                drainBudget, nullptr, true,
+                lastRep ? &scaleService : nullptr);
+            if (!sameResult(scale, withTelemetry))
+                fatal("stream_scale: enabling telemetry changed the "
+                      "scale digest (%016llx off, %016llx on) - "
+                      "telemetry must never touch the estimation "
+                      "path",
+                      static_cast<unsigned long long>(scale.digest),
+                      static_cast<unsigned long long>(
+                          withTelemetry.digest));
+            const double ratio =
+                scale.tickSeconds > 0.0
+                    ? withTelemetry.tickSeconds / scale.tickSeconds
+                    : 1.0;
+            if (overheadRatio == 0.0 || ratio < overheadRatio)
+                overheadRatio = ratio;
+            emitStats("stream_scale: rep %d telemetry overhead "
+                      "ratio %.4f",
+                      rep + 1, ratio);
+        }
         samplesPerSec.push_back(
             scale.tickSeconds > 0.0
                 ? static_cast<double>(scale.offered) /
@@ -508,9 +623,53 @@ main(int argc, char **argv)
     metrics.push_back(
         ungated("scale_seconds", scaleSeconds, "s", "lower"));
 
+    if (timelineActive()) {
+        // Ceiling-gated: telemetry on must stay within 5% of off at
+        // the full fleet. Only measured (and only present in the
+        // JSON) when a timeline path is configured, matching how the
+        // committed baseline is produced.
+        MetricSeries overhead;
+        overhead.name = "telemetry_overhead_ratio";
+        overhead.values = {overheadRatio};
+        overhead.unit = "x";
+        overhead.gate = true;
+        overhead.direction = "ceiling";
+        overhead.limit = 1.05;
+        metrics.push_back(overhead);
+    }
+
+    if (scaleService) {
+        if (observabilityEnabled())
+            scaleService->addManifestSections(runManifest());
+        if (timelineActive())
+            scaleService->writeTimeline(timelineOutPath(),
+                                        "bm_stream_scale", "exit");
+    }
+
     const std::string path =
         writeBenchSeries("bm_stream_scale", metrics);
     std::printf("\nwrote %s\n", path.c_str());
     std::printf("stream scale: all checks passed\n");
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+    resilience::installShutdownHandler();
+    resilience::installDumpSignalHandler();
+    try {
+        return runScale(argc, argv);
+    } catch (const FatalError &) {
+        // A fatal mid-run still leaves a postmortem: dump the live
+        // service's telemetry, then let the error terminate the
+        // process exactly as before.
+        if (liveService != nullptr && timelineActive())
+            liveService->writeTimeline(timelineOutPath(),
+                                       "bm_stream_scale", "fatal");
+        throw;
+    }
 }

@@ -33,6 +33,19 @@
  * in CI. Deterministic totals are reported as exact-gated metrics in
  * BENCH_bm_stream.json; wall-clock throughput rides along ungated.
  *
+ * With --timeline-out (or TDP_TIMELINE_OUT) the per-phase services
+ * run with the tick-indexed telemetry timeline enabled: the dump
+ * file is refreshed at the end of every parallel phase (reason
+ * "exit"), on SIGTERM drain ("sigterm", alongside partial stream.*
+ * manifest sections and exit code 113) and on a mid-sweep fatal
+ * ("fatal"); SIGUSR2 writes a `.sigusr2` side file mid-run and the
+ * first quarantine writes a `.quarantine` side file. The timeline
+ * digest joins the serial-vs-parallel comparison, and a telemetry
+ * off/on A/B pass reports the ceiling-gated telemetry_overhead_ratio
+ * metric (min over alternated pairs, limit 1.05). Without the flag
+ * none of this runs and stdout is byte-identical to a build without
+ * the telemetry code.
+ *
  * Flags (after the shared bench flags, see bench_util.hh):
  *   --stream PHASES   comma list of phases to run (default: all)
  *   --clients N       fleet size per workload, 2..4096
@@ -63,6 +76,7 @@
 #include "common/logging.hh"
 #include "measure/trace_io.hh"
 #include "resilience/retry.hh"
+#include "resilience/shutdown.hh"
 #include "stream/service.hh"
 #include "stream/synthetic.hh"
 
@@ -132,10 +146,75 @@ loadOf(const Workload &w, int round, int client)
     return u;
 }
 
+/**
+ * The service whose telemetry a mid-run dump (SIGUSR2, SIGTERM,
+ * fatal) snapshots. Phases run strictly one at a time on the main
+ * thread, so a plain pointer to the live service is safe; it is
+ * cleared before the service goes out of scope.
+ */
+const StreamService *liveService = nullptr;
+
+/** One `.quarantine` dump per process: first quarantine wins. */
+bool quarantineDumped = false;
+
+/** True when --timeline-out / TDP_TIMELINE_OUT enabled telemetry. */
+bool
+timelineActive()
+{
+    return !timelineOutPath().empty();
+}
+
+/**
+ * Poll the async-signal flags between ticks (the handlers only set
+ * relaxed atomics, PR-5 style). SIGUSR2 dumps the live telemetry to
+ * a side file and continues; SIGTERM flushes whatever the live
+ * service has seen so far - partial stream.* manifest sections and
+ * the timeline - then exits with the clean-abort code so postmortems
+ * of drained runs are never empty.
+ */
+void
+pollSignals(const StreamService &service)
+{
+    if (resilience::dumpRequested()) {
+        if (timelineActive())
+            service.writeTimeline(timelineOutPath() + ".sigusr2",
+                                  "bm_stream", "sigusr2");
+        resilience::clearDumpRequest();
+    }
+    if (!resilience::shutdownRequested())
+        return;
+    if (observabilityEnabled()) {
+        service.addManifestSections(runManifest());
+        if (timelineActive())
+            service.writeTimeline(timelineOutPath(), "bm_stream",
+                                  "sigterm");
+        flushObservability();
+    }
+    std::exit(resilience::cleanAbortExitCode);
+}
+
+/**
+ * Digest of every sealed timeline window, folded bytewise (sealing
+ * zeroes the padding). Part of PhaseResult, so the sweep's serial
+ * vs parallel comparison also proves the *telemetry* is
+ * byte-identical at any worker count. 0 when the timeline is off.
+ */
+uint64_t
+timelineDigestOf(const StreamService &service)
+{
+    uint64_t digest = fnv1aBasis;
+    service.telemetry().timeline().forEach(
+        [&](const stream::TimelineWindow &w) {
+            digest = fnv1a64(&w, sizeof w, digest);
+        });
+    return digest;
+}
+
 /** Everything a phase run must reproduce at any worker count. */
 struct PhaseResult
 {
     uint64_t digest = 0;
+    uint64_t timelineDigest = 0;
     uint64_t offered = 0;
     uint64_t shed = 0;
     uint64_t overflow = 0;
@@ -173,6 +252,10 @@ phaseConfig(const SweepOptions &opt, size_t workload,
     cfg.drainBudget = 64;
     cfg.evictEveryTicks = 16;
     cfg.verifyRefits = true;
+    // The flight recorder is always on; the timeline ring + HDR
+    // latency windows engage only when a dump path was configured.
+    cfg.telemetry.timeline = timelineActive();
+    cfg.telemetry.windowTicks = 16;
 
     if (phase == "overload") {
         // Tight rings and a small drain budget: the burst traffic
@@ -207,6 +290,21 @@ runPhase(const SweepOptions &opt, size_t workload,
     StreamService service(cfg, stream::synthetic::trainedEstimator());
     const ExperimentPool pool(jobs);
     stream::synthetic::Fleet fleet(opt.clients, 40);
+    liveService = &service;
+
+    // Between-tick bookkeeping: answer SIGUSR2/SIGTERM promptly and
+    // snapshot the flight recorder the first time a client lands in
+    // quarantine (the `.quarantine` side file survives the exit
+    // overwrite of the main dump).
+    const auto afterTick = [&] {
+        pollSignals(service);
+        if (timelineActive() && !quarantineDumped &&
+            service.sessionStats().quarantines > 0) {
+            quarantineDumped = true;
+            service.writeTimeline(timelineOutPath() + ".quarantine",
+                                  "bm_stream", "quarantine");
+        }
+    };
 
     PhaseResult result;
     const int half = opt.rounds / 2;
@@ -245,12 +343,16 @@ runPhase(const SweepOptions &opt, size_t workload,
             }
         }
         service.tick(pool);
+        afterTick();
     }
     // Drain the backlog the overload phase leaves in the rings.
-    for (int i = 0; i < 64; ++i)
+    for (int i = 0; i < 64; ++i) {
         service.tick(pool);
+        afterTick();
+    }
 
     result.digest = service.digest();
+    result.timelineDigest = timelineDigestOf(service);
     result.shed = service.ingestStats().shed;
     result.overflow = service.ingestStats().overflow;
     const auto sessions = service.sessionStats();
@@ -276,6 +378,11 @@ runPhase(const SweepOptions &opt, size_t workload,
     if (observabilityEnabled() && phase == "drift" &&
         workload + 1 == suite.size() && jobs > 1)
         service.addManifestSections(runManifest());
+    // Every parallel run refreshes the exit dump; the last completed
+    // phase wins, so the file always holds a full, current snapshot.
+    if (timelineActive() && jobs > 1)
+        service.writeTimeline(timelineOutPath(), "bm_stream", "exit");
+    liveService = nullptr;
     return result;
 }
 
@@ -324,6 +431,78 @@ assertPhaseInteresting(const PhaseResult &r, const char *workload,
               workload,
               static_cast<unsigned long long>(r.driftEngaged),
               static_cast<unsigned long long>(r.driftRecovered));
+}
+
+/**
+ * One timed leg of the telemetry-overhead A/B: a steady gcc-shaped
+ * workload driven through a fresh single-worker service with the
+ * timeline either off or on. Refit verification is disabled so the
+ * measurement covers the service hot path, not the bitwise refit
+ * checker.
+ */
+double
+overheadLeg(const SweepOptions &opt, bool timeline, uint64_t *digest)
+{
+    StreamConfig cfg = phaseConfig(opt, 1, "steady");
+    cfg.verifyRefits = false;
+    cfg.telemetry.timeline = timeline;
+    StreamService service(cfg, stream::synthetic::trainedEstimator());
+    const ExperimentPool pool(1);
+    const int clients = 192;
+    const int rounds = 96;
+    stream::synthetic::Fleet fleet(clients, 40);
+    const Workload &w = suite[1];
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int round = 0; round < rounds; ++round) {
+        for (int c = 0; c < clients; ++c)
+            service.offer(fleet.next(c, loadOf(w, round, c)));
+        service.tick(pool);
+    }
+    for (int i = 0; i < 16; ++i)
+        service.tick(pool);
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    *digest = service.digest();
+    return seconds;
+}
+
+/**
+ * Telemetry-on vs telemetry-off wall-clock ratio, taken as the MIN
+ * over alternated off/on pairs. Scheduler noise on a busy box only
+ * ever inflates a leg, so the smallest observed ratio is the
+ * tightest sound estimate of the true overhead; a mean would gate on
+ * the noise instead. The off and on legs must produce the same
+ * digest - telemetry never touches the estimation path.
+ */
+double
+measureTelemetryOverhead(const SweepOptions &opt)
+{
+    uint64_t warm = 0;
+    overheadLeg(opt, false, &warm); // warm caches outside the pairs
+    double best = 0.0;
+    const int pairs = 3;
+    for (int pair = 0; pair < pairs; ++pair) {
+        uint64_t offDigest = 0;
+        uint64_t onDigest = 0;
+        const double off = overheadLeg(opt, false, &offDigest);
+        const double on = overheadLeg(opt, true, &onDigest);
+        if (offDigest != onDigest)
+            fatal("stream_sweep: enabling telemetry changed the "
+                  "service digest (%016llx off, %016llx on) - "
+                  "telemetry must never touch the estimation path",
+                  static_cast<unsigned long long>(offDigest),
+                  static_cast<unsigned long long>(onDigest));
+        const double ratio = off > 0.0 ? on / off : 1.0;
+        if (best == 0.0 || ratio < best)
+            best = ratio;
+    }
+    emitStats("stream_sweep: telemetry overhead ratio %.4f "
+              "(min of %d off/on pairs)",
+              best, pairs);
+    return best;
 }
 
 SweepOptions
@@ -420,12 +599,9 @@ parseOptions(const std::vector<std::string> &args)
     return opt;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runSweep(int argc, char **argv)
 {
-    initBench(argc, argv);
     const SweepOptions opt = parseOptions(positionalArgs(argc, argv));
     const int wide = jobs() > 1 ? jobs() : 2;
 
@@ -562,8 +738,45 @@ main(int argc, char **argv)
     wall.gate = false;
     wall.direction = "lower";
     metrics.push_back(wall);
+
+    if (timelineActive()) {
+        // Ceiling-gated: telemetry on must stay within 5% of off.
+        // Only measured (and only present in the JSON) when a
+        // timeline path is configured, matching how the committed
+        // baseline is produced.
+        MetricSeries overhead;
+        overhead.name = "telemetry_overhead_ratio";
+        overhead.values = {measureTelemetryOverhead(opt)};
+        overhead.unit = "x";
+        overhead.gate = true;
+        overhead.direction = "ceiling";
+        overhead.limit = 1.05;
+        metrics.push_back(overhead);
+    }
+
     const std::string path = writeBenchSeries("bm_stream", metrics);
     std::printf("\nwrote %s\n", path.c_str());
     std::printf("stream sweep: all checks passed\n");
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+    resilience::installShutdownHandler();
+    resilience::installDumpSignalHandler();
+    try {
+        return runSweep(argc, argv);
+    } catch (const FatalError &) {
+        // A fatal mid-sweep still leaves a postmortem: dump the live
+        // service's telemetry, then let the error terminate the
+        // process exactly as before.
+        if (liveService != nullptr && timelineActive())
+            liveService->writeTimeline(timelineOutPath(), "bm_stream",
+                                       "fatal");
+        throw;
+    }
 }

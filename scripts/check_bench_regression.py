@@ -8,9 +8,12 @@ machine-portable by construction (deterministic counters and
 scalar-vs-SIMD ratios), never wall-clock seconds.
 
 Gate rule per metric, driven by its "direction":
-  higher: fail when current mean < baseline mean - threshold
-  lower:  fail when current mean > baseline mean + threshold
-  exact:  fail on any mean change beyond epsilon
+  higher:  fail when current mean < baseline mean - threshold
+  lower:   fail when current mean > baseline mean + threshold
+  exact:   fail on any mean change beyond epsilon
+  ceiling: fail when current mean > the baseline's hard "limit"
+           (carried in the baseline file, never re-derived from
+           noise - used for the telemetry overhead ratio)
 with threshold = max(k_sigma * baseline stddev, rel_tol * |baseline
 mean|). The stddev term absorbs run-to-run noise measured at baseline
 time; the relative floor absorbs cross-machine variation (CI runners
@@ -99,6 +102,26 @@ def check_bench(base_doc, cur_doc, k_sigma, rel_tol, verbose):
                     f"got {cur_mean:g}")
             elif verbose:
                 print(f"    ok   {name}: {cur_mean:g} (exact)")
+            continue
+        if direction == "ceiling":
+            try:
+                limit = float(base["limit"])
+            except (KeyError, TypeError, ValueError) as err:
+                failures.append(
+                    f"{name}: ceiling metric lacks a numeric "
+                    f"'limit' ({err!r}) - regenerate the baseline "
+                    f"with the current bench binary")
+                continue
+            if math.isnan(limit):
+                failures.append(f"{name}: ceiling limit is NaN")
+                continue
+            if math.isnan(cur_mean) or cur_mean > limit:
+                failures.append(
+                    f"{name}: exceeded the hard ceiling "
+                    f"(limit {limit:g}, current {cur_mean:g})")
+            elif verbose:
+                print(f"    ok   {name}: {cur_mean:g} "
+                      f"(ceiling {limit:g})")
             continue
         threshold = max(k_sigma * float(base.get("stddev", 0.0)),
                         rel_tol * abs(base_mean))
@@ -203,10 +226,14 @@ def self_test():
     import io
     import tempfile
 
-    def doc(mean=5.0, name="ops", gate=True, drop_mean=False):
+    def doc(mean=5.0, name="ops", gate=True, drop_mean=False,
+            direction="exact", limit=None):
         metric = {"name": name, "unit": "count", "gate": gate,
-                  "direction": "exact", "mean": mean, "stddev": 0.0,
-                  "min": mean, "max": mean, "values": [mean]}
+                  "direction": direction, "mean": mean,
+                  "stddev": 0.0, "min": mean, "max": mean,
+                  "values": [mean]}
+        if limit is not None:
+            metric["limit"] = limit
         if drop_mean:
             del metric["mean"]
         return {"bench": "self", "format_version": 2,
@@ -270,6 +297,31 @@ def self_test():
         expect("malformed metric", status, 1, text,
                "malformed metric")
 
+        # Ceiling metrics: under the baseline's hard limit passes,
+        # over it fails, and a ceiling baseline without a limit is
+        # malformed - the limit is carried in the file, never
+        # re-derived from noise.
+        write(base, "BENCH_a.json",
+              doc(mean=1.0, direction="ceiling", limit=1.05))
+        write(cur, "BENCH_a.json",
+              doc(mean=1.02, direction="ceiling", limit=1.05))
+        status, text = gate(base, cur)
+        expect("ceiling pass", status, 0, text,
+               "1 gated metric(s) ok")
+
+        write(cur, "BENCH_a.json",
+              doc(mean=1.2, direction="ceiling", limit=1.05))
+        status, text = gate(base, cur)
+        expect("ceiling breach", status, 1, text,
+               "exceeded the hard ceiling")
+
+        write(base, "BENCH_a.json", doc(mean=1.0,
+                                        direction="ceiling"))
+        status, text = gate(base, cur)
+        expect("ceiling without limit", status, 1, text,
+               "lacks a numeric 'limit'")
+        write(cur, "BENCH_a.json", doc())
+
         # Everything in one run: a corrupt baseline file plus two
         # independently drifted metrics in another bench must all
         # appear in a single report - the gate never stops at the
@@ -300,7 +352,7 @@ def self_test():
         for failure in failures:
             print(f"self-test FAIL: {failure}")
         return 1
-    print("self-test ok: 6 scenario(s)")
+    print("self-test ok: 9 scenario(s)")
     return 0
 
 

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Render a stream telemetry timeline as a per-window text table.
+
+Usage: summarize_timeline.py FILE.json
+
+Accepts either format the telemetry layer produces:
+ - a tdp-stream-timeline dump written by the stream benches via
+   --timeline-out (including the `.sigusr2` and `.quarantine` side
+   files), or
+ - a tdp-run-manifest whose sections carry the flattened
+   stream.timeline (written with --manifest-out when telemetry is
+   on).
+
+The dump is schema-checked strictly before anything is rendered, so
+the script doubles as the CI validator for mid-run SIGUSR2 dumps.
+Stdlib only. Exits non-zero with a message naming the first
+violation.
+"""
+
+import json
+import sys
+
+DRIFT_STATES = ("healthy", "degraded", "probation")
+WINDOW_NUMBER_KEYS = (
+    "tick", "offered", "admitted", "shed", "overflow", "drained",
+    "accepted", "invalid", "quarantines", "evicted", "refits",
+    "full_qr_refits", "degraded_publishes", "unestimable",
+    "drift_engaged", "drift_recovered", "drift_relapses", "shards",
+    "occupancy_max", "occupancy_mean", "latency_count",
+    "latency_max_ticks", "p50_ticks", "p99_ticks", "p999_ticks")
+HDR_KEYS = (
+    "count", "max_ticks", "p50_ticks", "p99_ticks", "p999_ticks",
+    "sub_bucket_bits", "rel_error_bound", "buckets_used")
+EVENT_KEYS = ("tick", "kind", "client", "detail", "code", "value")
+
+
+def fail(msg):
+    print(f"summarize_timeline: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def is_number(value):
+    return (isinstance(value, (int, float))
+            and not isinstance(value, bool))
+
+
+def check_window(w, where):
+    expect(isinstance(w, dict), f"{where} must be an object")
+    for key in WINDOW_NUMBER_KEYS:
+        expect(key in w, f"{where}.{key} missing")
+        expect(is_number(w[key]), f"{where}.{key} must be a number")
+    state = w.get("drift_state")
+    expect(isinstance(state, str) and state.lower() in DRIFT_STATES,
+           f"{where}.drift_state must be one of {DRIFT_STATES}, "
+           f"got {state!r}")
+    rails = w.get("rail_states")
+    expect(isinstance(rails, list) and rails,
+           f"{where}.rail_states must be a non-empty list")
+    for rail in rails:
+        expect(isinstance(rail, str) and rail.lower() in DRIFT_STATES,
+               f"{where}.rail_states entries must be drift states, "
+               f"got {rail!r}")
+    if w["latency_count"] > 0:
+        expect(w["p50_ticks"] <= w["p99_ticks"] <= w["p999_ticks"]
+               <= w["latency_max_ticks"],
+               f"{where}: quantiles must be ordered "
+               f"p50 <= p99 <= p999 <= max")
+
+
+def check_quantile_block(block, where):
+    for key in HDR_KEYS:
+        expect(key in block, f"{where}.{key} missing")
+        expect(is_number(block[key]),
+               f"{where}.{key} must be a number")
+    expect(0 < block["rel_error_bound"] <= 0.5,
+           f"{where}.rel_error_bound out of range")
+    if block["count"] > 0:
+        expect(block["p50_ticks"] <= block["p99_ticks"]
+               <= block["p999_ticks"] <= block["max_ticks"],
+               f"{where}: quantiles must be ordered")
+
+
+def check_flight(flight):
+    expect(isinstance(flight, dict), "flight must be an object")
+    for key in ("rings", "capacity", "recorded", "dropped"):
+        expect(is_number(flight.get(key)),
+               f"flight.{key} must be a number")
+    data = flight.get("data")
+    expect(isinstance(data, list) and len(data) == flight["rings"],
+           "flight.data must list one object per ring")
+    for i, ring in enumerate(data):
+        where = f"flight.data[{i}]"
+        expect(isinstance(ring, dict), f"{where} must be an object")
+        for key in ("ring", "recorded", "dropped"):
+            expect(is_number(ring.get(key)),
+                   f"{where}.{key} must be a number")
+        events = ring.get("events")
+        expect(isinstance(events, list),
+               f"{where}.events must be a list")
+        expect(len(events) <= flight["capacity"],
+               f"{where} holds more events than the ring capacity")
+        expect(ring["recorded"] - ring["dropped"] >= len(events),
+               f"{where}: recorded - dropped < retained events")
+        for j, event in enumerate(events):
+            ewhere = f"{where}.events[{j}]"
+            expect(isinstance(event, dict),
+                   f"{ewhere} must be an object")
+            for key in EVENT_KEYS:
+                expect(key in event, f"{ewhere}.{key} missing")
+            expect(isinstance(event["kind"], str) and event["kind"],
+                   f"{ewhere}.kind must be a non-empty string")
+
+
+def parse_dump(doc):
+    """Strictly validate a tdp-stream-timeline dump; returns
+    (windows, hdr, flight, header)."""
+    expect(doc.get("version") == 1,
+           f"version must be 1, got {doc.get('version')!r}")
+    for key in ("tool", "reason"):
+        expect(isinstance(doc.get(key), str) and doc[key],
+               f"{key} must be a non-empty string")
+    expect(is_number(doc.get("window_ticks"))
+           and doc["window_ticks"] >= 1,
+           "window_ticks must be a positive number")
+    expect(isinstance(doc.get("timeline_enabled"), bool),
+           "timeline_enabled must be a boolean")
+
+    timeline = doc.get("timeline")
+    expect(isinstance(timeline, dict), "timeline must be an object")
+    for key in ("capacity", "recorded", "dropped"):
+        expect(is_number(timeline.get(key)),
+               f"timeline.{key} must be a number")
+    windows = timeline.get("windows")
+    expect(isinstance(windows, list), "timeline.windows must be a list")
+    expect(len(windows) <= timeline["capacity"],
+           "timeline holds more windows than its capacity")
+    last_tick = -1
+    for i, w in enumerate(windows):
+        check_window(w, f"timeline.windows[{i}]")
+        expect(w["tick"] > last_tick,
+               f"timeline.windows[{i}].tick must increase "
+               f"(got {w['tick']} after {last_tick})")
+        last_tick = w["tick"]
+
+    hdr = doc.get("latency_hdr")
+    expect(isinstance(hdr, dict), "latency_hdr must be an object")
+    check_quantile_block(hdr, "latency_hdr")
+
+    flight = doc.get("flight")
+    check_flight(flight)
+
+    header = (f"{doc['tool']} dump, reason={doc['reason']}, "
+              f"window={doc['window_ticks']} ticks, "
+              f"timeline={'on' if doc['timeline_enabled'] else 'off'}")
+    return windows, hdr, flight, header
+
+
+def parse_manifest(doc):
+    """Rebuild windows from a run manifest's flattened
+    stream.timeline section (a key subset of the dump's windows)."""
+    sections = doc.get("sections")
+    expect(isinstance(sections, dict), "manifest has no sections")
+    timeline = sections.get("stream.timeline")
+    expect(isinstance(timeline, dict),
+           "manifest has no stream.timeline section (was the bench "
+           "run with --timeline-out?)")
+    count = timeline.get("windows")
+    expect(isinstance(count, int) and count >= 1,
+           "stream.timeline.windows must be a positive integer")
+    windows = []
+    for i in range(count):
+        prefix = f"w{i}."
+        w = {key[len(prefix):]: value
+             for key, value in timeline.items()
+             if key.startswith(prefix)}
+        expect("tick" in w, f"stream.timeline.{prefix}tick missing")
+        windows.append(w)
+
+    hdr = sections.get("stream.latency_hdr")
+    expect(isinstance(hdr, dict),
+           "manifest has no stream.latency_hdr section")
+    flight = sections.get("stream.flight")
+    expect(isinstance(flight, dict),
+           "manifest has no stream.flight section")
+    header = (f"{doc.get('tool', '?')} manifest, "
+              f"window={timeline.get('window_ticks', '?')} ticks")
+    return windows, hdr, flight, header
+
+
+def shed_rate(w):
+    offered = w.get("offered", 0)
+    if not offered:
+        return 0.0
+    return (w.get("shed", 0) + w.get("overflow", 0)) / offered
+
+
+def render(windows, hdr, flight, header):
+    print(header)
+    print()
+    print(f"{'win':>3} {'tick':>6} {'offered':>8} {'accepted':>8} "
+          f"{'shed%':>6} {'occ max':>7} {'occ mean':>8} "
+          f"{'drift':>9} {'p50':>5} {'p99':>5} {'p999':>5}")
+    for i, w in enumerate(windows):
+        print(f"{i:>3} {w.get('tick', 0):>6} "
+              f"{w.get('offered', 0):>8} {w.get('accepted', 0):>8} "
+              f"{100.0 * shed_rate(w):>6.2f} "
+              f"{w.get('occupancy_max', 0):>7} "
+              f"{w.get('occupancy_mean', 0):>8.2f} "
+              f"{w.get('drift_state', '?'):>9} "
+              f"{w.get('p50_ticks', 0):>5} "
+              f"{w.get('p99_ticks', 0):>5} "
+              f"{w.get('p999_ticks', 0):>5}")
+    print()
+    print(f"latency (cumulative): {hdr['count']} samples, "
+          f"p50 {hdr['p50_ticks']} / p99 {hdr['p99_ticks']} / "
+          f"p999 {hdr['p999_ticks']} / max {hdr['max_ticks']} ticks "
+          f"(rel err <= {hdr['rel_error_bound']:.4f})")
+    line = (f"flight recorder: {flight['recorded']} events recorded, "
+            f"{flight['dropped']} overwritten, "
+            f"{flight['rings']} rings x {flight['capacity']}")
+    kinds = {}
+    for ring in flight.get("data", []):
+        for event in ring.get("events", []):
+            kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+    if kinds:
+        retained = ", ".join(f"{kind}:{count}" for kind, count in
+                             sorted(kinds.items(),
+                                    key=lambda item: -item[1]))
+        line += f"; retained: {retained}"
+    print(line)
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2 if len(sys.argv) != 2 else 0)
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot load {path}: {err}")
+
+    expect(isinstance(doc, dict), "document must be a JSON object")
+    schema = doc.get("schema")
+    if schema == "tdp-stream-timeline":
+        render(*parse_dump(doc))
+    elif schema == "tdp-run-manifest":
+        render(*parse_manifest(doc))
+    else:
+        fail(f"unknown schema {schema!r} (want tdp-stream-timeline "
+             f"or tdp-run-manifest)")
+
+
+if __name__ == "__main__":
+    main()

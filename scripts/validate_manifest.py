@@ -2,6 +2,7 @@
 """Validate a tdp-run-manifest JSON document (stdlib only).
 
 Usage: validate_manifest.py MANIFEST.json [--expect-runs N]
+           [--require-stream] [--require-stream-timeline]
 
 Checks the schema-versioned structure written by obs::RunManifest:
 field presence, types, fingerprint format, histogram snapshot shape.
@@ -99,6 +100,87 @@ def check_stream_sections(sections):
                          f"stream.rails.{rail}.{key}")
 
 
+STREAM_TIMELINE_SUMMARY_KEYS = (
+    "window_ticks", "capacity", "windows", "recorded", "dropped")
+STREAM_TIMELINE_WINDOW_KEYS = (
+    "tick", "offered", "admitted", "shed", "overflow", "accepted",
+    "invalid", "quarantines", "evicted", "refits", "drift_engaged",
+    "drift_recovered", "occupancy_max", "occupancy_mean",
+    "latency_count", "latency_max_ticks", "p50_ticks", "p99_ticks",
+    "p999_ticks")
+STREAM_HDR_KEYS = (
+    "count", "max_ticks", "p50_ticks", "p99_ticks", "p999_ticks",
+    "sub_bucket_bits", "rel_error_bound", "buckets_used")
+STREAM_FLIGHT_KEYS = ("rings", "capacity", "recorded", "dropped")
+
+
+def check_stream_timeline_sections(sections):
+    """Schema of the StreamTelemetry manifest sections (PR 9):
+    the tick-indexed timeline, the HDR latency summary and the
+    flight-recorder totals."""
+    expect("stream.timeline" in sections,
+           "section stream.timeline missing (was the bench run with "
+           "--timeline-out / TDP_TIMELINE_OUT?)")
+    timeline = sections["stream.timeline"]
+    for key in STREAM_TIMELINE_SUMMARY_KEYS:
+        expect(key in timeline, f"stream.timeline.{key} missing")
+        check_number(timeline[key], f"stream.timeline.{key}")
+    windows = timeline["windows"]
+    expect(isinstance(windows, int) and windows >= 1,
+           "stream.timeline.windows must be a positive integer - an "
+           "empty timeline proves nothing")
+    last_tick = -1
+    for w in range(windows):
+        prefix = f"w{w}."
+        for key in STREAM_TIMELINE_WINDOW_KEYS:
+            full = prefix + key
+            expect(full in timeline,
+                   f"stream.timeline.{full} missing")
+            check_number(timeline[full], f"stream.timeline.{full}")
+        state = timeline.get(prefix + "drift_state")
+        expect(isinstance(state, str)
+               and state.lower() in STREAM_DRIFT_STATES,
+               f"stream.timeline.{prefix}drift_state must be one of "
+               f"{STREAM_DRIFT_STATES}, got {state!r}")
+        tick = timeline[prefix + "tick"]
+        expect(tick > last_tick,
+               f"stream.timeline.{prefix}tick must increase "
+               f"(got {tick} after {last_tick})")
+        last_tick = tick
+        if timeline[prefix + "latency_count"] > 0:
+            p50 = timeline[prefix + "p50_ticks"]
+            p99 = timeline[prefix + "p99_ticks"]
+            p999 = timeline[prefix + "p999_ticks"]
+            pmax = timeline[prefix + "latency_max_ticks"]
+            expect(p50 <= p99 <= p999 <= pmax,
+                   f"stream.timeline.{prefix} quantiles must be "
+                   f"ordered p50 <= p99 <= p999 <= max, got "
+                   f"{p50}/{p99}/{p999}/{pmax}")
+
+    expect("stream.latency_hdr" in sections,
+           "section stream.latency_hdr missing")
+    hdr = sections["stream.latency_hdr"]
+    for key in STREAM_HDR_KEYS:
+        expect(key in hdr, f"stream.latency_hdr.{key} missing")
+        check_number(hdr[key], f"stream.latency_hdr.{key}")
+    expect(0 < hdr["rel_error_bound"] <= 0.5,
+           "stream.latency_hdr.rel_error_bound out of range")
+    if hdr["count"] > 0:
+        expect(hdr["p50_ticks"] <= hdr["p99_ticks"]
+               <= hdr["p999_ticks"] <= hdr["max_ticks"],
+               "stream.latency_hdr quantiles must be ordered")
+
+    expect("stream.flight" in sections,
+           "section stream.flight missing")
+    flight = sections["stream.flight"]
+    for key in STREAM_FLIGHT_KEYS:
+        expect(key in flight, f"stream.flight.{key} missing")
+        check_number(flight[key], f"stream.flight.{key}")
+    expect(flight["rings"] >= 2,
+           "stream.flight.rings must cover the shards plus the "
+           "service ring")
+
+
 def check_manifest(doc, expect_runs):
     expect(isinstance(doc, dict), "document must be a JSON object")
     expect(doc.get("schema") == "tdp-run-manifest",
@@ -170,6 +252,12 @@ def main():
                         help="additionally require the stream.* "
                              "sections written by the streaming "
                              "estimation service")
+    parser.add_argument("--require-stream-timeline",
+                        action="store_true",
+                        help="additionally require the telemetry "
+                             "sections (stream.timeline, "
+                             "stream.latency_hdr, stream.flight) "
+                             "written when --timeline-out is set")
     args = parser.parse_args()
 
     try:
@@ -181,6 +269,8 @@ def main():
     check_manifest(doc, args.expect_runs)
     if args.require_stream:
         check_stream_sections(doc.get("sections", {}))
+    if args.require_stream_timeline:
+        check_stream_timeline_sections(doc.get("sections", {}))
     print(f"validate_manifest: {args.manifest} OK "
           f"({len(doc['runs'])} runs, {len(doc['metrics'])} metrics, "
           f"{len(doc['stats']['counters'])} counters)")

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Implementation of the bounded flight recorder.
+ */
+
+#include "obs/flight_recorder.hh"
+
+#include "common/logging.hh"
+#include "obs/json_writer.hh"
+
+namespace tdp {
+namespace obs {
+
+FlightRecorder::FlightRecorder(size_t rings, size_t capacity)
+    : capacity_(capacity)
+{
+    if (rings == 0 || capacity == 0)
+        fatal("FlightRecorder: rings (%zu) and capacity (%zu) must "
+              "be positive",
+              rings, capacity);
+    rings_.assign(rings, Ring{});
+    slots_.assign(rings * capacity, FlightEvent{});
+}
+
+uint64_t
+FlightRecorder::totalRecorded() const
+{
+    uint64_t total = 0;
+    for (const Ring &r : rings_)
+        total += r.recorded;
+    return total;
+}
+
+uint64_t
+FlightRecorder::totalDropped() const
+{
+    uint64_t total = 0;
+    for (const Ring &r : rings_)
+        total += r.dropped;
+    return total;
+}
+
+void
+FlightRecorder::writeJson(JsonWriter &json,
+                          const char *(*kindName)(uint16_t)) const
+{
+    json.beginArray();
+    for (size_t ring = 0; ring < rings_.size(); ++ring) {
+        json.beginObject();
+        json.keyValue("ring", static_cast<uint64_t>(ring));
+        json.keyValue("recorded", rings_[ring].recorded);
+        json.keyValue("dropped", rings_[ring].dropped);
+        json.key("events");
+        json.beginArray();
+        forEach(ring, [&](const FlightEvent &event) {
+            json.beginObject();
+            json.keyValue("tick", event.tick);
+            json.keyValue("kind", kindName(event.kind));
+            json.keyValue("client", event.client);
+            json.keyValue("detail", event.detail);
+            json.keyValue("code", static_cast<uint64_t>(event.code));
+            json.keyValue("value", event.value);
+            json.endObject();
+        });
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+}
+
+} // namespace obs
+} // namespace tdp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Always-on, bounded-memory flight recorder.
+ *
+ * A fixed set of fixed-capacity event rings, preallocated at
+ * construction. Each ring is single-writer by contract (the stream
+ * service records shard-level events from the serial fold and
+ * rail-level events from the serial refit step), so recording is a
+ * plain POD store plus two index increments - lock-free, wait-free,
+ * and allocation-free. When a ring is full the oldest event is
+ * overwritten and an exact per-ring drop counter advances, so a
+ * postmortem dump always holds the *newest* events and states
+ * precisely how many it lost.
+ *
+ * The event payload is deliberately generic (the owner defines the
+ * `kind` enum and interprets `code`/`detail`/`value`); the recorder
+ * itself knows nothing about streams so it can serve any subsystem.
+ */
+
+#ifndef TDP_OBS_FLIGHT_RECORDER_HH
+#define TDP_OBS_FLIGHT_RECORDER_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include <vector>
+
+namespace tdp {
+namespace obs {
+
+class JsonWriter;
+
+/** One structured event. POD; meaning of the fields is owner-defined. */
+struct FlightEvent {
+    uint64_t tick = 0;   ///< logical tick, never wall-clock
+    uint64_t client = 0; ///< subject id (client, rail, task, ...)
+    uint64_t detail = 0; ///< owner-defined (sequence number, ...)
+    double value = 0.0;  ///< owner-defined (rmse, watts, ...)
+    uint32_t code = 0;   ///< owner-defined discriminator (verdict, rail)
+    uint16_t kind = 0;   ///< owner-defined event kind
+    uint16_t ring = 0;   ///< filled by record(): ring it landed in
+};
+
+class FlightRecorder {
+  public:
+    /** Preallocate @p rings rings of @p capacity events each. */
+    FlightRecorder(size_t rings, size_t capacity);
+
+    /**
+     * Append @p event to @p ring, overwriting the oldest entry when
+     * full. Single-writer per ring; never allocates.
+     */
+    void record(size_t ring, FlightEvent event)
+    {
+        Ring &r = rings_[ring];
+        event.ring = static_cast<uint16_t>(ring);
+        if (r.count < capacity_) {
+            slots_[ring * capacity_ + (r.head + r.count) % capacity_] =
+                event;
+            ++r.count;
+        } else {
+            slots_[ring * capacity_ + r.head] = event;
+            r.head = (r.head + 1) % capacity_;
+            ++r.dropped;
+        }
+        ++r.recorded;
+    }
+
+    size_t rings() const { return rings_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    /** Events currently held in @p ring. */
+    size_t size(size_t ring) const { return rings_[ring].count; }
+
+    /** Total record() calls on @p ring since construction. */
+    uint64_t recorded(size_t ring) const { return rings_[ring].recorded; }
+
+    /** Events overwritten (lost) on @p ring since construction. */
+    uint64_t dropped(size_t ring) const { return rings_[ring].dropped; }
+
+    uint64_t totalRecorded() const;
+    uint64_t totalDropped() const;
+
+    /** Visit @p ring oldest -> newest. */
+    template <typename Fn>
+    void forEach(size_t ring, Fn &&fn) const
+    {
+        const Ring &r = rings_[ring];
+        for (size_t i = 0; i < r.count; ++i)
+            fn(slots_[ring * capacity_ + (r.head + i) % capacity_]);
+    }
+
+    /**
+     * Serialize every ring as a JSON array of ring objects. @p kindName
+     * maps FlightEvent::kind to a stable string (never null).
+     */
+    void writeJson(JsonWriter &json,
+                   const char *(*kindName)(uint16_t)) const;
+
+  private:
+    struct Ring {
+        size_t head = 0;
+        size_t count = 0;
+        uint64_t recorded = 0;
+        uint64_t dropped = 0;
+    };
+
+    size_t capacity_;
+    std::vector<Ring> rings_;
+    std::vector<FlightEvent> slots_;
+};
+
+} // namespace obs
+} // namespace tdp
+
+#endif // TDP_OBS_FLIGHT_RECORDER_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Implementation of the log-linear HDR-style histogram.
+ */
+
+#include "obs/hdr_histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tdp {
+namespace obs {
+
+HdrHistogram::HdrHistogram(int subBucketBits) : bits_(subBucketBits)
+{
+    if (bits_ < 1 || bits_ > 12)
+        fatal("HdrHistogram: subBucketBits %d out of [1, 12]", bits_);
+    // Linear region: one bucket per value below 2^bits. Above it,
+    // each power of two is split into 2^bits sub-buckets; a 64-bit
+    // value spans (64 - bits) such half-decades on top of the two
+    // exact ones, giving (65 - bits) * 2^bits buckets in total.
+    const size_t sub = size_t(1) << bits_;
+    counts_.assign((size_t(65) - static_cast<size_t>(bits_)) * sub, 0);
+}
+
+size_t
+HdrHistogram::indexOf(uint64_t value) const
+{
+    const uint64_t sub = uint64_t(1) << bits_;
+    if (value < sub)
+        return static_cast<size_t>(value);
+    const int shift = std::bit_width(value) - 1 - bits_;
+    const uint64_t top = value >> shift; // in [sub, 2 * sub)
+    return static_cast<size_t>(shift) * static_cast<size_t>(sub) +
+           static_cast<size_t>(top);
+}
+
+uint64_t
+HdrHistogram::bucketHigh(size_t index) const
+{
+    const uint64_t sub = uint64_t(1) << bits_;
+    if (index < sub)
+        return index;
+    const uint64_t shift = index / sub - 1;
+    const uint64_t top = index - shift * sub;
+    return ((top + 1) << shift) - 1;
+}
+
+uint64_t
+HdrHistogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the order statistic we estimate: ceil(q * n), at
+    // least 1 so q=0 is the minimum, exactly n at q=1.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    rank = std::clamp<uint64_t>(rank, 1, total_);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= rank)
+            return std::min(bucketHigh(i), max_);
+    }
+    return max_;
+}
+
+double
+HdrHistogram::relativeErrorBound() const
+{
+    return std::ldexp(1.0, -bits_);
+}
+
+size_t
+HdrHistogram::bucketsUsed() const
+{
+    size_t used = 0;
+    for (uint64_t c : counts_)
+        used += c != 0;
+    return used;
+}
+
+void
+HdrHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    max_ = 0;
+}
+
+void
+HdrHistogram::mergeFrom(const HdrHistogram &other)
+{
+    if (other.bits_ != bits_)
+        fatal("HdrHistogram::mergeFrom: sub-bucket bits differ "
+              "(%d vs %d)",
+              bits_, other.bits_);
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    max_ = std::max(max_, other.max_);
+}
+
+} // namespace obs
+} // namespace tdp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Log-linear HDR-style histogram with quantile estimation.
+ *
+ * Values are bucketed by their top (subBucketBits + 1) significant
+ * bits: values below 2^subBucketBits land in an exact linear region
+ * (one bucket per value), larger values share a bucket with at most
+ * 2^-subBucketBits relative width. quantile() walks the cumulative
+ * counts and returns the bucket's highest representable value, so an
+ * estimate E for a true order statistic v always satisfies
+ *
+ *     v <= E <= v * (1 + 2^-subBucketBits)
+ *
+ * (and E == v exactly in the linear region). Storage is sized once
+ * at construction; record() and reset() never allocate, which is
+ * what lets the streaming service keep these on its zero-allocation
+ * steady-state path.
+ */
+
+#ifndef TDP_OBS_HDR_HISTOGRAM_HH
+#define TDP_OBS_HDR_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include <vector>
+
+namespace tdp {
+namespace obs {
+
+class HdrHistogram {
+  public:
+    /** @param subBucketBits log2 sub-buckets per power of two, in [1, 12]. */
+    explicit HdrHistogram(int subBucketBits = 5);
+
+    /** Count one (or @p weight) observation(s) of @p value. Never allocates. */
+    void record(uint64_t value, uint64_t weight = 1)
+    {
+        counts_[indexOf(value)] += weight;
+        total_ += weight;
+        if (value > max_)
+            max_ = value;
+    }
+
+    /**
+     * Upper-bound estimate of the q-quantile (q clamped to [0, 1]).
+     * Returns 0 on an empty histogram. The result never exceeds the
+     * recorded maximum.
+     */
+    uint64_t quantile(double q) const;
+
+    uint64_t count() const { return total_; }
+    uint64_t max() const { return max_; }
+    int subBucketBits() const { return bits_; }
+
+    /** Worst-case relative quantile error: 2^-subBucketBits. */
+    double relativeErrorBound() const;
+
+    size_t bucketCount() const { return counts_.size(); }
+
+    /** Number of buckets holding at least one observation. */
+    size_t bucketsUsed() const;
+
+    /** Zero every bucket; capacity (and allocation) is retained. */
+    void reset();
+
+    /** Add every bucket of @p other (must share subBucketBits). */
+    void mergeFrom(const HdrHistogram &other);
+
+    /** Bucket index for @p value; exposed for tests and serializers. */
+    size_t indexOf(uint64_t value) const;
+
+    /** Highest value mapping to bucket @p index. */
+    uint64_t bucketHigh(size_t index) const;
+
+    /** Raw count in bucket @p index. */
+    uint64_t bucketCountAt(size_t index) const { return counts_[index]; }
+
+  private:
+    int bits_;
+    uint64_t total_ = 0;
+    uint64_t max_ = 0;
+    std::vector<uint64_t> counts_;
+};
+
+} // namespace obs
+} // namespace tdp
+
+#endif // TDP_OBS_HDR_HISTOGRAM_HH

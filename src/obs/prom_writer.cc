@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Implementation of the Prometheus text-exposition writer.
+ */
+
+#include "obs/prom_writer.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace tdp {
+namespace obs {
+
+namespace {
+
+/** Round-trip-exact double, matching the JSON writer's %.17g. */
+std::string
+formatDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+} // namespace
+
+std::string
+promMetricName(const std::string &path)
+{
+    std::string name = "tdp_";
+    name.reserve(path.size() + name.size());
+    for (char c : path) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                        c == '_';
+        name.push_back(ok ? c : '_');
+    }
+    return name;
+}
+
+void
+writePrometheusText(std::ostream &os,
+                    const StatsRegistry::Snapshot &snapshot)
+{
+    for (const auto &[path, value] : snapshot.counters) {
+        const std::string name = promMetricName(path);
+        os << "# TYPE " << name << " counter\n";
+        os << name << ' ' << value << '\n';
+    }
+    for (const auto &[path, value] : snapshot.gauges) {
+        const std::string name = promMetricName(path);
+        os << "# TYPE " << name << " gauge\n";
+        os << name << ' ' << formatDouble(value) << '\n';
+    }
+    for (const auto &[path, data] : snapshot.histograms) {
+        const std::string name = promMetricName(path);
+        os << "# TYPE " << name << " histogram\n";
+        // Highest non-empty bucket bounds the emitted series; the
+        // +Inf bucket always closes it with the full count.
+        int top = -1;
+        for (int b = 0; b < histogramBuckets; ++b)
+            if (data.buckets[b] != 0)
+                top = b;
+        uint64_t cumulative = 0;
+        // The last log2 bucket has no finite upper bound; the +Inf
+        // series below covers it.
+        for (int b = 0; b <= top && b < histogramBuckets - 1; ++b) {
+            cumulative += data.buckets[b];
+            // Bucket b covers [bucketLow(b), bucketLow(b+1)); the
+            // Prometheus `le` label is its inclusive upper bound.
+            const uint64_t le = histogramBucketLow(b + 1) - 1;
+            os << name << "_bucket{le=\"" << le << "\"} " << cumulative
+               << '\n';
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << data.count << '\n';
+        os << name << "_sum " << data.sum << '\n';
+        os << name << "_count " << data.count << '\n';
+    }
+}
+
+} // namespace obs
+} // namespace tdp

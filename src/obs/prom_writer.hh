@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Prometheus text-exposition writer for a stats snapshot.
+ *
+ * Renders a StatsRegistry::Snapshot in the Prometheus text format
+ * (version 0.0.4): counters and gauges as single samples, log2
+ * histograms as cumulative `_bucket{le="..."}` series plus `_sum`
+ * and `_count`. Metric names are prefixed `tdp_` and the registry's
+ * dotted paths are mapped to underscores, so `stream.ingest.shed`
+ * becomes `tdp_stream_ingest_shed`. This is a dump-time formatter -
+ * nothing here runs on a hot path.
+ */
+
+#ifndef TDP_OBS_PROM_WRITER_HH
+#define TDP_OBS_PROM_WRITER_HH
+
+#include <ostream>
+#include <string>
+
+#include "obs/stats_registry.hh"
+
+namespace tdp {
+namespace obs {
+
+/** Map a dotted stats path to a Prometheus metric name. */
+std::string promMetricName(const std::string &path);
+
+/** Write @p snapshot in Prometheus text exposition format. */
+void writePrometheusText(std::ostream &os,
+                         const StatsRegistry::Snapshot &snapshot);
+
+} // namespace obs
+} // namespace tdp
+
+#endif // TDP_OBS_PROM_WRITER_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fixed-capacity tick-indexed time-series ring.
+ *
+ * A TickRing holds the most recent `capacity` window snapshots of a
+ * POD summary type, overwriting the oldest when full and counting
+ * exactly how many it dropped. Windows are identified by the logical
+ * tick that sealed them - never wall-clock - so a recorded timeline
+ * is byte-identical at any worker count. Storage is sized once at
+ * construction; push() never allocates.
+ */
+
+#ifndef TDP_OBS_TIME_SERIES_HH
+#define TDP_OBS_TIME_SERIES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tdp {
+namespace obs {
+
+template <typename Window>
+class TickRing {
+  public:
+    explicit TickRing(size_t capacity) : capacity_(capacity)
+    {
+        if (capacity == 0)
+            fatal("TickRing: capacity must be positive");
+        slots_.assign(capacity, Window{});
+    }
+
+    /** Append @p window, overwriting the oldest when full. */
+    void push(const Window &window)
+    {
+        if (count_ < capacity_) {
+            slots_[(head_ + count_) % capacity_] = window;
+            ++count_;
+        } else {
+            slots_[head_] = window;
+            head_ = (head_ + 1) % capacity_;
+            ++dropped_;
+        }
+        ++recorded_;
+    }
+
+    size_t size() const { return count_; }
+    size_t capacity() const { return capacity_; }
+
+    /** Total push() calls since construction. */
+    uint64_t recorded() const { return recorded_; }
+
+    /** Windows overwritten (lost) since construction. */
+    uint64_t dropped() const { return dropped_; }
+
+    /** Window @p i, 0 = oldest retained. */
+    const Window &at(size_t i) const
+    {
+        return slots_[(head_ + i) % capacity_];
+    }
+
+    /** Visit retained windows oldest -> newest. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (size_t i = 0; i < count_; ++i)
+            fn(at(i));
+    }
+
+  private:
+    size_t capacity_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+    uint64_t recorded_ = 0;
+    uint64_t dropped_ = 0;
+    std::vector<Window> slots_;
+};
+
+} // namespace obs
+} // namespace tdp
+
+#endif // TDP_OBS_TIME_SERIES_HH

@@ -18,12 +18,22 @@ std::atomic<bool> requested{false};
 std::atomic<int> signalSeen{0};
 std::atomic<bool> installed{false};
 
+std::atomic<bool> dumpPending{false};
+std::atomic<bool> dumpInstalled{false};
+
 extern "C" void
 onShutdownSignal(int signum)
 {
     // Async-signal-safe: atomic stores only.
     signalSeen.store(signum, std::memory_order_relaxed);
     requested.store(true, std::memory_order_relaxed);
+}
+
+extern "C" void
+onDumpSignal(int)
+{
+    // Async-signal-safe: atomic store only; the owner polls.
+    dumpPending.store(true, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -64,6 +74,36 @@ int
 shutdownSignal()
 {
     return signalSeen.load(std::memory_order_relaxed);
+}
+
+void
+installDumpSignalHandler()
+{
+    if (dumpInstalled.exchange(true))
+        return;
+    struct sigaction action = {};
+    action.sa_handler = onDumpSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // no SA_RESTART: interrupt blocking reads
+    sigaction(SIGUSR2, &action, nullptr);
+}
+
+bool
+dumpRequested()
+{
+    return dumpPending.load(std::memory_order_relaxed);
+}
+
+void
+requestDump()
+{
+    dumpPending.store(true, std::memory_order_relaxed);
+}
+
+void
+clearDumpRequest()
+{
+    dumpPending.store(false, std::memory_order_relaxed);
 }
 
 } // namespace resilience

@@ -44,6 +44,23 @@ void resetShutdownForTest();
  */
 int shutdownSignal();
 
+/**
+ * Install the SIGUSR2 handler (idempotent). Same async-signal-safe
+ * shape as the shutdown handler: it only raises a flag; the owner
+ * polls dumpRequested() at a safe point, writes its telemetry dump,
+ * and clears the flag. The run itself continues.
+ */
+void installDumpSignalHandler();
+
+/** True while a telemetry dump is pending (SIGUSR2 or programmatic). */
+bool dumpRequested();
+
+/** Raise the dump flag programmatically (tests, tooling). */
+void requestDump();
+
+/** Lower the dump flag once the dump has been written. */
+void clearDumpRequest();
+
 } // namespace resilience
 } // namespace tdp
 

@@ -108,7 +108,8 @@ StreamService::railFeatures(Rail rail, const EventVector &events,
 StreamService::StreamService(const StreamConfig &config,
                              SystemPowerEstimator estimator)
     : cfg_(config), est_(std::move(estimator)), ingest_(config.ingest),
-      digest_(fnv1aBasis)
+      digest_(fnv1aBasis),
+      telemetry_(config.telemetry, config.ingest.shards)
 {
     if (cfg_.refitBlockRows == 0)
         fatal("StreamService: refitBlockRows must be >= 1");
@@ -187,9 +188,14 @@ StreamService::offer(const StreamSample &sample)
         break;
       case Admission::Shed:
         reg.add(idShed_);
+        telemetry_.flight(static_cast<size_t>(shard), FlightKind::Shed,
+                          now_, sample.client, sample.seq);
         break;
       case Admission::Overflow:
         reg.add(idOverflow_);
+        telemetry_.flight(static_cast<size_t>(shard),
+                          FlightKind::Overflow, now_, sample.client,
+                          sample.seq);
         break;
       default:
         break;
@@ -283,8 +289,59 @@ StreamService::tick(const ExperimentPool &pool)
         ++stats_.evictionSweeps;
     }
 
+    if (telemetry_.timelineEnabled() &&
+        (now_ + 1) % telemetry_.windowTicks() == 0)
+        sealTelemetryWindow();
+
     ++now_;
     ++stats_.ticks;
+}
+
+void
+StreamService::sealTelemetryWindow()
+{
+    // Built entirely from counters the serial phases already
+    // maintain, at a deterministic point in the tick - the sealed
+    // window is byte-identical at any --jobs. No allocations: every
+    // summed struct is a POD aggregate on the stack.
+    TimelineCounters c;
+    const ShardedIngest::Stats &ing = ingest_.stats();
+    c.offered = ing.offered;
+    c.admitted = ing.admitted;
+    c.shed = ing.shed;
+    c.overflow = ing.overflow;
+    c.drained = stats_.drained;
+    const SessionTable::Stats sess = sessionStats();
+    c.accepted = sess.accepted;
+    c.invalid = sess.nonFinite + sess.outOfRange + sess.duplicateSeq +
+                sess.outOfOrderSeq + sess.staleTime + sess.zeroCycles;
+    c.quarantines = sess.quarantines;
+    c.evicted = sess.evicted;
+    for (int r = 0; r < numRails; ++r) {
+        const RailState &state = rails_[static_cast<size_t>(r)];
+        c.refits += state.refits;
+        c.fullQrRefits += state.fullQrRefits;
+        c.degradedPublishes += state.degradedPublishes;
+        c.unestimable += state.unestimable;
+        const DriftStats drift = state.drift->stats();
+        c.driftEngaged += drift.engaged;
+        c.driftRecovered += drift.recovered;
+        c.driftRelapses += drift.relapses;
+    }
+
+    TimelineGauges g;
+    g.shards = static_cast<uint32_t>(sessions_.size());
+    for (size_t s = 0; s < sessions_.size(); ++s) {
+        const uint64_t occupancy =
+            ingest_.shard(static_cast<int>(s)).size();
+        g.occupancyMax = std::max(g.occupancyMax, occupancy);
+        g.occupancyTotal += occupancy;
+    }
+    for (int r = 0; r < numRails; ++r)
+        g.railStates[static_cast<size_t>(r)] = static_cast<uint8_t>(
+            rails_[static_cast<size_t>(r)].drift->state());
+
+    telemetry_.sealWindow(now_, c, g);
 }
 
 void
@@ -295,10 +352,20 @@ StreamService::foldStaged(int shard, const Staged &staged)
     foldDigest(staged.client);
     foldDigest(staged.seq);
     foldDigest(static_cast<uint64_t>(staged.verdict));
-    if (staged.newlyQuarantined)
+    if (staged.newlyQuarantined) {
         reg.add(idQuarantines_);
-    if (verdictIsInvalid(staged.verdict))
+        telemetry_.flight(static_cast<size_t>(shard),
+                          FlightKind::Quarantine, now_, staged.client,
+                          staged.seq,
+                          static_cast<uint32_t>(staged.verdict));
+    }
+    if (verdictIsInvalid(staged.verdict)) {
         reg.add(idInvalid_);
+        telemetry_.flight(static_cast<size_t>(shard),
+                          FlightKind::Verdict, now_, staged.client,
+                          staged.seq,
+                          static_cast<uint32_t>(staged.verdict));
+    }
     if (staged.verdict != Verdict::Accepted)
         return;
     reg.add(idAccepted_);
@@ -308,6 +375,7 @@ StreamService::foldStaged(int shard, const Staged &staged)
     ++latencyCount_;
     latencyMax_ = std::max(latencyMax_, delay);
     reg.observe(idLatency_, delay);
+    telemetry_.onLatency(delay);
 
     double total = 0.0;
     for (int r = 0; r < numRails; ++r) {
@@ -336,6 +404,15 @@ StreamService::foldStaged(int shard, const Staged &staged)
                 }
             }
         }
+        if (fromFallback != state.publishingFallback) {
+            telemetry_.flight(telemetry_.serviceRing(),
+                              fromFallback
+                                  ? FlightKind::FallbackEngaged
+                                  : FlightKind::FallbackCleared,
+                              now_, staged.client, staged.seq,
+                              static_cast<uint32_t>(r), published);
+            state.publishingFallback = fromFallback;
+        }
         if (fromFallback)
             ++state.degradedPublishes;
         if (!std::isfinite(published)) {
@@ -355,15 +432,30 @@ StreamService::foldStaged(int shard, const Staged &staged)
                     foldDigest(markDriftEngaged +
                                static_cast<uint64_t>(r));
                     reg.add(idDriftEngaged_);
+                    telemetry_.flight(telemetry_.serviceRing(),
+                                      FlightKind::DriftEngaged, now_,
+                                      staged.client, staged.seq,
+                                      static_cast<uint32_t>(r),
+                                      event.windowRmse);
                 }
                 if (event.recovered) {
                     foldDigest(markDriftRecovered +
                                static_cast<uint64_t>(r));
                     reg.add(idDriftRecovered_);
+                    telemetry_.flight(telemetry_.serviceRing(),
+                                      FlightKind::DriftRecovered, now_,
+                                      staged.client, staged.seq,
+                                      static_cast<uint32_t>(r),
+                                      event.windowRmse);
                 }
                 if (event.relapsed) {
                     foldDigest(markDriftRelapsed +
                                static_cast<uint64_t>(r));
+                    telemetry_.flight(telemetry_.serviceRing(),
+                                      FlightKind::DriftRelapsed, now_,
+                                      staged.client, staged.seq,
+                                      static_cast<uint32_t>(r),
+                                      event.windowRmse);
                 }
             }
             double features[4] = {0.0, 0.0, 0.0, 0.0};
@@ -395,8 +487,12 @@ StreamService::maybeRefit(Rail rail)
         return;
 
     const WindowedRls::Refit refit = state.rls->refit();
-    if (!refit.ok)
+    if (!refit.ok) {
+        telemetry_.flight(telemetry_.serviceRing(),
+                          FlightKind::RefitRejected, now_, 0, sealed,
+                          static_cast<uint32_t>(rail));
         return; // keep the previous model: degrade, never collapse
+    }
 
     if (cfg_.verifyRefits && !refit.usedFullQr) {
         const FitResult scratch = state.rls->refitFromScratch();
@@ -427,6 +523,9 @@ StreamService::maybeRefit(Rail rail)
         ++state.fullQrRefits;
     state.lastRefitRmse = refit.fit.rmse;
     obs::StatsRegistry::global().add(idRefits_);
+    telemetry_.flight(telemetry_.serviceRing(), FlightKind::Refit, now_,
+                      0, sealed, static_cast<uint32_t>(rail),
+                      refit.fit.rmse);
 
     foldDigest(markRefit + static_cast<uint64_t>(rail));
     foldDigestDouble(refit.fit.intercept);
@@ -640,6 +739,9 @@ StreamService::addManifestSections(obs::RunManifest &manifest) const
                                  prefix + ".rls_rows",
                                  status.rls.rowsAdded);
     }
+
+    if (telemetry_.timelineEnabled())
+        telemetry_.addManifestSections(manifest);
 }
 
 } // namespace stream

@@ -45,6 +45,7 @@
 #include "stream/ingest.hh"
 #include "stream/rls.hh"
 #include "stream/session.hh"
+#include "stream/telemetry.hh"
 
 namespace tdp {
 namespace stream {
@@ -75,6 +76,13 @@ struct StreamConfig
      * production would not.
      */
     bool verifyRefits = false;
+
+    /**
+     * Live telemetry. The flight recorder is always on; the timeline
+     * ring and HDR latency windows engage when telemetry.timeline is
+     * set. Neither touches the digest or stdout.
+     */
+    TelemetryConfig telemetry;
 };
 
 /** Queue-delay SLO summary (logical ticks, log2-bucketed). */
@@ -199,6 +207,20 @@ class StreamService
      */
     void addManifestSections(obs::RunManifest &manifest) const;
 
+    /** Live telemetry (timeline ring, HDR latency, flight recorder). */
+    const StreamTelemetry &telemetry() const { return telemetry_; }
+
+    /**
+     * Atomically dump the telemetry state (timeline, HDR summary,
+     * flight rings) to @p path; @p reason tags what triggered the
+     * dump ("exit", "sigusr2", "sigterm", "quarantine", "fatal").
+     */
+    bool writeTimeline(const std::string &path, const std::string &tool,
+                       const std::string &reason) const
+    {
+        return telemetry_.writeFile(path, tool, reason);
+    }
+
     /** Regressor count of one rail's streaming refit. */
     static size_t railInputs(Rail rail);
 
@@ -233,6 +255,9 @@ class StreamService
         uint64_t unestimable = 0;
         uint64_t blocksAtLastRefit = 0;
         double lastRefitRmse = 0.0;
+
+        /** True while a fallback rung published the last estimate. */
+        bool publishingFallback = false;
     };
 
     /** Fill out[0..railInputs(rail)) from one event vector. */
@@ -244,6 +269,9 @@ class StreamService
 
     /** Serial-phase handling of one staged sample. */
     void foldStaged(int shard, const Staged &staged);
+
+    /** Seal the timeline window ending at the current tick. */
+    void sealTelemetryWindow();
 
     /** Refit a rail when a new block sealed since the last refit. */
     void maybeRefit(Rail rail);
@@ -287,6 +315,14 @@ class StreamService
     obs::StatId idLatency_, idRefits_, idDriftEngaged_,
         idDriftRecovered_;
     /** @} */
+
+    /**
+     * Always-constructed telemetry: the flight recorder runs
+     * unconditionally; timeline/HDR record only when enabled. All
+     * recording happens on the serial path, so it is deterministic
+     * and allocation-free in steady state.
+     */
+    StreamTelemetry telemetry_;
 };
 
 } // namespace stream

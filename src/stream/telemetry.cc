@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Implementation of the stream telemetry layer.
+ */
+
+#include "stream/telemetry.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+
+#include "common/atomic_file.hh"
+#include "common/logging.hh"
+#include "obs/json_writer.hh"
+#include "obs/run_manifest.hh"
+
+namespace tdp {
+namespace stream {
+
+namespace {
+
+/** Severity rank for "worst state in this window" roll-ups. */
+int
+driftSeverity(DriftState state)
+{
+    switch (state) {
+    case DriftState::Healthy:
+        return 0;
+    case DriftState::Probation:
+        return 1;
+    case DriftState::Degraded:
+        return 2;
+    }
+    return 2;
+}
+
+uint64_t
+occupancyMeanPermille(const TimelineGauges &gauges)
+{
+    if (gauges.shards == 0)
+        return 0;
+    return gauges.occupancyTotal * 1000 / gauges.shards;
+}
+
+double
+occupancyMean(const TimelineGauges &gauges)
+{
+    return static_cast<double>(occupancyMeanPermille(gauges)) / 1000.0;
+}
+
+} // namespace
+
+const char *
+flightKindName(uint16_t kind)
+{
+    switch (static_cast<FlightKind>(kind)) {
+    case FlightKind::Verdict:
+        return "verdict";
+    case FlightKind::Shed:
+        return "shed";
+    case FlightKind::Overflow:
+        return "overflow";
+    case FlightKind::Quarantine:
+        return "quarantine";
+    case FlightKind::DriftEngaged:
+        return "drift_engaged";
+    case FlightKind::DriftRecovered:
+        return "drift_recovered";
+    case FlightKind::DriftRelapsed:
+        return "drift_relapsed";
+    case FlightKind::FallbackEngaged:
+        return "fallback_engaged";
+    case FlightKind::FallbackCleared:
+        return "fallback_cleared";
+    case FlightKind::Refit:
+        return "refit";
+    case FlightKind::RefitRejected:
+        return "refit_rejected";
+    }
+    return "unknown";
+}
+
+DriftState
+worstDriftState(const TimelineGauges &gauges)
+{
+    DriftState worst = DriftState::Healthy;
+    for (uint8_t raw : gauges.railStates) {
+        const DriftState state = static_cast<DriftState>(raw);
+        if (driftSeverity(state) > driftSeverity(worst))
+            worst = state;
+    }
+    return worst;
+}
+
+StreamTelemetry::StreamTelemetry(const TelemetryConfig &cfg, int shards)
+    : cfg_(cfg), timeline_(cfg.timelineCapacity),
+      hdrTotal_(cfg.hdrBits), hdrWindow_(cfg.hdrBits),
+      flight_(static_cast<size_t>(shards) + 1, cfg.flightCapacity)
+{
+    if (cfg_.windowTicks == 0)
+        fatal("StreamTelemetry: windowTicks must be positive");
+    if (shards <= 0)
+        fatal("StreamTelemetry: shards (%d) must be positive", shards);
+}
+
+void
+StreamTelemetry::sealWindow(uint64_t tick,
+                            const TimelineCounters &cumulative,
+                            const TimelineGauges &gauges)
+{
+    TimelineWindow window;
+    // Zero the padding too: sealed windows are digested/memcmp'd
+    // bytewise when determinism across worker counts is asserted.
+    std::memset(static_cast<void *>(&window), 0, sizeof window);
+    window.tick = tick;
+    TimelineCounters &d = window.delta;
+    d.offered = cumulative.offered - last_.offered;
+    d.admitted = cumulative.admitted - last_.admitted;
+    d.shed = cumulative.shed - last_.shed;
+    d.overflow = cumulative.overflow - last_.overflow;
+    d.drained = cumulative.drained - last_.drained;
+    d.accepted = cumulative.accepted - last_.accepted;
+    d.invalid = cumulative.invalid - last_.invalid;
+    d.quarantines = cumulative.quarantines - last_.quarantines;
+    d.evicted = cumulative.evicted - last_.evicted;
+    d.refits = cumulative.refits - last_.refits;
+    d.fullQrRefits = cumulative.fullQrRefits - last_.fullQrRefits;
+    d.degradedPublishes =
+        cumulative.degradedPublishes - last_.degradedPublishes;
+    d.unestimable = cumulative.unestimable - last_.unestimable;
+    d.driftEngaged = cumulative.driftEngaged - last_.driftEngaged;
+    d.driftRecovered = cumulative.driftRecovered - last_.driftRecovered;
+    d.driftRelapses = cumulative.driftRelapses - last_.driftRelapses;
+    last_ = cumulative;
+
+    window.gauges = gauges;
+    window.latencyCount = hdrWindow_.count();
+    window.latencyMaxTicks = hdrWindow_.max();
+    window.p50Ticks = hdrWindow_.quantile(0.50);
+    window.p99Ticks = hdrWindow_.quantile(0.99);
+    window.p999Ticks = hdrWindow_.quantile(0.999);
+    hdrWindow_.reset();
+    timeline_.push(window);
+}
+
+void
+StreamTelemetry::writeTimelineJson(std::ostream &os,
+                                   const std::string &tool,
+                                   const std::string &reason) const
+{
+    obs::JsonWriter json(os);
+    json.beginObject();
+    json.keyValue("schema", "tdp-stream-timeline");
+    json.keyValue("version", uint64_t(1));
+    json.keyValue("tool", tool);
+    json.keyValue("reason", reason);
+    json.keyValue("window_ticks", cfg_.windowTicks);
+    json.keyValue("timeline_enabled", cfg_.timeline);
+
+    json.key("timeline");
+    json.beginObject();
+    json.keyValue("capacity", static_cast<uint64_t>(timeline_.capacity()));
+    json.keyValue("recorded", timeline_.recorded());
+    json.keyValue("dropped", timeline_.dropped());
+    json.key("windows");
+    json.beginArray();
+    timeline_.forEach([&](const TimelineWindow &w) {
+        json.beginObject();
+        json.keyValue("tick", w.tick);
+        json.keyValue("offered", w.delta.offered);
+        json.keyValue("admitted", w.delta.admitted);
+        json.keyValue("shed", w.delta.shed);
+        json.keyValue("overflow", w.delta.overflow);
+        json.keyValue("drained", w.delta.drained);
+        json.keyValue("accepted", w.delta.accepted);
+        json.keyValue("invalid", w.delta.invalid);
+        json.keyValue("quarantines", w.delta.quarantines);
+        json.keyValue("evicted", w.delta.evicted);
+        json.keyValue("refits", w.delta.refits);
+        json.keyValue("full_qr_refits", w.delta.fullQrRefits);
+        json.keyValue("degraded_publishes", w.delta.degradedPublishes);
+        json.keyValue("unestimable", w.delta.unestimable);
+        json.keyValue("drift_engaged", w.delta.driftEngaged);
+        json.keyValue("drift_recovered", w.delta.driftRecovered);
+        json.keyValue("drift_relapses", w.delta.driftRelapses);
+        json.keyValue("shards", static_cast<uint64_t>(w.gauges.shards));
+        json.keyValue("occupancy_max", w.gauges.occupancyMax);
+        json.keyValue("occupancy_mean", occupancyMean(w.gauges));
+        json.keyValue("drift_state",
+                      driftStateName(worstDriftState(w.gauges)));
+        json.key("rail_states");
+        json.beginArray();
+        for (uint8_t raw : w.gauges.railStates)
+            json.value(driftStateName(static_cast<DriftState>(raw)));
+        json.endArray();
+        json.keyValue("latency_count", w.latencyCount);
+        json.keyValue("latency_max_ticks", w.latencyMaxTicks);
+        json.keyValue("p50_ticks", w.p50Ticks);
+        json.keyValue("p99_ticks", w.p99Ticks);
+        json.keyValue("p999_ticks", w.p999Ticks);
+        json.endObject();
+    });
+    json.endArray();
+    json.endObject();
+
+    json.key("latency_hdr");
+    json.beginObject();
+    json.keyValue("count", hdrTotal_.count());
+    json.keyValue("max_ticks", hdrTotal_.max());
+    json.keyValue("p50_ticks", hdrTotal_.quantile(0.50));
+    json.keyValue("p99_ticks", hdrTotal_.quantile(0.99));
+    json.keyValue("p999_ticks", hdrTotal_.quantile(0.999));
+    json.keyValue("sub_bucket_bits",
+                  static_cast<uint64_t>(hdrTotal_.subBucketBits()));
+    json.keyValue("rel_error_bound", hdrTotal_.relativeErrorBound());
+    json.keyValue("buckets_used",
+                  static_cast<uint64_t>(hdrTotal_.bucketsUsed()));
+    json.endObject();
+
+    json.key("flight");
+    json.beginObject();
+    json.keyValue("rings", static_cast<uint64_t>(flight_.rings()));
+    json.keyValue("capacity", static_cast<uint64_t>(flight_.capacity()));
+    json.keyValue("recorded", flight_.totalRecorded());
+    json.keyValue("dropped", flight_.totalDropped());
+    json.key("data");
+    flight_.writeJson(json, flightKindName);
+    json.endObject();
+
+    json.endObject();
+    os << '\n';
+}
+
+bool
+StreamTelemetry::writeFile(const std::string &path,
+                           const std::string &tool,
+                           const std::string &reason) const
+{
+    std::string error;
+    const bool ok = writeFileAtomic(
+        path,
+        [&](std::ostream &os) {
+            writeTimelineJson(os, tool, reason);
+            return os.good();
+        },
+        &error);
+    if (!ok)
+        warn("stream telemetry: writing %s failed: %s", path.c_str(),
+             error.c_str());
+    return ok;
+}
+
+void
+StreamTelemetry::addManifestSections(obs::RunManifest &manifest) const
+{
+    const std::string timeline = "stream.timeline";
+    manifest.addSectionEntry(timeline, "window_ticks", cfg_.windowTicks);
+    manifest.addSectionEntry(timeline, "capacity",
+                             static_cast<uint64_t>(timeline_.capacity()));
+    manifest.addSectionEntry(
+        timeline, "windows", static_cast<uint64_t>(timeline_.size()));
+    manifest.addSectionEntry(timeline, "recorded", timeline_.recorded());
+    manifest.addSectionEntry(timeline, "dropped", timeline_.dropped());
+    size_t index = 0;
+    timeline_.forEach([&](const TimelineWindow &w) {
+        const std::string p = formatString("w%zu.", index++);
+        manifest.addSectionEntry(timeline, p + "tick", w.tick);
+        manifest.addSectionEntry(timeline, p + "offered",
+                                 w.delta.offered);
+        manifest.addSectionEntry(timeline, p + "admitted",
+                                 w.delta.admitted);
+        manifest.addSectionEntry(timeline, p + "shed", w.delta.shed);
+        manifest.addSectionEntry(timeline, p + "overflow",
+                                 w.delta.overflow);
+        manifest.addSectionEntry(timeline, p + "accepted",
+                                 w.delta.accepted);
+        manifest.addSectionEntry(timeline, p + "invalid",
+                                 w.delta.invalid);
+        manifest.addSectionEntry(timeline, p + "quarantines",
+                                 w.delta.quarantines);
+        manifest.addSectionEntry(timeline, p + "evicted",
+                                 w.delta.evicted);
+        manifest.addSectionEntry(timeline, p + "refits",
+                                 w.delta.refits);
+        manifest.addSectionEntry(timeline, p + "drift_engaged",
+                                 w.delta.driftEngaged);
+        manifest.addSectionEntry(timeline, p + "drift_recovered",
+                                 w.delta.driftRecovered);
+        manifest.addSectionEntry(timeline, p + "occupancy_max",
+                                 w.gauges.occupancyMax);
+        manifest.addSectionEntry(timeline, p + "occupancy_mean",
+                                 occupancyMean(w.gauges));
+        manifest.addSectionEntry(
+            timeline, p + "drift_state",
+            std::string(driftStateName(worstDriftState(w.gauges))));
+        manifest.addSectionEntry(timeline, p + "latency_count",
+                                 w.latencyCount);
+        manifest.addSectionEntry(timeline, p + "latency_max_ticks",
+                                 w.latencyMaxTicks);
+        manifest.addSectionEntry(timeline, p + "p50_ticks", w.p50Ticks);
+        manifest.addSectionEntry(timeline, p + "p99_ticks", w.p99Ticks);
+        manifest.addSectionEntry(timeline, p + "p999_ticks",
+                                 w.p999Ticks);
+    });
+
+    const std::string hdr = "stream.latency_hdr";
+    manifest.addSectionEntry(hdr, "count", hdrTotal_.count());
+    manifest.addSectionEntry(hdr, "max_ticks", hdrTotal_.max());
+    manifest.addSectionEntry(hdr, "p50_ticks", hdrTotal_.quantile(0.50));
+    manifest.addSectionEntry(hdr, "p99_ticks", hdrTotal_.quantile(0.99));
+    manifest.addSectionEntry(hdr, "p999_ticks",
+                             hdrTotal_.quantile(0.999));
+    manifest.addSectionEntry(
+        hdr, "sub_bucket_bits",
+        static_cast<uint64_t>(hdrTotal_.subBucketBits()));
+    manifest.addSectionEntry(hdr, "rel_error_bound",
+                             hdrTotal_.relativeErrorBound());
+    manifest.addSectionEntry(
+        hdr, "buckets_used",
+        static_cast<uint64_t>(hdrTotal_.bucketsUsed()));
+
+    const std::string flight = "stream.flight";
+    manifest.addSectionEntry(flight, "rings",
+                             static_cast<uint64_t>(flight_.rings()));
+    manifest.addSectionEntry(flight, "capacity",
+                             static_cast<uint64_t>(flight_.capacity()));
+    manifest.addSectionEntry(flight, "recorded", flight_.totalRecorded());
+    manifest.addSectionEntry(flight, "dropped", flight_.totalDropped());
+}
+
+} // namespace stream
+} // namespace tdp

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Live telemetry for the streaming estimation service.
+ *
+ * Three layers, all tick-indexed (never wall-clock) so every output
+ * is byte-identical at `--jobs 1` vs N:
+ *
+ *  - a TimeSeriesRecorder: a fixed ring of per-window snapshots
+ *    holding deltas of the ingest/session/refit/drift counters plus
+ *    shard occupancy and per-rail drift state, sealed every
+ *    `windowTicks` logical ticks;
+ *  - windowed ingest-to-estimate latency via log-linear HDR
+ *    histograms (p50/p99/p999 per window and cumulatively);
+ *  - an always-on flight recorder: one bounded event ring per ingest
+ *    shard plus one service ring for rail-level events (drift
+ *    transitions, fallback-rung changes, refit health), dumped on
+ *    quarantine, fatal, SIGUSR2 or at exit.
+ *
+ * The flight recorder runs unconditionally; the timeline and HDR
+ * parts are gated on TelemetryConfig::timeline. Every structure is
+ * preallocated at construction and the record paths are plain POD
+ * stores, preserving the service's zero-allocation steady state.
+ * All recording happens on the caller thread (offer(), the serial
+ * fold, the serial refit step) - never inside the parallel drain -
+ * so each flight ring is single-writer and the timeline is
+ * deterministic by construction.
+ */
+
+#ifndef TDP_STREAM_TELEMETRY_HH
+#define TDP_STREAM_TELEMETRY_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+#include "measure/rail.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/hdr_histogram.hh"
+#include "obs/time_series.hh"
+#include "stream/drift.hh"
+
+namespace tdp {
+namespace obs {
+class RunManifest;
+} // namespace obs
+
+namespace stream {
+
+/** Telemetry knobs; part of StreamConfig. */
+struct TelemetryConfig {
+    /** Enable the timeline ring + HDR latency windows. */
+    bool timeline = false;
+
+    /** Logical ticks per timeline window. */
+    uint64_t windowTicks = 16;
+
+    /** Timeline windows retained (ring overwrites the oldest). */
+    size_t timelineCapacity = 64;
+
+    /** Flight-recorder events retained per ring. */
+    size_t flightCapacity = 64;
+
+    /** HDR histogram sub-bucket bits (relative error 2^-bits). */
+    int hdrBits = 5;
+};
+
+/** Flight-recorder event kinds emitted by the stream service. */
+enum class FlightKind : uint16_t {
+    Verdict = 0,      ///< non-Accepted verdict; code = Verdict enum
+    Shed,             ///< admission shed; detail = sequence number
+    Overflow,         ///< ring overflow; detail = sequence number
+    Quarantine,       ///< client newly quarantined
+    DriftEngaged,     ///< rail fell to Degraded; code = rail
+    DriftRecovered,   ///< rail re-promoted; code = rail
+    DriftRelapsed,    ///< rail relapsed in Probation; code = rail
+    FallbackEngaged,  ///< rail publishing from fallback; code = rail
+    FallbackCleared,  ///< rail back on the primary; code = rail
+    Refit,            ///< refit sealed; code = rail, value = rmse
+    RefitRejected,    ///< refit failed health checks; code = rail
+};
+
+/** Stable name of a FlightKind (never null). */
+const char *flightKindName(uint16_t kind);
+
+/** Cumulative service counters snapshotted at a window boundary. */
+struct TimelineCounters {
+    uint64_t offered = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t overflow = 0;
+    uint64_t drained = 0;
+    uint64_t accepted = 0;
+    uint64_t invalid = 0;
+    uint64_t quarantines = 0;
+    uint64_t evicted = 0;
+    uint64_t refits = 0;
+    uint64_t fullQrRefits = 0;
+    uint64_t degradedPublishes = 0;
+    uint64_t unestimable = 0;
+    uint64_t driftEngaged = 0;
+    uint64_t driftRecovered = 0;
+    uint64_t driftRelapses = 0;
+};
+
+/** Instantaneous state captured at a window boundary. */
+struct TimelineGauges {
+    uint64_t occupancyMax = 0;   ///< fullest ingest shard (samples)
+    uint64_t occupancyTotal = 0; ///< summed shard occupancy
+    uint32_t shards = 0;
+    std::array<uint8_t, numRails> railStates{}; ///< DriftState per rail
+};
+
+/** One sealed timeline window. POD - memcmp-able in tests. */
+struct TimelineWindow {
+    uint64_t tick = 0;        ///< logical tick that sealed the window
+    TimelineCounters delta;   ///< counter deltas across the window
+    TimelineGauges gauges;    ///< state at the window boundary
+    uint64_t latencyCount = 0;
+    uint64_t latencyMaxTicks = 0;
+    uint64_t p50Ticks = 0;
+    uint64_t p99Ticks = 0;
+    uint64_t p999Ticks = 0;
+};
+
+class StreamTelemetry {
+  public:
+    StreamTelemetry(const TelemetryConfig &cfg, int shards);
+
+    bool timelineEnabled() const { return cfg_.timeline; }
+    uint64_t windowTicks() const { return cfg_.windowTicks; }
+
+    /** One ring per ingest shard + this service ring for rail events. */
+    size_t serviceRing() const { return flight_.rings() - 1; }
+
+    /** Record one flight event (single-writer per ring). */
+    void flight(size_t ring, FlightKind kind, uint64_t tick,
+                uint64_t subject, uint64_t detail = 0,
+                uint32_t code = 0, double value = 0.0)
+    {
+        obs::FlightEvent event;
+        event.tick = tick;
+        event.client = subject;
+        event.detail = detail;
+        event.value = value;
+        event.code = code;
+        event.kind = static_cast<uint16_t>(kind);
+        flight_.record(ring, event);
+    }
+
+    /** Record one ingest-to-estimate latency (accepted samples). */
+    void onLatency(uint64_t ticks)
+    {
+        if (!cfg_.timeline)
+            return;
+        hdrTotal_.record(ticks);
+        hdrWindow_.record(ticks);
+    }
+
+    /**
+     * Seal the window ending at @p tick: store counter deltas vs the
+     * previous seal, the instantaneous gauges, and the window's HDR
+     * latency quantiles, then reset the window histogram. Never
+     * allocates.
+     */
+    void sealWindow(uint64_t tick, const TimelineCounters &cumulative,
+                    const TimelineGauges &gauges);
+
+    const obs::TickRing<TimelineWindow> &timeline() const
+    {
+        return timeline_;
+    }
+    const obs::HdrHistogram &latencyHdr() const { return hdrTotal_; }
+    const obs::FlightRecorder &flightRecorder() const { return flight_; }
+
+    /**
+     * Serialize the full telemetry state (timeline windows, HDR
+     * summary, flight rings) as one JSON document with schema
+     * "tdp-stream-timeline" version 1.
+     */
+    void writeTimelineJson(std::ostream &os, const std::string &tool,
+                           const std::string &reason) const;
+
+    /**
+     * Atomically write writeTimelineJson() output to @p path.
+     * Returns false (with a warning) on I/O failure.
+     */
+    bool writeFile(const std::string &path, const std::string &tool,
+                   const std::string &reason) const;
+
+    /**
+     * Flatten into manifest sections: "stream.timeline" (summary +
+     * per-window entries), "stream.latency_hdr" and "stream.flight".
+     */
+    void addManifestSections(obs::RunManifest &manifest) const;
+
+  private:
+    TelemetryConfig cfg_;
+    TimelineCounters last_;
+    obs::TickRing<TimelineWindow> timeline_;
+    obs::HdrHistogram hdrTotal_;
+    obs::HdrHistogram hdrWindow_;
+    obs::FlightRecorder flight_;
+};
+
+/** Worst (most severe) drift state across a window's rails. */
+DriftState worstDriftState(const TimelineGauges &gauges);
+
+} // namespace stream
+} // namespace tdp
+
+#endif // TDP_STREAM_TELEMETRY_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Flight-recorder ring semantics: overflow keeps the *newest* events
+ * with an exact drop count, rings are independent single-writer
+ * lanes, and the JSON dump carries every retained event.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.hh"
+#include "obs/json_writer.hh"
+
+namespace tdp {
+namespace obs {
+namespace {
+
+FlightEvent
+eventAt(uint64_t tick)
+{
+    FlightEvent event;
+    event.tick = tick;
+    event.client = tick * 3;
+    event.detail = tick + 7;
+    event.value = 0.5 * static_cast<double>(tick);
+    event.code = static_cast<uint32_t>(tick % 5);
+    event.kind = static_cast<uint16_t>(tick % 3);
+    return event;
+}
+
+const char *
+kindName(uint16_t kind)
+{
+    static const char *const names[] = {"alpha", "beta", "gamma"};
+    return names[kind % 3];
+}
+
+TEST(FlightRecorder, OverflowKeepsNewestWithExactDropCount)
+{
+    FlightRecorder recorder(1, 8);
+    for (uint64_t tick = 0; tick < 20; ++tick)
+        recorder.record(0, eventAt(tick));
+
+    EXPECT_EQ(recorder.size(0), 8u);
+    EXPECT_EQ(recorder.recorded(0), 20u);
+    EXPECT_EQ(recorder.dropped(0), 12u);
+
+    // Retained events are exactly ticks 12..19, oldest -> newest,
+    // payload intact and the ring id stamped by record().
+    uint64_t expected = 12;
+    recorder.forEach(0, [&](const FlightEvent &event) {
+        EXPECT_EQ(event.tick, expected);
+        EXPECT_EQ(event.client, expected * 3);
+        EXPECT_EQ(event.detail, expected + 7);
+        EXPECT_EQ(event.code, expected % 5);
+        EXPECT_EQ(event.kind, expected % 3);
+        EXPECT_EQ(event.ring, 0u);
+        ++expected;
+    });
+    EXPECT_EQ(expected, 20u);
+}
+
+TEST(FlightRecorder, BelowCapacityNothingIsDropped)
+{
+    FlightRecorder recorder(1, 16);
+    for (uint64_t tick = 0; tick < 16; ++tick)
+        recorder.record(0, eventAt(tick));
+    EXPECT_EQ(recorder.size(0), 16u);
+    EXPECT_EQ(recorder.recorded(0), 16u);
+    EXPECT_EQ(recorder.dropped(0), 0u);
+}
+
+TEST(FlightRecorder, RingsAreIndependent)
+{
+    FlightRecorder recorder(3, 4);
+    for (uint64_t tick = 0; tick < 10; ++tick)
+        recorder.record(0, eventAt(tick));
+    recorder.record(2, eventAt(100));
+
+    EXPECT_EQ(recorder.rings(), 3u);
+    EXPECT_EQ(recorder.size(0), 4u);
+    EXPECT_EQ(recorder.size(1), 0u);
+    EXPECT_EQ(recorder.size(2), 1u);
+    EXPECT_EQ(recorder.dropped(0), 6u);
+    EXPECT_EQ(recorder.dropped(2), 0u);
+    EXPECT_EQ(recorder.totalRecorded(), 11u);
+    EXPECT_EQ(recorder.totalDropped(), 6u);
+
+    recorder.forEach(2, [](const FlightEvent &event) {
+        EXPECT_EQ(event.tick, 100u);
+        EXPECT_EQ(event.ring, 2u);
+    });
+}
+
+TEST(FlightRecorder, WriteJsonEmitsEveryRetainedEvent)
+{
+    FlightRecorder recorder(2, 4);
+    for (uint64_t tick = 0; tick < 6; ++tick)
+        recorder.record(0, eventAt(tick));
+    recorder.record(1, eventAt(42));
+
+    std::ostringstream os;
+    JsonWriter json(os);
+    recorder.writeJson(json, kindName);
+    ASSERT_TRUE(json.balanced());
+    const std::string text = os.str();
+
+    // Retained ring-0 events are ticks 2..5; the overwritten ones
+    // must not resurface, only their count.
+    for (const char *fragment :
+         {"\"tick\":2", "\"tick\":5", "\"tick\":42",
+          "\"dropped\":2", "\"kind\":\"alpha\"", "\"kind\":\"beta\""})
+        EXPECT_NE(text.find(fragment), std::string::npos)
+            << "missing " << fragment << " in " << text;
+    EXPECT_EQ(text.find("\"tick\":1,"), std::string::npos)
+        << "overwritten event leaked into the dump: " << text;
+}
+
+} // namespace
+} // namespace obs
+} // namespace tdp

@@ -25,7 +25,8 @@ namespace {
 using testutil::Fleet;
 using testutil::trainedEstimator;
 
-TEST(StreamServiceAlloc, SteadyStateDrainIsAllocationFree)
+void
+expectSteadyStateAllocationFree(bool telemetry)
 {
     if (!tdp::testutil::allocationHookActive())
         GTEST_SKIP() << "sanitizer build: operator new is owned by "
@@ -48,6 +49,12 @@ TEST(StreamServiceAlloc, SteadyStateDrainIsAllocationFree)
     cfg.refitWindowBlocks = 2;
     cfg.drainBudget = 64;
     cfg.evictEveryTicks = 0;
+    // The flight recorder is always on; when the timeline layer is
+    // enabled too, windows seal every other tick inside the measured
+    // section - sealWindow and the HDR records must stay POD stores
+    // into preallocated storage.
+    cfg.telemetry.timeline = telemetry;
+    cfg.telemetry.windowTicks = 2;
     StreamService service(cfg, trainedEstimator());
     const ExperimentPool pool(1);
 
@@ -103,6 +110,19 @@ TEST(StreamServiceAlloc, SteadyStateDrainIsAllocationFree)
               static_cast<uint64_t>(clients) *
                   (warmupRounds + measuredRounds - 1));
     EXPECT_EQ(service.ingestStats().overflow, 0u);
+    if (telemetry) {
+        EXPECT_GT(service.telemetry().timeline().size(), 0u);
+    }
+}
+
+TEST(StreamServiceAlloc, SteadyStateDrainIsAllocationFree)
+{
+    expectSteadyStateAllocationFree(false);
+}
+
+TEST(StreamServiceAlloc, SteadyStateWithTelemetryIsAllocationFree)
+{
+    expectSteadyStateAllocationFree(true);
 }
 
 } // namespace

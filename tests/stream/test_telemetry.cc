@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Stream telemetry invariants: sealed windows carry counter *deltas*
+ * (not cumulatives) and per-window latency quantiles, the recorded
+ * timeline is byte-identical at any worker count, enabling telemetry
+ * never perturbs the service digest, and the always-on flight
+ * recorder captures the events a postmortem needs.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/run_manifest.hh"
+#include "obs/stats_registry.hh"
+#include "stream/service.hh"
+#include "stream_fleet.hh"
+
+namespace tdp {
+namespace stream {
+namespace {
+
+using testutil::Fleet;
+using testutil::trainedEstimator;
+
+StreamConfig
+telemetryConfig()
+{
+    StreamConfig cfg;
+    cfg.ingest.shards = 4;
+    cfg.ingest.ringCapacity = 128;
+    cfg.ingest.highWatermark = 96;
+    cfg.ingest.seed = 0x5eed;
+    cfg.session.counterWidthBits = 40;
+    cfg.session.idleTimeoutTicks = 32;
+    cfg.session.quarantineThreshold = 4;
+    cfg.session.wattsWindow = 8;
+    cfg.refitBlockRows = 8;
+    cfg.refitWindowBlocks = 4;
+    cfg.drainBudget = 64;
+    cfg.evictEveryTicks = 8;
+    cfg.telemetry.timeline = true;
+    cfg.telemetry.windowTicks = 4;
+    return cfg;
+}
+
+TEST(StreamTelemetry, SealWindowStoresDeltasAndWindowQuantiles)
+{
+    TelemetryConfig cfg;
+    cfg.timeline = true;
+    cfg.windowTicks = 4;
+    StreamTelemetry telemetry(cfg, 2);
+    EXPECT_EQ(telemetry.serviceRing(), 2u); // 2 shards + service ring
+
+    for (uint64_t ticks = 1; ticks <= 100; ++ticks)
+        telemetry.onLatency(ticks);
+
+    TimelineCounters first;
+    first.offered = 40;
+    first.accepted = 30;
+    first.shed = 2;
+    TimelineGauges gauges;
+    gauges.occupancyMax = 7;
+    gauges.occupancyTotal = 12;
+    gauges.shards = 2;
+    telemetry.sealWindow(3, first, gauges);
+
+    TimelineCounters second = first;
+    second.offered = 100;
+    second.accepted = 75;
+    telemetry.sealWindow(7, second, gauges);
+
+    const auto &ring = telemetry.timeline();
+    ASSERT_EQ(ring.size(), 2u);
+
+    const TimelineWindow &w0 = ring.at(0);
+    EXPECT_EQ(w0.tick, 3u);
+    EXPECT_EQ(w0.delta.offered, 40u);
+    EXPECT_EQ(w0.delta.accepted, 30u);
+    EXPECT_EQ(w0.delta.shed, 2u);
+    EXPECT_EQ(w0.gauges.occupancyMax, 7u);
+    EXPECT_EQ(w0.latencyCount, 100u);
+    EXPECT_EQ(w0.latencyMaxTicks, 100u);
+    // Quantile upper bounds: within 2^-5 of the exact order stats.
+    EXPECT_GE(w0.p50Ticks, 50u);
+    EXPECT_LE(w0.p50Ticks, 52u);
+    EXPECT_GE(w0.p99Ticks, 99u);
+    EXPECT_LE(w0.p99Ticks, 100u);
+    EXPECT_EQ(w0.p999Ticks, 100u); // clamped to the recorded max
+
+    // The second window saw no latencies (the window histogram was
+    // reset at the seal) and its deltas subtract the first seal.
+    const TimelineWindow &w1 = ring.at(1);
+    EXPECT_EQ(w1.tick, 7u);
+    EXPECT_EQ(w1.delta.offered, 60u);
+    EXPECT_EQ(w1.delta.accepted, 45u);
+    EXPECT_EQ(w1.delta.shed, 0u);
+    EXPECT_EQ(w1.latencyCount, 0u);
+    EXPECT_EQ(w1.p50Ticks, 0u);
+
+    // The cumulative histogram is never reset by a seal.
+    EXPECT_EQ(telemetry.latencyHdr().count(), 100u);
+}
+
+/** One adversarial run with telemetry on; the facts to compare. */
+struct TelemetryRun
+{
+    uint64_t digest = 0;
+    uint64_t accepted = 0;
+    std::vector<TimelineWindow> windows;
+};
+
+TelemetryRun
+adversarialRun(int jobs, bool timeline)
+{
+    StreamConfig cfg = telemetryConfig();
+    cfg.ingest.shards = 2;
+    cfg.ingest.ringCapacity = 24;
+    cfg.ingest.highWatermark = 12;
+    cfg.telemetry.timeline = timeline;
+    StreamService service(cfg, trainedEstimator());
+    const ExperimentPool pool(jobs);
+    Fleet fleet(16, 40);
+
+    for (int round = 0; round < 60; ++round) {
+        for (int c = 0; c < 16; ++c) {
+            StreamSample s = fleet.next(
+                c, static_cast<double>(round % 40) / 39.0);
+            if (c == 5 && round > 0)
+                s.raw.counts[0] = std::nan("");
+            service.offer(s);
+            if (round >= 20 && round < 40)
+                service.offer(fleet.next(
+                    c, static_cast<double>(round % 40) / 39.0));
+        }
+        service.tick(pool);
+    }
+
+    TelemetryRun result;
+    result.digest = service.digest();
+    result.accepted = service.sessionStats().accepted;
+    service.telemetry().timeline().forEach(
+        [&](const TimelineWindow &w) { result.windows.push_back(w); });
+    return result;
+}
+
+TEST(StreamTelemetry, TimelineIsByteIdenticalAcrossWorkerCounts)
+{
+    const TelemetryRun serial = adversarialRun(1, true);
+    const TelemetryRun parallel = adversarialRun(4, true);
+
+    EXPECT_EQ(serial.digest, parallel.digest);
+    ASSERT_GT(serial.windows.size(), 4u);
+    ASSERT_EQ(serial.windows.size(), parallel.windows.size());
+    for (size_t i = 0; i < serial.windows.size(); ++i)
+        EXPECT_EQ(std::memcmp(&serial.windows[i], &parallel.windows[i],
+                              sizeof(TimelineWindow)),
+                  0)
+            << "window " << i << " differs between 1 and 4 workers";
+
+    // The run actually produced signal, not empty windows.
+    uint64_t offered = 0, shed = 0;
+    for (const TimelineWindow &w : serial.windows) {
+        offered += w.delta.offered;
+        shed += w.delta.shed;
+    }
+    EXPECT_GT(offered, 0u);
+    EXPECT_GT(shed, 0u);
+}
+
+TEST(StreamTelemetry, EnablingTelemetryNeverTouchesTheDigest)
+{
+    const TelemetryRun off = adversarialRun(1, false);
+    const TelemetryRun on = adversarialRun(1, true);
+    EXPECT_EQ(off.digest, on.digest);
+    EXPECT_EQ(off.accepted, on.accepted);
+    // Off means off: no windows were sealed.
+    EXPECT_TRUE(off.windows.empty());
+    EXPECT_FALSE(on.windows.empty());
+}
+
+TEST(StreamTelemetry, FlightRecorderCapturesQuarantineEvents)
+{
+    // Timeline disabled on purpose: the flight recorder is always on.
+    StreamConfig cfg = telemetryConfig();
+    cfg.telemetry.timeline = false;
+    StreamService service(cfg, trainedEstimator());
+    const ExperimentPool pool(1);
+    Fleet fleet(2, 40);
+
+    for (int c = 0; c < 2; ++c)
+        service.offer(fleet.next(c, 0.5));
+    service.tick(pool);
+    uint64_t poisonedClient = 0;
+    for (int round = 0; round < 5; ++round) {
+        StreamSample bad = fleet.next(1, 0.5);
+        bad.raw.counts[0] = std::nan("");
+        poisonedClient = bad.client;
+        service.offer(bad);
+        service.offer(fleet.next(0, 0.5));
+        service.tick(pool);
+    }
+    ASSERT_EQ(service.sessionStats().quarantines, 1u);
+
+    const obs::FlightRecorder &flight = service.telemetry().flightRecorder();
+    uint64_t verdicts = 0, quarantines = 0;
+    for (size_t ring = 0; ring < flight.rings(); ++ring)
+        flight.forEach(ring, [&](const obs::FlightEvent &event) {
+            const auto kind = static_cast<FlightKind>(event.kind);
+            if (kind == FlightKind::Verdict)
+                ++verdicts;
+            if (kind == FlightKind::Quarantine) {
+                ++quarantines;
+                EXPECT_EQ(event.client, poisonedClient);
+            }
+        });
+    EXPECT_GT(verdicts, 0u);
+    EXPECT_EQ(quarantines, 1u);
+    EXPECT_GT(flight.totalRecorded(), 0u);
+}
+
+TEST(StreamTelemetry, DumpAndManifestSectionsRoundTrip)
+{
+    StreamConfig cfg = telemetryConfig();
+    StreamService service(cfg, trainedEstimator());
+    const ExperimentPool pool(1);
+    Fleet fleet(8, 40);
+    for (int round = 0; round < 24; ++round) {
+        for (int c = 0; c < 8; ++c)
+            service.offer(fleet.next(
+                c, static_cast<double>(round % 40) / 39.0));
+        service.tick(pool);
+    }
+
+    const std::string path =
+        testing::TempDir() + "test_telemetry_dump.json";
+    ASSERT_TRUE(service.writeTimeline(path, "test", "exit"));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string dump = buffer.str();
+    for (const char *fragment :
+         {"\"schema\":\"tdp-stream-timeline\"", "\"version\":1",
+          "\"reason\":\"exit\"", "\"timeline_enabled\":true",
+          "\"latency_hdr\"", "\"flight\""})
+        EXPECT_NE(dump.find(fragment), std::string::npos)
+            << "dump lacks " << fragment;
+    std::remove(path.c_str());
+
+    obs::RunManifest manifest;
+    manifest.setTool("test");
+    service.addManifestSections(manifest);
+    std::ostringstream manifestOs;
+    manifest.writeJson(manifestOs, obs::StatsRegistry::Snapshot{});
+    const std::string text = manifestOs.str();
+    for (const char *fragment :
+         {"\"stream.timeline\"", "\"stream.latency_hdr\"",
+          "\"stream.flight\"", "\"w0.tick\""})
+        EXPECT_NE(text.find(fragment), std::string::npos)
+            << "manifest lacks " << fragment;
+}
+
+} // namespace
+} // namespace stream
+} // namespace tdp
