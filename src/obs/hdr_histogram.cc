@@ -95,10 +95,17 @@ HdrHistogram::reset()
 void
 HdrHistogram::mergeFrom(const HdrHistogram &other)
 {
+    // Different sub-bucket bits mean different bucket geometries:
+    // summing the count arrays index-by-index would silently blend
+    // values from unrelated latency ranges into nonsense quantiles.
     if (other.bits_ != bits_)
-        fatal("HdrHistogram::mergeFrom: sub-bucket bits differ "
-              "(%d vs %d)",
-              bits_, other.bits_);
+        fatal("HdrHistogram::mergeFrom: cannot merge a %d-bit "
+              "histogram into a %d-bit one - the bucket geometries "
+              "differ, so counts would land in the wrong value "
+              "ranges. Construct both histograms with the same "
+              "subBucketBits (e.g. one TelemetryConfig::hdrBits) "
+              "before merging.",
+              other.bits_, bits_);
     for (size_t i = 0; i < counts_.size(); ++i)
         counts_[i] += other.counts_[i];
     total_ += other.total_;

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "stream/checkpoint.hh"
 
 namespace tdp {
 namespace stream {
@@ -99,6 +100,42 @@ DriftGuard::observe(double residual)
         event.recovered = true;
     }
     return event;
+}
+
+void
+DriftGuard::checkpointSave(CheckpointWriter &w) const
+{
+    w.u64(stats_.windows);
+    w.u64(stats_.engaged);
+    w.u64(stats_.recovered);
+    w.u64(stats_.relapses);
+    w.u8(static_cast<uint8_t>(state_));
+    w.f64(baseline_);
+    w.u8(hasBaseline_ ? 1 : 0);
+    w.f64(sumSq_);
+    w.u64(count_);
+    w.u32(healthyStreak_);
+}
+
+bool
+DriftGuard::checkpointRestore(CheckpointReader &r)
+{
+    stats_.windows = r.u64();
+    stats_.engaged = r.u64();
+    stats_.recovered = r.u64();
+    stats_.relapses = r.u64();
+    const uint8_t state = r.u8();
+    if (state > static_cast<uint8_t>(DriftState::Probation)) {
+        r.fail("invalid drift state");
+        return false;
+    }
+    state_ = static_cast<DriftState>(state);
+    baseline_ = r.f64();
+    hasBaseline_ = r.u8() != 0;
+    sumSq_ = r.f64();
+    count_ = r.u64();
+    healthyStreak_ = r.u32();
+    return r.ok();
 }
 
 } // namespace stream

@@ -27,6 +27,9 @@
 namespace tdp {
 namespace stream {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** Health of one rail's primary model. */
 enum class DriftState : uint8_t
 {
@@ -115,6 +118,12 @@ class DriftGuard
 
     const DriftConfig &config() const { return cfg_; }
     const DriftStats &stats() const { return stats_; }
+
+    /** Serialize the full detector state (checkpoint.hh). */
+    void checkpointSave(CheckpointWriter &w) const;
+
+    /** Restore; false (reader failed) on corruption, never fatal. */
+    bool checkpointRestore(CheckpointReader &r);
 
   private:
     DriftConfig cfg_;

@@ -124,6 +124,39 @@ FlatClientIndex::erase(uint64_t client)
 }
 
 void
+FlatClientIndex::verifyInvariants() const
+{
+    size_t occupied = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i].row == kNoRow)
+            continue;
+        ++occupied;
+        // The entry must be reachable by the probe loop: every slot
+        // from its home up to (and excluding) its position must be
+        // occupied, else find() would stop at the gap and miss it.
+        const uint64_t client = buckets_[i].client;
+        size_t probe = homeOf(client);
+        while (probe != i) {
+            if (buckets_[probe].row == kNoRow)
+                fatal("FlatClientIndex: client %llu at bucket %zu is "
+                      "unreachable (empty bucket %zu inside its probe "
+                      "run from home %zu)",
+                      static_cast<unsigned long long>(client), i,
+                      probe, homeOf(client));
+            probe = (probe + 1) & mask_;
+        }
+        if (find(client) != buckets_[i].row)
+            fatal("FlatClientIndex: client %llu resolves to the wrong "
+                  "row",
+                  static_cast<unsigned long long>(client));
+    }
+    if (occupied != size_)
+        fatal("FlatClientIndex: %zu occupied buckets but size() is "
+              "%zu",
+              occupied, size_);
+}
+
+void
 FlatClientIndex::rehash(size_t newCapacity)
 {
     std::vector<Bucket> old = std::move(buckets_);

@@ -65,6 +65,16 @@ class FlatClientIndex
         return buckets_.capacity() * sizeof(Bucket);
     }
 
+    /**
+     * Debug checker: fatal() unless every occupied bucket is
+     * reachable from its client's home bucket with no empty slot
+     * inside the probe run (the linear-probe invariant backward-
+     * shift deletion must preserve) and the occupied count matches
+     * size(). O(capacity * probe length); called after checkpoint
+     * restore and from the churn tests, not on any hot path.
+     */
+    void verifyInvariants() const;
+
   private:
     struct Bucket
     {

@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "resilience/retry.hh"
+#include "stream/checkpoint.hh"
 
 namespace tdp {
 namespace stream {
@@ -100,6 +101,27 @@ ShardedIngest::offer(uint64_t tick, const StreamSample &sample)
     stats_.highWater =
         std::max<uint64_t>(stats_.highWater, occupancy + 1);
     return Admission::Admitted;
+}
+
+void
+ShardedIngest::checkpointSave(CheckpointWriter &w) const
+{
+    w.u64(stats_.offered);
+    w.u64(stats_.admitted);
+    w.u64(stats_.shed);
+    w.u64(stats_.overflow);
+    w.u64(stats_.highWater);
+}
+
+bool
+ShardedIngest::checkpointRestore(CheckpointReader &r)
+{
+    stats_.offered = r.u64();
+    stats_.admitted = r.u64();
+    stats_.shed = r.u64();
+    stats_.overflow = r.u64();
+    stats_.highWater = r.u64();
+    return r.ok();
 }
 
 } // namespace stream

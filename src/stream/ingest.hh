@@ -27,6 +27,9 @@
 namespace tdp {
 namespace stream {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** Shard and queue-bound configuration. */
 struct IngestConfig
 {
@@ -96,6 +99,16 @@ class ShardedIngest
 
     const IngestConfig &config() const { return config_; }
     const Stats &stats() const { return stats_; }
+
+    /**
+     * Serialize the admission counters (checkpoint.hh). Ring
+     * contents are serialized per shard by the service so each
+     * shard section stays self-contained.
+     */
+    void checkpointSave(CheckpointWriter &w) const;
+
+    /** Restore the admission counters. */
+    bool checkpointRestore(CheckpointReader &r);
 
   private:
     IngestConfig config_;

@@ -68,6 +68,21 @@ class SampleRing
         return true;
     }
 
+    /** Queued sample @p i (0 = oldest); checkpoint serialization. */
+    const StreamSample &
+    at(size_t i) const
+    {
+        return slots_[(head_ + i) % slots_.size()];
+    }
+
+    /** Drop everything (checkpoint restore refills from scratch). */
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
   private:
     std::vector<StreamSample> slots_;
     size_t head_ = 0;

@@ -11,6 +11,7 @@
 #include "common/logging.hh"
 #include "stats/matrix.hh"
 #include "stats/solve.hh"
+#include "stream/checkpoint.hh"
 
 namespace tdp {
 namespace stream {
@@ -371,6 +372,88 @@ WindowedRls::refitFromScratch() const
     }
     const char *guard = "";
     return solveFromMoments(acc, &guard);
+}
+
+void
+WindowedRls::checkpointSave(CheckpointWriter &w) const
+{
+    // Window shape first: the restore side cross-checks it against
+    // its own config before trusting any offsets below (defense in
+    // depth behind the service-level fingerprint).
+    w.u64(cfg_.inputs);
+    w.u64(cfg_.blockRows);
+    w.u64(cfg_.windowBlocks);
+    w.u64(stats_.rowsAdded);
+    w.u64(stats_.blocksSealed);
+    w.u64(stats_.refits);
+    w.u64(stats_.fullQrRefits);
+    w.u64(stats_.guardNonFinite);
+    w.u64(stats_.guardSingular);
+    w.u64(stats_.guardInconsistent);
+    w.u64(stats_.guardInsufficient);
+    w.u64(oldestSlot_);
+    w.u64(blockCount_);
+    w.u64(openRows_);
+    for (const Partial &partial : partials_) {
+        for (const double v : partial.gram)
+            w.f64(v);
+        for (const double v : partial.sx)
+            w.f64(v);
+        for (const double v : partial.sxy)
+            w.f64(v);
+        w.f64(partial.sy);
+        w.f64(partial.syy);
+        w.u64(partial.n);
+    }
+    for (const double v : rows_)
+        w.f64(v);
+    for (const double v : ys_)
+        w.f64(v);
+}
+
+bool
+WindowedRls::checkpointRestore(CheckpointReader &r)
+{
+    if (r.u64() != cfg_.inputs || r.u64() != cfg_.blockRows ||
+        r.u64() != cfg_.windowBlocks) {
+        r.fail("refit window shape mismatch");
+        return false;
+    }
+    stats_.rowsAdded = r.u64();
+    stats_.blocksSealed = r.u64();
+    stats_.refits = r.u64();
+    stats_.fullQrRefits = r.u64();
+    stats_.guardNonFinite = r.u64();
+    stats_.guardSingular = r.u64();
+    stats_.guardInconsistent = r.u64();
+    stats_.guardInsufficient = r.u64();
+    oldestSlot_ = r.u64();
+    blockCount_ = r.u64();
+    openRows_ = r.u64();
+    if (!r.ok())
+        return false;
+    if (oldestSlot_ >= partials_.size() ||
+        blockCount_ > cfg_.windowBlocks ||
+        openRows_ >= cfg_.blockRows) {
+        r.fail("refit window cursors out of range");
+        return false;
+    }
+    for (Partial &partial : partials_) {
+        for (double &v : partial.gram)
+            v = r.f64();
+        for (double &v : partial.sx)
+            v = r.f64();
+        for (double &v : partial.sxy)
+            v = r.f64();
+        partial.sy = r.f64();
+        partial.syy = r.f64();
+        partial.n = r.u64();
+    }
+    for (double &v : rows_)
+        v = r.f64();
+    for (double &v : ys_)
+        v = r.f64();
+    return r.ok();
 }
 
 } // namespace stream

@@ -42,6 +42,9 @@
 namespace tdp {
 namespace stream {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** Window shape of one incremental fit. */
 struct RlsConfig
 {
@@ -133,6 +136,20 @@ class WindowedRls
 
     const RlsConfig &config() const { return cfg_; }
     const RlsStats &stats() const { return stats_; }
+
+    /**
+     * Serialize every block partial, the stored window rows and the
+     * stats (checkpoint.hh). The restored fit state is bit-identical:
+     * the next refit merges the exact same partials.
+     */
+    void checkpointSave(CheckpointWriter &w) const;
+
+    /**
+     * Restore into a freshly constructed instance; the serialized
+     * window shape must match this config (the restore fails the
+     * reader, never fatals, on mismatch or corruption).
+     */
+    bool checkpointRestore(CheckpointReader &r);
 
   private:
     /** Fused accumulators of one block (raw, unstandardised). */

@@ -297,13 +297,9 @@ StreamService::tick(const ExperimentPool &pool)
     ++stats_.ticks;
 }
 
-void
-StreamService::sealTelemetryWindow()
+TimelineCounters
+StreamService::cumulativeTimelineCounters() const
 {
-    // Built entirely from counters the serial phases already
-    // maintain, at a deterministic point in the tick - the sealed
-    // window is byte-identical at any --jobs. No allocations: every
-    // summed struct is a POD aggregate on the stack.
     TimelineCounters c;
     const ShardedIngest::Stats &ing = ingest_.stats();
     c.offered = ing.offered;
@@ -328,6 +324,21 @@ StreamService::sealTelemetryWindow()
         c.driftRecovered += drift.recovered;
         c.driftRelapses += drift.relapses;
     }
+    // Attempts, not successes: a run with flaky checkpoint I/O must
+    // seal the same timeline as a healthy one modulo this counter
+    // alone, and attempts are deterministic where outcomes are not.
+    c.checkpoints = stats_.checkpoints + stats_.checkpointFailures;
+    return c;
+}
+
+void
+StreamService::sealTelemetryWindow()
+{
+    // Built entirely from counters the serial phases already
+    // maintain, at a deterministic point in the tick - the sealed
+    // window is byte-identical at any --jobs. No allocations: every
+    // summed struct is a POD aggregate on the stack.
+    const TimelineCounters c = cumulativeTimelineCounters();
 
     TimelineGauges g;
     g.shards = static_cast<uint32_t>(sessions_.size());

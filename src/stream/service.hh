@@ -50,6 +50,9 @@
 namespace tdp {
 namespace stream {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** Full service configuration. */
 struct StreamConfig
 {
@@ -140,6 +143,16 @@ class StreamService
 
         /** Idle-eviction sweeps run. */
         uint64_t evictionSweeps = 0;
+
+        /** Checkpoints written / failed writes (checkpoint.hh). @{ */
+        uint64_t checkpoints = 0;
+        uint64_t checkpointFailures = 0;
+        /** @} */
+
+        /** Restores served / of those, from a fallback generation. @{ */
+        uint64_t restores = 0;
+        uint64_t restoreFallbacks = 0;
+        /** @} */
     };
 
     /**
@@ -227,6 +240,25 @@ class StreamService
     /** Manifest/stat key slug of one rail (lowercase, no slashes). */
     static const char *railSlug(Rail rail);
 
+    /**
+     * Checkpoint plumbing (stream/checkpoint.hh owns the format;
+     * these expose the state without widening the public surface).
+     * Restores require a freshly constructed service and report
+     * corruption by failing the reader - never fatal(). @{
+     */
+    uint64_t checkpointFingerprint() const;
+    void checkpointSaveIngest(CheckpointWriter &w) const;
+    void checkpointSaveShard(size_t shard, CheckpointWriter &w) const;
+    void checkpointSaveService(CheckpointWriter &w) const;
+    bool checkpointRestoreIngest(CheckpointReader &r);
+    bool checkpointRestoreShard(size_t shard, CheckpointReader &r);
+    bool checkpointRestoreService(CheckpointReader &r);
+    void checkpointRestoreFinish(uint64_t generation,
+                                 bool usedFallback);
+    void noteCheckpoint(uint64_t generation, uint64_t crc);
+    void noteCheckpointFailure(uint64_t generation);
+    /** @} */
+
   private:
     /** One drained sample after the parallel phase. */
     struct Staged
@@ -269,6 +301,9 @@ class StreamService
 
     /** Serial-phase handling of one staged sample. */
     void foldStaged(int shard, const Staged &staged);
+
+    /** Cumulative counters feeding the timeline delta windows. */
+    TimelineCounters cumulativeTimelineCounters() const;
 
     /** Seal the timeline window ending at the current tick. */
     void sealTelemetryWindow();

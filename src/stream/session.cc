@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "stream/checkpoint.hh"
 #include "simd/lane_check.hh"
 #include "simd/lane_math.hh"
 
@@ -441,6 +442,104 @@ SessionTable::memoryBytes() const
            watts_.capacity() * sizeof(double) +
            wattsCount_.capacity() * sizeof(uint32_t) +
            index_.memoryBytes();
+}
+
+void
+SessionTable::checkpointSave(CheckpointWriter &w) const
+{
+    w.u64(clients_.size());
+    for (size_t row = 0; row < clients_.size(); ++row) {
+        w.u64(clients_[row]);
+        w.u64(lastSeq_[row]);
+        w.f64(lastTime_[row]);
+        w.u64(lastSeen_[row]);
+        w.u8(quarantined_[row]);
+        w.u8(hasBaseline_[row]);
+        w.u32(invalidCount_[row]);
+        for (int e = 0; e < numPerfEvents; ++e)
+            w.f64(lastRaw_[row * numPerfEvents +
+                           static_cast<size_t>(e)]);
+        for (size_t i = 0; i < config_.wattsWindow; ++i)
+            w.f64(watts_[row * config_.wattsWindow + i]);
+        w.u32(wattsCount_[row]);
+    }
+    w.u64(stats_.created);
+    w.u64(stats_.accepted);
+    w.u64(stats_.baselines);
+    w.u64(stats_.wraps);
+    w.u64(stats_.nonFinite);
+    w.u64(stats_.outOfRange);
+    w.u64(stats_.duplicateSeq);
+    w.u64(stats_.outOfOrderSeq);
+    w.u64(stats_.staleTime);
+    w.u64(stats_.zeroCycles);
+    w.u64(stats_.rejectedQuarantined);
+    w.u64(stats_.quarantines);
+    w.u64(stats_.evicted);
+    w.u64(quarantinedNow_);
+}
+
+bool
+SessionTable::checkpointRestore(CheckpointReader &r)
+{
+    if (!clients_.empty()) {
+        r.fail("session restore into a non-empty table");
+        return false;
+    }
+    const uint64_t rows = r.u64();
+    if (!r.ok())
+        return false;
+    size_t quarantinedSeen = 0;
+    for (uint64_t row = 0; row < rows; ++row) {
+        const uint64_t client = r.u64();
+        clients_.push_back(client);
+        lastSeq_.push_back(r.u64());
+        lastTime_.push_back(r.f64());
+        lastSeen_.push_back(r.u64());
+        quarantined_.push_back(r.u8());
+        hasBaseline_.push_back(r.u8());
+        invalidCount_.push_back(r.u32());
+        lastRaw_.resize(lastRaw_.size() + numPerfEvents);
+        for (int e = 0; e < numPerfEvents; ++e)
+            lastRaw_[static_cast<size_t>(row) * numPerfEvents +
+                     static_cast<size_t>(e)] = r.f64();
+        watts_.resize(watts_.size() + config_.wattsWindow);
+        for (size_t i = 0; i < config_.wattsWindow; ++i)
+            watts_[static_cast<size_t>(row) * config_.wattsWindow +
+                   i] = r.f64();
+        wattsCount_.push_back(r.u32());
+        if (!r.ok())
+            return false;
+        if (quarantined_.back() != 0)
+            ++quarantinedSeen;
+        if (index_.find(client) != FlatClientIndex::kNoRow) {
+            r.fail("duplicate client in session checkpoint");
+            return false;
+        }
+        index_.insert(client, static_cast<uint32_t>(row));
+    }
+    stats_.created = r.u64();
+    stats_.accepted = r.u64();
+    stats_.baselines = r.u64();
+    stats_.wraps = r.u64();
+    stats_.nonFinite = r.u64();
+    stats_.outOfRange = r.u64();
+    stats_.duplicateSeq = r.u64();
+    stats_.outOfOrderSeq = r.u64();
+    stats_.staleTime = r.u64();
+    stats_.zeroCycles = r.u64();
+    stats_.rejectedQuarantined = r.u64();
+    stats_.quarantines = r.u64();
+    stats_.evicted = r.u64();
+    quarantinedNow_ = r.u64();
+    if (!r.ok())
+        return false;
+    if (quarantinedNow_ != quarantinedSeen) {
+        r.fail("quarantine count disagrees with quarantine flags");
+        return false;
+    }
+    index_.verifyInvariants();
+    return true;
 }
 
 } // namespace stream

@@ -39,6 +39,9 @@
 namespace tdp {
 namespace stream {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** What the session layer decided about one sample. */
 enum class Verdict : uint8_t
 {
@@ -165,6 +168,17 @@ class SessionTable
 
     const SessionConfig &config() const { return config_; }
     const Stats &stats() const { return stats_; }
+
+    /** Serialize every column plus the stats (checkpoint.hh). */
+    void checkpointSave(CheckpointWriter &w) const;
+
+    /**
+     * Restore into an *empty* table of the same config: rows are
+     * re-appended in stored order, the flat index is rebuilt and its
+     * invariants re-verified. False (reader failed, table contents
+     * unspecified) on any inconsistency; never fatal.
+     */
+    bool checkpointRestore(CheckpointReader &r);
 
   private:
     /** Payload-only verdict precursors (no session state involved). */

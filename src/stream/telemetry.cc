@@ -76,6 +76,12 @@ flightKindName(uint16_t kind)
         return "refit";
     case FlightKind::RefitRejected:
         return "refit_rejected";
+    case FlightKind::Checkpoint:
+        return "checkpoint";
+    case FlightKind::CheckpointFailed:
+        return "checkpoint_failed";
+    case FlightKind::Restore:
+        return "restore";
     }
     return "unknown";
 }
@@ -131,6 +137,7 @@ StreamTelemetry::sealWindow(uint64_t tick,
     d.driftEngaged = cumulative.driftEngaged - last_.driftEngaged;
     d.driftRecovered = cumulative.driftRecovered - last_.driftRecovered;
     d.driftRelapses = cumulative.driftRelapses - last_.driftRelapses;
+    d.checkpoints = cumulative.checkpoints - last_.checkpoints;
     last_ = cumulative;
 
     window.gauges = gauges;
@@ -183,6 +190,7 @@ StreamTelemetry::writeTimelineJson(std::ostream &os,
         json.keyValue("drift_engaged", w.delta.driftEngaged);
         json.keyValue("drift_recovered", w.delta.driftRecovered);
         json.keyValue("drift_relapses", w.delta.driftRelapses);
+        json.keyValue("checkpoints", w.delta.checkpoints);
         json.keyValue("shards", static_cast<uint64_t>(w.gauges.shards));
         json.keyValue("occupancy_max", w.gauges.occupancyMax);
         json.keyValue("occupancy_mean", occupancyMean(w.gauges));
@@ -286,6 +294,8 @@ StreamTelemetry::addManifestSections(obs::RunManifest &manifest) const
                                  w.delta.driftEngaged);
         manifest.addSectionEntry(timeline, p + "drift_recovered",
                                  w.delta.driftRecovered);
+        manifest.addSectionEntry(timeline, p + "checkpoints",
+                                 w.delta.checkpoints);
         manifest.addSectionEntry(timeline, p + "occupancy_max",
                                  w.gauges.occupancyMax);
         manifest.addSectionEntry(timeline, p + "occupancy_mean",

@@ -80,6 +80,9 @@ enum class FlightKind : uint16_t {
     FallbackCleared,  ///< rail back on the primary; code = rail
     Refit,            ///< refit sealed; code = rail, value = rmse
     RefitRejected,    ///< refit failed health checks; code = rail
+    Checkpoint,       ///< checkpoint written; subject = generation
+    CheckpointFailed, ///< checkpoint write failed; subject = gen
+    Restore,          ///< state restored; subject = generation
 };
 
 /** Stable name of a FlightKind (never null). */
@@ -103,6 +106,9 @@ struct TimelineCounters {
     uint64_t driftEngaged = 0;
     uint64_t driftRecovered = 0;
     uint64_t driftRelapses = 0;
+
+    /** Checkpoint write attempts (successes + failures). */
+    uint64_t checkpoints = 0;
 };
 
 /** Instantaneous state captured at a window boundary. */
@@ -167,6 +173,18 @@ class StreamTelemetry {
      */
     void sealWindow(uint64_t tick, const TimelineCounters &cumulative,
                     const TimelineGauges &gauges);
+
+    /**
+     * Adopt @p cumulative as the delta base of the next sealed
+     * window. Called once after a checkpoint restore: the timeline
+     * ring is not serialized (telemetry is ephemeral), so without
+     * re-priming the first post-restore window would report the
+     * whole previous life as one delta.
+     */
+    void primeDeltaBase(const TimelineCounters &cumulative)
+    {
+        last_ = cumulative;
+    }
 
     const obs::TickRing<TimelineWindow> &timeline() const
     {

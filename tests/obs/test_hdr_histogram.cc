@@ -11,10 +11,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
 #include "obs/hdr_histogram.hh"
 
 namespace tdp {
@@ -191,6 +193,30 @@ TEST(HdrHistogram, MergeMatchesRecordingTheUnion)
     EXPECT_EQ(a.max(), 0u);
     EXPECT_EQ(a.quantile(0.99), 0u);
     EXPECT_EQ(a.bucketsUsed(), 0u);
+}
+
+TEST(HdrHistogram, MergeAcrossSubBucketBitsIsFatal)
+{
+    // Different sub-bucket bits mean different bucket geometries; an
+    // index-wise sum would blend unrelated value ranges, so the merge
+    // must refuse loudly instead of producing nonsense quantiles.
+    HdrHistogram fine(6), coarse(4);
+    fine.record(100);
+    coarse.record(100);
+    EXPECT_THROW(coarse.mergeFrom(fine), FatalError);
+    try {
+        coarse.mergeFrom(fine);
+        FAIL() << "mergeFrom across bits did not fatal";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("subBucketBits"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("6-bit"), std::string::npos) << what;
+        EXPECT_NE(what.find("4-bit"), std::string::npos) << what;
+    }
+    // The refused merge left the target untouched.
+    EXPECT_EQ(coarse.count(), 1u);
+    EXPECT_EQ(coarse.quantile(1.0), 100u);
 }
 
 TEST(HdrHistogram, RelativeErrorBoundTracksSubBucketBits)

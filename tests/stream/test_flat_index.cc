@@ -56,6 +56,7 @@ TEST(FlatClientIndex, GrowthKeepsEveryMapping)
     constexpr uint32_t n = 50000;
     for (uint32_t i = 0; i < n; ++i)
         index.insert(1000 + i, i);
+    index.verifyInvariants();
     EXPECT_EQ(index.size(), n);
     // Power-of-two capacity, load factor at most 7/8.
     EXPECT_EQ(index.capacity() & (index.capacity() - 1), 0u);
@@ -98,6 +99,7 @@ TEST(FlatClientIndex, ChurnMatchesReferenceMap)
             ++nextRow;
         }
         if (op % 1000 == 0) {
+            index.verifyInvariants();
             ASSERT_EQ(index.size(), reference.size());
             for (uint64_t probe = 0; probe < universe; ++probe) {
                 const auto ref = reference.find(probe);
@@ -109,6 +111,7 @@ TEST(FlatClientIndex, ChurnMatchesReferenceMap)
             }
         }
     }
+    index.verifyInvariants();
     EXPECT_EQ(index.size(), reference.size());
     for (const auto &entry : reference)
         ASSERT_EQ(index.find(entry.first), entry.second);

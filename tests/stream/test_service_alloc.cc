@@ -10,11 +10,13 @@
  * (alloc_hook.cc). Skipped under sanitizers, which own operator new.
  */
 
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "alloc_hook.hh"
+#include "stream/checkpoint.hh"
 #include "stream/service.hh"
 #include "stream_fleet.hh"
 
@@ -26,7 +28,8 @@ using testutil::Fleet;
 using testutil::trainedEstimator;
 
 void
-expectSteadyStateAllocationFree(bool telemetry)
+expectSteadyStateAllocationFree(bool telemetry,
+                                bool checkpointing = false)
 {
     if (!tdp::testutil::allocationHookActive())
         GTEST_SKIP() << "sanitizer build: operator new is owned by "
@@ -58,6 +61,17 @@ expectSteadyStateAllocationFree(bool telemetry)
     StreamService service(cfg, trainedEstimator());
     const ExperimentPool pool(1);
 
+    // Checkpoint every tick. The write itself (serialization
+    // buffers, file I/O) is exempt from the zero-allocation
+    // contract, so it runs between rounds, outside the measured
+    // windows - what must stay allocation-free is the tick path
+    // with checkpointing machinery engaged (flight events, counter
+    // bumps).
+    std::unique_ptr<StreamCheckpointer> checkpointer;
+    if (checkpointing)
+        checkpointer = std::make_unique<StreamCheckpointer>(
+            service, testing::TempDir() + "tdp-alloc-ckpt", 1);
+
     constexpr int clients = 48;
     constexpr int warmupRounds = 6;
     constexpr int measuredRounds = 4;
@@ -86,24 +100,33 @@ expectSteadyStateAllocationFree(bool telemetry)
         while (service.stats().drained <
                service.ingestStats().admitted)
             service.tick(pool);
+        if (checkpointer)
+            checkpointer->onTick();
     }
 
     // Steady state: same clients, accepted samples only. Zero heap
     // allocations allowed anywhere in offer+drain+estimate+publish.
-    const uint64_t before = tdp::testutil::allocationCount();
+    // Measured per round so the (exempt) checkpoint I/O between
+    // rounds stays outside the counted windows.
+    uint64_t allocations = 0;
     for (int round = warmupRounds;
          round < warmupRounds + measuredRounds; ++round) {
+        const uint64_t before = tdp::testutil::allocationCount();
         for (const StreamSample &s : rounds[round])
             service.offer(s);
         service.tick(pool);
         while (service.stats().drained <
                service.ingestStats().admitted)
             service.tick(pool);
+        allocations += tdp::testutil::allocationCount() - before;
+        if (checkpointer)
+            checkpointer->onTick();
     }
-    const uint64_t after = tdp::testutil::allocationCount();
-    EXPECT_EQ(after - before, 0u)
-        << (after - before)
+    EXPECT_EQ(allocations, 0u)
+        << allocations
         << " allocation(s) on the steady-state drain path";
+    if (checkpointer)
+        EXPECT_GT(checkpointer->written(), 0u);
 
     // Sanity: the measured section really drained accepted samples.
     EXPECT_EQ(service.sessionStats().accepted,
@@ -123,6 +146,11 @@ TEST(StreamServiceAlloc, SteadyStateDrainIsAllocationFree)
 TEST(StreamServiceAlloc, SteadyStateWithTelemetryIsAllocationFree)
 {
     expectSteadyStateAllocationFree(true);
+}
+
+TEST(StreamServiceAlloc, SteadyStateWithCheckpointingIsAllocationFree)
+{
+    expectSteadyStateAllocationFree(true, true);
 }
 
 } // namespace
